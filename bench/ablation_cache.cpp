@@ -1,0 +1,74 @@
+// Ablation A: agent cache refresh jitter vs. measurement error.
+//
+// The paper §4.3.1 attributes its worst individual errors ("an abnormally
+// small value followed by an abnormally large one", up to 16%) to SNMP
+// polling delay: bytes counted in a later message. Here that artifact is
+// produced by the agent's ifTable snapshot cache, which refreshes
+// asynchronously after each query with jittered latency. The worst-case
+// individual error should scale as (jitter / poll interval) while the
+// window-average error stays flat — caching only moves bytes between
+// adjacent samples, it does not lose them.
+#include <cstdio>
+
+#include "experiments/lirtss.h"
+#include "monitor/report.h"
+
+using namespace netqos;
+
+namespace {
+
+struct Row {
+  double avg_kbps;
+  double avg_err;
+  double max_err;
+};
+
+Row run(bool cached, SimDuration jitter) {
+  exp::TestbedOptions options;
+  options.agent_cache = cached;
+  options.agent_refresh_jitter = jitter;
+  exp::LirtssTestbed bed(options);
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(4), seconds(124),
+                                        kilobytes_per_second(300)));
+  bed.watch("S1", "N1");
+  bed.run_until(seconds(124));
+
+  const TimeSeries& used = bed.monitor().used_series("S1", "N1");
+  const double expected = 300'000.0 * 1.031 + 11'000.0;  // +framing +bg
+  const RunningStats window = used.stats_between(seconds(10), seconds(122));
+  Row row;
+  row.avg_kbps = window.mean() / 1000.0;
+  row.avg_err = 100.0 * (window.mean() - expected) / expected;
+  row.max_err =
+      100.0 * used.max_relative_error(seconds(10), seconds(122), expected);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: agent cache refresh jitter vs. error ===\n");
+  std::printf("constant 300 KB/s L->N1, monitor S1<->N1, 2 s polls, 120 s\n\n");
+  std::printf("%16s %16s %12s %12s %16s\n", "cache", "jitter_ms",
+              "avg KB/s", "avg %err", "max %err (spikes)");
+
+  const Row live = run(false, 0);
+  std::printf("%16s %16s %12.2f %11.2f%% %15.2f%%\n", "off (live)", "-",
+              live.avg_kbps, live.avg_err, live.max_err);
+
+  for (const SimDuration jitter :
+       {0 * kMillisecond, 40 * kMillisecond, 80 * kMillisecond,
+        120 * kMillisecond, 200 * kMillisecond, 320 * kMillisecond}) {
+    const Row row = run(true, jitter);
+    std::printf("%16s %16lld %12.2f %11.2f%% %15.2f%%\n", "on",
+                static_cast<long long>(jitter / kMillisecond), row.avg_kbps,
+                row.avg_err, row.max_err);
+  }
+
+  std::printf("\nexpected shape: average error flat (caching only delays "
+              "bytes); worst-case individual error grows ~ jitter / poll "
+              "interval — the paper's spike mechanism, including its rare "
+              "~16%% outlier at realistic jitter\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation B: polling interval vs. accuracy and monitoring overhead.
+//
+// Faster polling gives finer-grained series but spends more bandwidth on
+// SNMP itself (the paper charges ~2% of its measurement gap to SNMP
+// queries and acknowledgements). This sweep quantifies both sides.
+#include <cstdio>
+
+#include "experiments/lirtss.h"
+#include "monitor/report.h"
+
+using namespace netqos;
+
+int main() {
+  std::printf("=== Ablation: poll interval vs. accuracy & overhead ===\n");
+  std::printf("constant 300 KB/s L->N1, monitor S1<->N1, 120 s\n\n");
+  std::printf("%10s %10s %12s %12s %18s\n", "poll_ms", "samples",
+              "avg %err", "max %err", "SNMP bytes/s");
+
+  for (const SimDuration interval :
+       {500 * kMillisecond, 1000 * kMillisecond, 2000 * kMillisecond,
+        5000 * kMillisecond, 10'000 * kMillisecond}) {
+    exp::TestbedOptions options;
+    options.poll_interval = interval;
+    exp::LirtssTestbed bed(options);
+    bed.add_load("L", "N1",
+                 load::RateProfile::pulse(seconds(4), seconds(124),
+                                          kilobytes_per_second(300)));
+    bed.watch("S1", "N1");
+    bed.run_until(seconds(124));
+
+    const TimeSeries& used = bed.monitor().used_series("S1", "N1");
+    const double expected = 300'000.0 * 1.031 + 11'000.0;
+    // Settle past two poll rounds: the first sample after the load edge
+    // straddles it, and the agent cache serves its cold t=0 snapshot to
+    // the very first poll.
+    const SimTime begin = seconds(4) + 2 * interval;
+    const RunningStats window = used.stats_between(begin, seconds(122));
+    const double avg_err = 100.0 * (window.mean() - expected) / expected;
+    const double max_err =
+        100.0 * used.max_relative_error(begin, seconds(122), expected);
+
+    // SNMP management-plane traffic, measured at the client: payloads
+    // plus 46 bytes of UDP/IP/Ethernet framing per message.
+    const auto& client = bed.monitor().client_stats();
+    const double snmp_bytes =
+        static_cast<double>(client.payload_bytes_sent +
+                            client.payload_bytes_received) +
+        46.0 * static_cast<double>(client.requests_sent + client.responses);
+    const double snmp_rate = snmp_bytes / 124.0;
+
+    std::printf("%10lld %10zu %11.2f%% %11.2f%% %18.1f\n",
+                static_cast<long long>(interval / kMillisecond),
+                used.size(), avg_err, max_err, snmp_rate);
+  }
+
+  std::printf("\nexpected shape: accuracy roughly flat; per-sample noise "
+              "and SNMP overhead both drop as the interval grows; "
+              "overhead scales ~1/interval\n");
+  return 0;
+}

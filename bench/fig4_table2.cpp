@@ -1,0 +1,74 @@
+// Reproduces paper §4.3.1: Figure 4 (dynamically varying network load)
+// and Table 2 (statistics of measured traffic load).
+//
+// Staircase load from L to N1: 100 KB/s for the first 120 s, +100 KB/s
+// every 60 s up to 500 KB/s, all load off at t=420 s. The monitor watches
+// the S1 <-> N1 path (S1 -> switch -> hub -> N1). Expected shape: the
+// measured series tracks the staircase a few percent high (packet headers
+// + SNMP/background traffic), with occasional spikes from agent-side
+// counter caching.
+#include <cstdio>
+
+#include "experiments/lirtss.h"
+#include "monitor/report.h"
+
+using namespace netqos;
+
+int main() {
+  exp::LirtssTestbed bed;
+
+  const auto profile = load::RateProfile::staircase(
+      /*initial=*/kilobytes_per_second(100), /*first_duration=*/seconds(120),
+      /*increment=*/kilobytes_per_second(100), /*step_duration=*/seconds(60),
+      /*steps=*/5, /*off_time=*/seconds(420));
+  bed.add_load("L", "N1", profile);
+  bed.watch("S1", "N1");
+  bed.run_until(seconds(480));
+
+  const TimeSeries& measured = bed.monitor().used_series("S1", "N1");
+
+  std::printf("=== Figure 4: dynamically varying network load ===\n");
+  std::printf("(a) generated load L->N1 and (b) measured S1<->N1, KB/s\n\n");
+  std::printf("%8s %12s %12s\n", "time_s", "generated", "measured");
+  for (const auto& point : measured.points()) {
+    std::printf("%8.1f %12.1f %12.2f\n", to_seconds(point.time),
+                profile.rate_at(point.time) / 1000.0, point.value / 1000.0);
+  }
+
+  // Background: average measured level with zero generated load
+  // (paper: "calculated as the average of measured values at 0 load").
+  const BytesPerSecond background =
+      mon::estimate_background(measured, seconds(430), seconds(480));
+
+  std::printf("\n=== Table 2: statistics of measured traffic load "
+              "(KB/s) ===\n");
+  std::printf("background (zero-load average): %.3f KB/s\n\n",
+              background / 1000.0);
+  std::printf("%10s %14s %18s %10s %12s\n", "Generated", "Avg Measured",
+              "Less Background", "% Error", "Max % Error");
+
+  struct Window {
+    double generated_kb;
+    SimTime begin, end;
+  };
+  const Window windows[] = {
+      {100, seconds(0), seconds(120)},  {200, seconds(120), seconds(180)},
+      {300, seconds(180), seconds(240)}, {400, seconds(240), seconds(300)},
+      {500, seconds(300), seconds(420)},
+  };
+  for (const Window& w : windows) {
+    // Skip the first few samples of each window: the first poll after a
+    // staircase edge straddles two rates.
+    const auto row = mon::analyze_window(
+        measured, w.begin, w.end, kilobytes_per_second(w.generated_kb),
+        background, /*settle=*/seconds(6));
+    std::printf("%10.0f %14.3f %18.3f %9.1f%% %11.1f%%\n", w.generated_kb,
+                row.measured_kbps, row.less_background_kbps,
+                row.percent_error, row.max_percent_error);
+  }
+
+  std::printf("\npaper reference: avg measured-less-background ~4%% above "
+              "generated; max individual errors 5-8%% (16%% outlier from "
+              "polling delay)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper §4.3.2: Figure 5, hosts connected by a hub.
+//
+// 200 KB/s L->N1 starting at t=20 s, 200 KB/s L->N2 starting at t=40 s;
+// the N1 load stops at t=60 s, the N2 load at t=80 s. Because a hub
+// repeats every frame to every member, BOTH monitored paths (S1<->N1 and
+// S1<->N2) must report the SUM of hub traffic: 0 / 200 / 400 / 200 / 0.
+#include <cstdio>
+
+#include "experiments/lirtss.h"
+#include "monitor/report.h"
+
+using namespace netqos;
+
+int main() {
+  exp::LirtssTestbed bed;
+
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(20), seconds(60),
+                                        kilobytes_per_second(200)));
+  bed.add_load("L", "N2",
+               load::RateProfile::pulse(seconds(40), seconds(80),
+                                        kilobytes_per_second(200)));
+  bed.watch("S1", "N1").watch("S1", "N2");
+  bed.run_until(seconds(100));
+
+  const TimeSeries& n1 = bed.monitor().used_series("S1", "N1");
+  const TimeSeries& n2 = bed.monitor().used_series("S1", "N2");
+
+  std::printf("=== Figure 5: hosts connected by a hub ===\n");
+  std::printf("(a) load L->N1  (b) load L->N2  (c) measured S1<->N1  "
+              "(d) measured S1<->N2, KB/s\n\n");
+  std::printf("%8s %10s %10s %14s %14s\n", "time_s", "gen_N1", "gen_N2",
+              "meas_S1N1", "meas_S1N2");
+  for (std::size_t i = 0; i < n1.size() && i < n2.size(); ++i) {
+    const auto& p1 = n1.points()[i];
+    const auto& p2 = n2.points()[i];
+    const double t = to_seconds(p1.time);
+    const double gen1 = (t >= 20 && t < 60) ? 200.0 : 0.0;
+    const double gen2 = (t >= 40 && t < 80) ? 200.0 : 0.0;
+    std::printf("%8.1f %10.1f %10.1f %14.2f %14.2f\n", t, gen1, gen2,
+                p1.value / 1000.0, p2.value / 1000.0);
+  }
+
+  // Both paths bottleneck on the hub domain, so their measured usage is
+  // identical: the hub sums (paper: "The observed traffic load for the
+  // two paths is as we expected").
+  const BytesPerSecond background =
+      mon::estimate_background(n1, seconds(0), seconds(18));
+
+  std::printf("\nwindow summaries (background %.2f KB/s):\n",
+              background / 1000.0);
+  std::printf("%22s %12s %16s %10s %12s\n", "window", "expected",
+              "meas-bg (S1N1)", "% err", "max % err");
+  struct Window {
+    const char* label;
+    SimTime begin, end;
+    double expected_kb;  // sum of hub loads
+  };
+  const Window windows[] = {
+      {"only N1 load (20-60s)", seconds(20), seconds(40), 200},
+      {"both loads (40-60s)", seconds(40), seconds(60), 400},
+      {"only N2 load (60-80s)", seconds(60), seconds(80), 200},
+  };
+  for (const Window& w : windows) {
+    const auto row = mon::analyze_window(
+        n1, w.begin, w.end, kilobytes_per_second(w.expected_kb), background,
+        /*settle=*/seconds(6));
+    std::printf("%22s %12.0f %16.3f %9.1f%% %11.1f%%\n", w.label,
+                w.expected_kb, row.less_background_kbps, row.percent_error,
+                row.max_percent_error);
+  }
+
+  std::printf("\npaper reference: both paths show the summed hub load; "
+              "3.7%% error on averages, 7.8%% max individual\n");
+  return 0;
+}

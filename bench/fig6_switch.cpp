@@ -1,0 +1,89 @@
+// Reproduces paper §4.3.3: Figure 6, hosts connected by a switch.
+//
+// 2000 KB/s loads: L->S2 during 20-60 s, L->S3 during 40-80 s, L->S1
+// during 100-120 s. A switch forwards only to the destination port, so
+// the load to S2 must appear only on S1<->S2, the load to S3 only on
+// S1<->S3, and the load to S1 on BOTH paths (S1 has a single connection
+// to the switch).
+#include <cstdio>
+
+#include "experiments/lirtss.h"
+#include "monitor/report.h"
+
+using namespace netqos;
+
+int main() {
+  exp::LirtssTestbed bed;
+
+  bed.add_load("L", "S2",
+               load::RateProfile::pulse(seconds(20), seconds(60),
+                                        kilobytes_per_second(2000)));
+  bed.add_load("L", "S3",
+               load::RateProfile::pulse(seconds(40), seconds(80),
+                                        kilobytes_per_second(2000)));
+  bed.add_load("L", "S1",
+               load::RateProfile::pulse(seconds(100), seconds(120),
+                                        kilobytes_per_second(2000)));
+  bed.watch("S1", "S2").watch("S1", "S3");
+  bed.run_until(seconds(140));
+
+  const TimeSeries& s2 = bed.monitor().used_series("S1", "S2");
+  const TimeSeries& s3 = bed.monitor().used_series("S1", "S3");
+
+  std::printf("=== Figure 6: hosts connected by a switch ===\n");
+  std::printf("(a) L->S2  (b) L->S3  (c) L->S1  (d) measured S1<->S2  "
+              "(e) measured S1<->S3, KB/s\n\n");
+  std::printf("%8s %9s %9s %9s %14s %14s\n", "time_s", "gen_S2", "gen_S3",
+              "gen_S1", "meas_S1S2", "meas_S1S3");
+  for (std::size_t i = 0; i < s2.size() && i < s3.size(); ++i) {
+    const auto& p2 = s2.points()[i];
+    const auto& p3 = s3.points()[i];
+    const double t = to_seconds(p2.time);
+    const double g2 = (t >= 20 && t < 60) ? 2000.0 : 0.0;
+    const double g3 = (t >= 40 && t < 80) ? 2000.0 : 0.0;
+    const double g1 = (t >= 100 && t < 120) ? 2000.0 : 0.0;
+    std::printf("%8.1f %9.1f %9.1f %9.1f %14.2f %14.2f\n", t, g2, g3, g1,
+                p2.value / 1000.0, p3.value / 1000.0);
+  }
+
+  const BytesPerSecond background =
+      mon::estimate_background(s2, seconds(0), seconds(18));
+
+  std::printf("\nisolation checks (background %.2f KB/s):\n",
+              background / 1000.0);
+  std::printf("%34s %10s %16s %10s %12s\n", "window / path", "expected",
+              "meas-bg", "% err", "max % err");
+  struct Check {
+    const char* label;
+    const TimeSeries* series;
+    SimTime begin, end;
+    double expected_kb;
+  };
+  const Check checks[] = {
+      {"S2 load on S1<->S2 (20-40s)", &s2, seconds(20), seconds(40), 2000},
+      {"S2 load NOT on S1<->S3 (20-40s)", &s3, seconds(20), seconds(40), 0},
+      {"S3 load on S1<->S3 (60-80s)", &s3, seconds(60), seconds(80), 2000},
+      {"S3 load NOT on S1<->S2 (60-80s)", &s2, seconds(60), seconds(80), 0},
+      {"S1 load on S1<->S2 (100-120s)", &s2, seconds(100), seconds(120),
+       2000},
+      {"S1 load on S1<->S3 (100-120s)", &s3, seconds(100), seconds(120),
+       2000},
+  };
+  for (const Check& c : checks) {
+    const auto row = mon::analyze_window(
+        *c.series, c.begin, c.end, kilobytes_per_second(c.expected_kb),
+        background, /*settle=*/seconds(6));
+    std::printf("%34s %10.0f %16.3f", c.label, c.expected_kb,
+                row.less_background_kbps);
+    if (c.expected_kb > 0) {
+      std::printf(" %9.1f%% %11.1f%%\n", row.percent_error,
+                  row.max_percent_error);
+    } else {
+      std::printf(" %9s %11s\n", "-", "-");
+    }
+  }
+
+  std::printf("\npaper reference: switch isolates per-destination traffic; "
+              "2.2%% error on averages, 7.8%% max individual\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmarks: BER codec and SNMP message encode/decode throughput.
+#include <benchmark/benchmark.h>
+
+#include "snmp/ber.h"
+#include "snmp/pdu.h"
+
+using namespace netqos;
+using namespace netqos::snmp;
+
+namespace {
+
+Message make_poll_message(std::size_t interfaces) {
+  // The monitor's per-agent poll: sysUpTime + 4 counters per interface.
+  Message msg;
+  msg.pdu.type = PduType::kGetRequest;
+  msg.pdu.request_id = 42;
+  msg.pdu.varbinds.push_back({mib2::kSysUpTime.child(0), Null{}});
+  for (std::uint32_t i = 1; i <= interfaces; ++i) {
+    for (std::uint32_t col : {mib2::kIfInOctetsColumn,
+                              mib2::kIfOutOctetsColumn,
+                              mib2::kIfInUcastPktsColumn,
+                              mib2::kIfOutUcastPktsColumn}) {
+      msg.pdu.varbinds.push_back({mib2::if_column(col, i), Null{}});
+    }
+  }
+  return msg;
+}
+
+Message make_response(const Message& request) {
+  Message response = request;
+  response.pdu.type = PduType::kGetResponse;
+  for (auto& vb : response.pdu.varbinds) {
+    vb.value = Counter32{0xdeadbeef};
+  }
+  return response;
+}
+
+void BM_EncodeOid(benchmark::State& state) {
+  const Oid oid = mib2::if_column(mib2::kIfInOctetsColumn, 3);
+  for (auto _ : state) {
+    ByteWriter w;
+    ber::write_oid(w, oid);
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+}
+BENCHMARK(BM_EncodeOid);
+
+void BM_DecodeOid(benchmark::State& state) {
+  ByteWriter w;
+  ber::write_oid(w, mib2::if_column(mib2::kIfInOctetsColumn, 3));
+  const Bytes wire = std::move(w).take();
+  for (auto _ : state) {
+    ByteReader r(wire);
+    benchmark::DoNotOptimize(ber::read_oid(r));
+  }
+}
+BENCHMARK(BM_DecodeOid);
+
+void BM_EncodePollRequest(benchmark::State& state) {
+  const Message msg = make_poll_message(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Bytes wire = encode_message(msg);
+    bytes += wire.size();
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_EncodePollRequest)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_DecodePollResponse(benchmark::State& state) {
+  const Bytes wire =
+      encode_message(make_response(make_poll_message(state.range(0))));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Message msg = decode_message(wire);
+    bytes += wire.size();
+    benchmark::DoNotOptimize(msg.pdu.varbinds.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_DecodePollResponse)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_RoundTripCounter32(benchmark::State& state) {
+  for (auto _ : state) {
+    ByteWriter w;
+    ber::write_value(w, Counter32{123456789});
+    ByteReader r(w.bytes());
+    benchmark::DoNotOptimize(ber::read_value(r));
+  }
+}
+BENCHMARK(BM_RoundTripCounter32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Microbenchmarks: specification-language lexing and parsing throughput.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "spec/lexer.h"
+#include "spec/parser.h"
+#include "spec/testbed.h"
+#include "spec/writer.h"
+
+using namespace netqos;
+using namespace netqos::spec;
+
+namespace {
+
+/// Generates a syntactically valid spec with `hosts` hosts on one switch.
+std::string make_spec(int hosts) {
+  std::ostringstream out;
+  out << "network generated {\n";
+  out << "  switch sw { snmp on; management address 10.255.255.1; "
+         "speed 100Mbps;\n";
+  for (int i = 0; i < hosts; ++i) out << "    interface p" << i << ";\n";
+  out << "  }\n";
+  for (int i = 0; i < hosts; ++i) {
+    out << "  host h" << i << " { os \"Linux\"; snmp on; interface eth0 { "
+        << "speed 100Mbps; address 10." << (i / 65536) % 256 << "."
+        << (i / 256) % 256 << "." << i % 256 + 1 << "; } }\n";
+  }
+  for (int i = 0; i < hosts; ++i) {
+    out << "  connect h" << i << ".eth0 <-> sw.p" << i << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void BM_Lex(benchmark::State& state) {
+  const std::string source = make_spec(static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lex(source));
+    bytes += source.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Lex)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string source = make_spec(static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_spec(source));
+    bytes += source.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Parse)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_ParseLirtss(benchmark::State& state) {
+  const std::string source = lirtss_spec_text();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_spec(source));
+  }
+}
+BENCHMARK(BM_ParseLirtss);
+
+void BM_WriteSpec(benchmark::State& state) {
+  const SpecFile file = parse_spec(make_spec(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(write_spec(file));
+  }
+}
+BENCHMARK(BM_WriteSpec)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

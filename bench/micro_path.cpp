@@ -1,0 +1,116 @@
+// Microbenchmarks: path traversal on growing topologies.
+//
+// The monitor traverses paths once per registered pair; DeSiDeRaTa-scale
+// systems may have hundreds of hosts, so traversal must stay cheap.
+#include <benchmark/benchmark.h>
+
+#include "topology/domains.h"
+#include "topology/path.h"
+
+using namespace netqos;
+using namespace netqos::topo;
+
+namespace {
+
+/// A two-tier tree: `switches` edge switches with `hosts_per` hosts each,
+/// all uplinked to one core switch.
+NetworkTopology make_tree(int switches, int hosts_per) {
+  NetworkTopology topo;
+  NodeSpec core;
+  core.name = "core";
+  core.kind = NodeKind::kSwitch;
+  core.default_speed = kGbps;
+  for (int s = 0; s < switches; ++s) {
+    core.interfaces.push_back({"c" + std::to_string(s), 0, ""});
+  }
+  topo.add_node(core);
+
+  int ip = 0;
+  for (int s = 0; s < switches; ++s) {
+    NodeSpec edge;
+    edge.name = "edge" + std::to_string(s);
+    edge.kind = NodeKind::kSwitch;
+    edge.default_speed = mbps(100);
+    edge.interfaces.push_back({"up", 0, ""});
+    for (int h = 0; h < hosts_per; ++h) {
+      edge.interfaces.push_back({"p" + std::to_string(h), 0, ""});
+    }
+    topo.add_node(edge);
+    topo.add_connection({{edge.name, "up"}, {"core", "c" + std::to_string(s)}});
+
+    for (int h = 0; h < hosts_per; ++h) {
+      NodeSpec host;
+      host.name = "h" + std::to_string(s) + "_" + std::to_string(h);
+      host.kind = NodeKind::kHost;
+      ++ip;
+      host.interfaces.push_back(
+          {"eth0", mbps(100),
+           "10." + std::to_string(ip / 65536) + "." +
+               std::to_string((ip / 256) % 256) + "." +
+               std::to_string(ip % 256)});
+      topo.add_node(host);
+      topo.add_connection(
+          {{host.name, "eth0"}, {edge.name, "p" + std::to_string(h)}});
+    }
+  }
+  return topo;
+}
+
+void BM_TraverseRecursive(benchmark::State& state) {
+  const auto topo = make_tree(static_cast<int>(state.range(0)), 8);
+  // Worst-ish case: hosts on the first and last edge switch.
+  const std::string from = "h0_0";
+  const std::string to =
+      "h" + std::to_string(state.range(0) - 1) + "_7";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traverse_recursive(topo, from, to));
+  }
+  state.SetLabel(std::to_string(topo.nodes().size()) + " nodes");
+}
+BENCHMARK(BM_TraverseRecursive)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_ShortestPath(benchmark::State& state) {
+  const auto topo = make_tree(static_cast<int>(state.range(0)), 8);
+  const std::string from = "h0_0";
+  const std::string to =
+      "h" + std::to_string(state.range(0) - 1) + "_7";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shortest_path(topo, from, to));
+  }
+  state.SetLabel(std::to_string(topo.nodes().size()) + " nodes");
+}
+BENCHMARK(BM_ShortestPath)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_Validate(benchmark::State& state) {
+  const auto topo = make_tree(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.validate());
+  }
+}
+BENCHMARK(BM_Validate)->Arg(8)->Arg(32);
+
+void BM_CollisionDomains(benchmark::State& state) {
+  // Add hubs: one per edge switch... reuse tree then append hubs.
+  auto topo = make_tree(static_cast<int>(state.range(0)), 4);
+  for (int s = 0; s < state.range(0); ++s) {
+    NodeSpec hub;
+    hub.name = "hub" + std::to_string(s);
+    hub.kind = NodeKind::kHub;
+    hub.default_speed = mbps(10);
+    hub.interfaces.push_back({"up", 0, ""});
+    hub.interfaces.push_back({"h1", 0, ""});
+    topo.add_node(hub);
+    // Attach to an unused port name on the edge switch is not possible
+    // (all used); attach hub to a host-free core port instead: skip — use
+    // a dedicated interface on the hub only (dangling is fine for this
+    // micro benchmark of the flood-fill).
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collision_domains(topo));
+  }
+}
+BENCHMARK(BM_CollisionDomains)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Scale study: monitoring cost vs. system size, centralized vs.
+// distributed (paper §5 future work: "distributed network monitoring").
+//
+// Builds two-tier switched topologies of growing size, runs the monitor
+// for 60 simulated seconds, and reports SNMP traffic at the monitoring
+// station plus wall-clock cost. The distributed rows split polling over
+// 4 stations and show the per-station traffic reduction.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "loadgen/generator.h"
+#include "monitor/distributed.h"
+#include "netsim/services.h"
+#include "snmp/deploy.h"
+#include "spec/parser.h"
+
+using namespace netqos;
+
+namespace {
+
+spec::SpecFile make_system(int switches, int hosts_per) {
+  std::ostringstream out;
+  out << "network scale {\n  switch core { snmp on; management address "
+         "10.255.0.1; speed 1Gbps;\n";
+  for (int s = 0; s < switches; ++s) out << "    interface c" << s << ";\n";
+  out << "  }\n";
+  for (int s = 0; s < switches; ++s) {
+    out << "  switch edge" << s << " { snmp on; management address 10.254."
+        << s << ".1; speed 100Mbps;\n    interface up;\n";
+    for (int h = 0; h < hosts_per; ++h) out << "    interface p" << h << ";\n";
+    out << "  }\n";
+    out << "  connect edge" << s << ".up <-> core.c" << s << ";\n";
+    for (int h = 0; h < hosts_per; ++h) {
+      out << "  host h" << s << "x" << h << " { snmp on; interface eth0 { "
+          << "speed 100Mbps; address 10." << s << ".0." << h + 1
+          << "; } }\n";
+      out << "  connect h" << s << "x" << h << ".eth0 <-> edge" << s
+          << ".p" << h << ";\n";
+    }
+  }
+  out << "}\n";
+  return spec::parse_spec(out.str());
+}
+
+struct Row {
+  int hosts;
+  std::size_t agents;
+  std::uint64_t polls;
+  double station_snmp_Bps;  // coordinator NIC traffic
+  double wall_ms;
+};
+
+Row run(int switches, int hosts_per, int stations) {
+  const spec::SpecFile specfile = make_system(switches, hosts_per);
+  sim::Simulator sim;
+  auto net = sim::build_network(sim, specfile.topology);
+  snmp::DeployOptions deploy;
+  deploy.agent.hiccup_probability = 0.0;
+  auto agents = snmp::deploy_agents(sim, *net, specfile.topology, deploy);
+
+  std::vector<sim::Host*> monitor_hosts;
+  for (int s = 0; s < stations; ++s) {
+    monitor_hosts.push_back(net->find_host(
+        "h" + std::to_string(s % switches) + "x" + std::to_string(s / switches)));
+  }
+  mon::DistributedMonitor dist(sim, specfile.topology, monitor_hosts);
+  dist.add_path("h0x0", "h" + std::to_string(switches - 1) + "x" +
+                            std::to_string(hosts_per - 1));
+
+  const auto start = std::chrono::steady_clock::now();
+  dist.start();
+  sim.run_until(seconds(60));
+  const auto stop = std::chrono::steady_clock::now();
+
+  Row row;
+  row.hosts = switches * hosts_per;
+  row.agents = agents.size();
+  row.polls = dist.aggregate_stats().agent_polls;
+  const auto* nic = monitor_hosts[0]->find_interface("eth0");
+  row.station_snmp_Bps =
+      static_cast<double>(nic->total_in_octets() + nic->total_out_octets()) /
+      60.0;
+  row.wall_ms = std::chrono::duration<double, std::milli>(stop - start)
+                    .count();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Scale: monitoring cost vs. system size ===\n");
+  std::printf("60 simulated seconds, 2 s polls, one watched path\n\n");
+  std::printf("%8s %8s %9s %8s %20s %10s\n", "hosts", "agents", "stations",
+              "polls", "station SNMP B/s", "wall ms");
+
+  struct Config {
+    int switches, hosts_per, stations;
+  };
+  const Config configs[] = {
+      {2, 4, 1}, {4, 8, 1}, {8, 8, 1}, {8, 16, 1},
+      {8, 8, 4}, {8, 16, 4},
+  };
+  for (const auto& c : configs) {
+    const Row row = run(c.switches, c.hosts_per, c.stations);
+    std::printf("%8d %8zu %9d %8llu %20.1f %10.2f\n", row.hosts,
+                row.agents, c.stations,
+                static_cast<unsigned long long>(row.polls),
+                row.station_snmp_Bps, row.wall_ms);
+  }
+  std::printf("\nexpected shape: station SNMP traffic grows with agent "
+              "count under one station and drops ~stations-fold when "
+              "polling is distributed\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Network latency measurement (paper §5 future work).
+//
+// Echo-based RTT probes from the monitor host to a switched host (S1)
+// and a hub host (N1), before and during hub congestion. Shows the
+// 10 Mbps hub path is an order of magnitude slower, and that queueing
+// under load inflates RTT further.
+#include <cstdio>
+
+#include "experiments/lirtss.h"
+#include "monitor/latency.h"
+#include "netsim/services.h"
+
+using namespace netqos;
+
+int main() {
+  exp::LirtssTestbed bed;
+  sim::EchoService echo_s1(bed.host("S1"));
+  sim::EchoService echo_n1(bed.host("N1"));
+
+  mon::LatencyProbe to_s1(bed.simulator(), bed.host("L"),
+                          bed.host("S1").ip());
+  mon::LatencyProbe to_n1(bed.simulator(), bed.host("L"),
+                          bed.host("N1").ip());
+  to_s1.start();
+  to_n1.start();
+
+  // Congest the hub in the second half of the run.
+  bed.add_load("L", "N2",
+               load::RateProfile::pulse(seconds(30), seconds(60),
+                                        kilobytes_per_second(1100)));
+  bed.run_until(seconds(60));
+
+  auto report = [](const char* label, const mon::LatencyProbe& probe,
+                   SimTime begin, SimTime end) {
+    RunningStats stats;
+    for (const auto& p : probe.rtt_series().points()) {
+      if (p.time >= begin && p.time < end) stats.add(p.value);
+    }
+    std::printf("  %-22s %4zu probes  mean %8.3f ms  max %8.3f ms\n",
+                label, stats.count(), stats.mean() * 1e3,
+                stats.max() * 1e3);
+  };
+
+  std::printf("=== RTT, quiet network (0-30 s) ===\n");
+  report("L -> S1 (switched)", to_s1, 0, seconds(30));
+  report("L -> N1 (hub)", to_n1, 0, seconds(30));
+
+  std::printf("\n=== RTT, hub congested by 1.1 MB/s (30-60 s) ===\n");
+  report("L -> S1 (switched)", to_s1, seconds(30), seconds(60));
+  report("L -> N1 (hub)", to_n1, seconds(30), seconds(60));
+
+  std::printf("\nprobes lost: S1=%llu N1=%llu\n",
+              static_cast<unsigned long long>(to_s1.probes_lost()),
+              static_cast<unsigned long long>(to_n1.probes_lost()));
+  return 0;
+}

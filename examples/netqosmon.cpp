@@ -1,0 +1,220 @@
+// netqosmon — file-driven monitoring tool.
+//
+// Usage:
+//   netqosmon [SPEC_FILE] [FROM TO]... [--seconds N] [--poll MS]
+//             [--load SRC DST KBPS START END]...
+//
+// Reads a specification file (default: the built-in LIRTSS testbed),
+// builds the simulated network, deploys agents per the spec, registers
+// the given host pairs (default: every qos-block path), optionally drives
+// synthetic loads, runs for N simulated seconds, and prints per-path CSV
+// plus a summary. Demonstrates using the library from configuration
+// rather than code.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/lirtss.h"
+#include "monitor/qos.h"
+#include "monitor/report.h"
+#include "spec/testbed.h"
+
+using namespace netqos;
+
+namespace {
+
+struct LoadSpec {
+  std::string src, dst;
+  double kbps = 0;
+  double start_s = 0, end_s = 0;
+};
+
+struct Options {
+  std::string spec_path;  // empty = built-in testbed
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::vector<LoadSpec> loads;
+  double seconds_to_run = 60;
+  double poll_ms = 2000;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [SPEC_FILE] [FROM TO]... [--seconds N] "
+               "[--poll MS] [--load SRC DST KBPS START END]...\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (++i >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        usage(argv[0]);
+      }
+      return argv[i];
+    };
+    if (arg == "--seconds") {
+      options.seconds_to_run = std::atof(next("--seconds").c_str());
+    } else if (arg == "--poll") {
+      options.poll_ms = std::atof(next("--poll").c_str());
+    } else if (arg == "--load") {
+      LoadSpec load;
+      load.src = next("--load SRC");
+      load.dst = next("--load DST");
+      load.kbps = std::atof(next("--load KBPS").c_str());
+      load.start_s = std::atof(next("--load START").c_str());
+      load.end_s = std::atof(next("--load END").c_str());
+      options.loads.push_back(std::move(load));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  std::size_t start = 0;
+  if (!positional.empty() && positional[0].find('.') != std::string::npos &&
+      positional.size() % 2 == 1) {
+    options.spec_path = positional[0];
+    start = 1;
+  }
+  for (std::size_t i = start; i + 1 < positional.size(); i += 2) {
+    options.pairs.emplace_back(positional[i], positional[i + 1]);
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+
+  spec::SpecFile specfile;
+  try {
+    specfile = options.spec_path.empty()
+                   ? spec::lirtss_testbed()
+                   : spec::parse_spec_file(options.spec_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("# network '%s': %zu nodes, %zu connections\n",
+              specfile.network_name.c_str(), specfile.topology.nodes().size(),
+              specfile.topology.connections().size());
+
+  sim::Simulator simulator;
+  std::unique_ptr<sim::Network> network;
+  try {
+    network = sim::build_network(simulator, specfile.topology);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error building network: %s\n", e.what());
+    return 1;
+  }
+  auto agents = snmp::deploy_agents(simulator, *network, specfile.topology);
+  std::printf("# deployed %zu SNMP agents\n", agents.size());
+
+  // The monitor runs on the first SNMP-capable host.
+  sim::Host* station = nullptr;
+  for (const auto& node : specfile.topology.nodes()) {
+    if (node.snmp_enabled && node.kind == topo::NodeKind::kHost) {
+      station = network->find_host(node.name);
+      break;
+    }
+  }
+  if (station == nullptr) {
+    std::fprintf(stderr, "error: no SNMP-capable host to run on\n");
+    return 1;
+  }
+  std::printf("# monitoring station: %s\n", station->name().c_str());
+
+  mon::MonitorConfig config;
+  config.poll_interval = from_seconds(options.poll_ms / 1000.0);
+  mon::NetworkMonitor monitor(simulator, specfile.topology, *station,
+                              config);
+
+  // Paths: CLI pairs, else the spec's qos block, else fail.
+  auto pairs = options.pairs;
+  if (pairs.empty()) {
+    for (const auto& req : specfile.qos) {
+      pairs.emplace_back(req.from, req.to);
+    }
+  }
+  if (pairs.empty()) {
+    std::fprintf(stderr,
+                 "error: no host pairs (give FROM TO or a qos block)\n");
+    return 1;
+  }
+  for (const auto& [from, to] : pairs) {
+    try {
+      monitor.add_path(from, to);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // QoS requirements from the spec drive violation reporting.
+  mon::ViolationDetector detector(monitor);
+  for (const auto& req : specfile.qos) {
+    detector.add_requirement(req.from, req.to,
+                             to_bytes_per_second(req.min_available_bps));
+  }
+  detector.add_event_callback([](const mon::QosEvent& event) {
+    std::printf("# t=%.1fs QoS %s: %s <-> %s (available %.0f KB/s)\n",
+                to_seconds(event.time),
+                event.kind == mon::QosEvent::Kind::kViolation ? "VIOLATION"
+                                                              : "recovery",
+                event.path.first.c_str(), event.path.second.c_str(),
+                event.available / 1000.0);
+  });
+
+  // Services + loads.
+  std::vector<std::unique_ptr<sim::DiscardService>> discards;
+  std::vector<sim::Host*> hosts;
+  for (const auto& node : specfile.topology.nodes()) {
+    if (auto* host = network->find_host(node.name)) {
+      hosts.push_back(host);
+      discards.push_back(std::make_unique<sim::DiscardService>(*host));
+    }
+  }
+  std::vector<std::unique_ptr<load::LoadGenerator>> generators;
+  for (const auto& load_spec : options.loads) {
+    sim::Host* src = network->find_host(load_spec.src);
+    sim::Host* dst = network->find_host(load_spec.dst);
+    if (src == nullptr || dst == nullptr) {
+      std::fprintf(stderr, "error: unknown load host\n");
+      return 1;
+    }
+    generators.push_back(std::make_unique<load::LoadGenerator>(
+        simulator, *src, dst->ip(),
+        load::RateProfile::pulse(from_seconds(load_spec.start_s),
+                                 from_seconds(load_spec.end_s),
+                                 load_spec.kbps * 1000.0)));
+    generators.back()->start();
+  }
+  std::unique_ptr<sim::BackgroundTraffic> background;
+  if (hosts.size() >= 2) {
+    background = std::make_unique<sim::BackgroundTraffic>(
+        simulator, hosts, sim::BackgroundConfig{});
+    background->start();
+  }
+
+  mon::CsvSink sink(monitor, std::cout);
+  monitor.start();
+  simulator.run_until(from_seconds(options.seconds_to_run));
+
+  const auto& stats = monitor.stats();
+  std::printf("# done: %llu rounds, %llu polls, %llu failures, "
+              "%zu QoS events\n",
+              static_cast<unsigned long long>(stats.rounds_completed),
+              static_cast<unsigned long long>(stats.agent_polls),
+              static_cast<unsigned long long>(stats.agent_poll_failures),
+              detector.events().size());
+  return 0;
+}

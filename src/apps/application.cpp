@@ -1,0 +1,140 @@
+#include "apps/application.h"
+
+#include <stdexcept>
+
+#include "common/byte_buffer.h"
+
+namespace netqos::apps {
+
+// --- Application ---------------------------------------------------------
+
+Application::Application(ApplicationGroup& group, std::string name,
+                         sim::Host& host)
+    : group_(group), name_(std::move(name)), host_(&host) {}
+
+const std::string& Application::host_name() const { return host_->name(); }
+
+void Application::bind() {
+  const bool ok = host_->udp().bind(
+      port_, [this](const sim::Ipv4Packet& p) { on_message(p); });
+  if (!ok) {
+    throw std::logic_error("application port " + std::to_string(port_) +
+                           " already bound on " + host_->name());
+  }
+}
+
+void Application::unbind() { host_->udp().unbind(port_); }
+
+void Application::on_message(const sim::Ipv4Packet& packet) {
+  group_.deliver(name_, packet);
+}
+
+// --- ApplicationGroup -----------------------------------------------------
+
+Application& ApplicationGroup::deploy(const std::string& name,
+                                      sim::Host& host) {
+  if (apps_.contains(name)) {
+    throw std::invalid_argument("duplicate application name: " + name);
+  }
+  auto app = std::unique_ptr<Application>(
+      new Application(*this, name, host));
+  app->port_ = next_port_++;
+  app->bind();
+  Application& ref = *app;
+  apps_.emplace(name, std::move(app));
+  return ref;
+}
+
+void ApplicationGroup::add_stream(StreamSpec spec) {
+  if (find(spec.producer) == nullptr || find(spec.consumer) == nullptr) {
+    throw std::invalid_argument("stream '" + spec.name +
+                                "' references an undeployed application");
+  }
+  if (spec.period <= 0) {
+    throw std::invalid_argument("stream period must be positive");
+  }
+  stream_specs_.push_back(spec);
+  auto stream = std::make_unique<Stream>();
+  stream->spec = std::move(spec);
+  streams_.push_back(std::move(stream));
+  start_stream(streams_.size() - 1);
+}
+
+void ApplicationGroup::start_stream(std::size_t index) {
+  sim_.schedule_after(streams_[index]->spec.period, [this, index] {
+    if (stopped_ || !streams_[index]->running) return;
+    send_message(index);
+    start_stream(index);
+  });
+}
+
+void ApplicationGroup::send_message(std::size_t index) {
+  Stream& stream = *streams_[index];
+  Application* producer = find(stream.spec.producer);
+  Application* consumer = find(stream.spec.consumer);
+  if (producer == nullptr || consumer == nullptr) return;
+
+  // Message header: stream index, sequence, send timestamp. The rest of
+  // the payload is synthetic bulk.
+  ByteWriter header;
+  header.put_u32(static_cast<std::uint32_t>(index));
+  header.put_u32(stream.next_sequence++);
+  header.put_u64(static_cast<std::uint64_t>(sim_.now()));
+  const std::size_t header_size = header.size();
+  const std::size_t padding = stream.spec.message_bytes > header_size
+                                  ? stream.spec.message_bytes - header_size
+                                  : 0;
+  // The consumer's CURRENT location — relocation takes effect on the
+  // next message.
+  if (producer->host().udp().send(consumer->host().ip(), consumer->port(),
+                                  producer->port(),
+                                  std::move(header).take(), padding)) {
+    ++stream.stats.messages_sent;
+  }
+}
+
+void ApplicationGroup::deliver(const std::string& consumer,
+                               const sim::Ipv4Packet& packet) {
+  if (packet.udp.payload.size() < 16) return;
+  ByteReader reader(packet.udp.payload);
+  const std::uint32_t index = reader.get_u32();
+  reader.get_u32();  // sequence (loss is computed from counts)
+  const auto sent_at = static_cast<SimTime>(reader.get_u64());
+  if (index >= streams_.size()) return;
+  Stream& stream = *streams_[index];
+  if (stream.spec.consumer != consumer) return;  // stale after relocation
+
+  ++stream.stats.messages_received;
+  const SimDuration latency = sim_.now() - sent_at;
+  stream.stats.latency.add(sim_.now(), to_seconds(latency));
+  if (latency > stream.spec.deadline) ++stream.stats.deadline_misses;
+}
+
+void ApplicationGroup::relocate(const std::string& app,
+                                sim::Host& new_host) {
+  Application* application = find(app);
+  if (application == nullptr) {
+    throw std::invalid_argument("unknown application: " + app);
+  }
+  if (application->host_ == &new_host) return;
+  application->unbind();
+  application->host_ = &new_host;
+  application->bind();
+}
+
+Application* ApplicationGroup::find(const std::string& name) {
+  auto it = apps_.find(name);
+  return it == apps_.end() ? nullptr : it->second.get();
+}
+
+const StreamStats& ApplicationGroup::stream_stats(
+    const std::string& stream) const {
+  for (const auto& entry : streams_) {
+    if (entry->spec.name == stream) return entry->stats;
+  }
+  throw std::out_of_range("unknown stream: " + stream);
+}
+
+void ApplicationGroup::stop() { stopped_ = true; }
+
+}  // namespace netqos::apps

@@ -1,0 +1,123 @@
+// Real-time application model.
+//
+// DeSiDeRaTa manages "groups of real-time applications" whose data
+// streams cross the network; the paper's monitor exists so the middleware
+// can detect when the network endangers those applications and reallocate
+// them. This module supplies the managed side: applications placed on
+// hosts, periodic timestamped data streams between them, per-message
+// latency tracking against deadlines, and a relocation primitive — the
+// actuation the RM layer invokes to close the loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "netsim/host.h"
+#include "netsim/simulator.h"
+
+namespace netqos::apps {
+
+class ApplicationGroup;
+
+/// A periodic data stream between two applications.
+struct StreamSpec {
+  std::string name;
+  std::string producer;  ///< application name
+  std::string consumer;  ///< application name
+  /// One message every `period`, `message_bytes` of payload each.
+  SimDuration period = 100 * kMillisecond;
+  std::size_t message_bytes = 1024;
+  /// A message arriving later than this after transmission misses its
+  /// deadline (end-to-end, including queueing).
+  SimDuration deadline = 50 * kMillisecond;
+};
+
+struct StreamStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t deadline_misses = 0;
+  /// End-to-end latency samples in seconds, stamped at receive time.
+  TimeSeries latency;
+
+  double loss_fraction() const {
+    return messages_sent == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(messages_received) /
+                           static_cast<double>(messages_sent);
+  }
+};
+
+/// One deployed application: a name bound to a UDP port on some host.
+/// Applications are created and moved through their ApplicationGroup.
+class Application {
+ public:
+  const std::string& name() const { return name_; }
+  const std::string& host_name() const;
+  sim::Host& host() { return *host_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  friend class ApplicationGroup;
+  Application(ApplicationGroup& group, std::string name, sim::Host& host);
+  void bind();
+  void unbind();
+  void on_message(const sim::Ipv4Packet& packet);
+
+  ApplicationGroup& group_;
+  std::string name_;
+  sim::Host* host_;
+  std::uint16_t port_ = 0;
+};
+
+/// The managed group: deploys applications, runs streams, and relocates
+/// applications between hosts (the RM actuation).
+class ApplicationGroup {
+ public:
+  explicit ApplicationGroup(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Deploys an application onto a host. Names must be unique.
+  Application& deploy(const std::string& name, sim::Host& host);
+
+  /// Starts a periodic stream; producer and consumer must be deployed.
+  void add_stream(StreamSpec spec);
+
+  /// Moves an application to another host. In-flight messages to the old
+  /// address are lost (counted against the stream), new messages follow
+  /// immediately — modelling a stateless real-time task restart.
+  void relocate(const std::string& app, sim::Host& new_host);
+
+  Application* find(const std::string& name);
+  const StreamStats& stream_stats(const std::string& stream) const;
+  const std::vector<StreamSpec>& streams() const { return stream_specs_; }
+
+  /// Stops all stream production (test teardown / scenario end).
+  void stop();
+
+ private:
+  friend class Application;
+
+  struct Stream {
+    StreamSpec spec;
+    StreamStats stats;
+    std::uint32_t next_sequence = 1;
+    bool running = true;
+  };
+
+  void start_stream(std::size_t index);
+  void send_message(std::size_t index);
+  void deliver(const std::string& consumer, const sim::Ipv4Packet& packet);
+
+  sim::Simulator& sim_;
+  std::map<std::string, std::unique_ptr<Application>> apps_;
+  std::vector<StreamSpec> stream_specs_;  // stable view for callers
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::uint16_t next_port_ = 20000;
+  bool stopped_ = false;
+};
+
+}  // namespace netqos::apps

@@ -1,0 +1,75 @@
+// Bounds-checked byte buffer reader/writer.
+//
+// The SNMP BER codec and the packet framing code build and parse raw byte
+// strings; ByteWriter/ByteReader centralize the bounds checking so codec
+// code never touches raw pointers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netqos {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown when a reader runs off the end of its input.
+class BufferUnderflow : public std::runtime_error {
+ public:
+  explicit BufferUnderflow(const std::string& what)
+      : std::runtime_error("buffer underflow: " + what) {}
+};
+
+/// Appends big-endian integers and raw bytes to an owned buffer.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bytes(std::span<const std::uint8_t> data);
+  void put_string(const std::string& s);
+
+  /// Overwrites a single previously written byte (for length back-patching).
+  void patch_u8(std::size_t offset, std::uint8_t v);
+
+  std::size_t size() const { return out_.size(); }
+  const Bytes& bytes() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Consumes big-endian integers and raw bytes from a borrowed buffer.
+/// The underlying storage must outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  /// Returns a view of the next n bytes and advances past them.
+  std::span<const std::uint8_t> get_bytes(std::size_t n);
+  std::string get_string(std::size_t n);
+
+  /// Next byte without consuming it.
+  std::uint8_t peek_u8() const;
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace netqos

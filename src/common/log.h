@@ -1,0 +1,66 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, so the logger is deliberately simple:
+// a global level, an optional sink override (tests capture output), and
+// printf-free formatting via operator<< streaming into a std::ostringstream.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace netqos {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* log_level_name(LogLevel level);
+
+/// Global log configuration. Defaults: level = kWarn, sink = stderr.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replaces the output sink; pass nullptr to restore stderr.
+  static void set_sink(Sink sink);
+
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+
+/// Builds one log line and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace netqos
+
+#define NETQOS_LOG(level)                      \
+  if (!::netqos::Log::enabled(level)) {        \
+  } else                                       \
+    ::netqos::detail::LogLine(level)
+
+#define NETQOS_TRACE() NETQOS_LOG(::netqos::LogLevel::kTrace)
+#define NETQOS_DEBUG() NETQOS_LOG(::netqos::LogLevel::kDebug)
+#define NETQOS_INFO() NETQOS_LOG(::netqos::LogLevel::kInfo)
+#define NETQOS_WARN() NETQOS_LOG(::netqos::LogLevel::kWarn)
+#define NETQOS_ERROR() NETQOS_LOG(::netqos::LogLevel::kError)

@@ -1,0 +1,59 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace netqos {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() {
+  // 53 random bits into the mantissa: uniform on [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next();  // full 64-bit range
+  // Rejection-free bounded generation via 128-bit multiply (Lemire).
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(span);
+  return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::exponential(double mean) {
+  // Inversion; uniform() < 1 always, so log argument is in (0, 1].
+  return -mean * std::log(1.0 - uniform());
+}
+
+Xoshiro256 Xoshiro256::fork(std::uint64_t stream) const {
+  SplitMix64 sm(s_[0] ^ (stream * 0x9e3779b97f4a7c15ULL) ^ s_[3]);
+  return Xoshiro256(sm.next());
+}
+
+}  // namespace netqos

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in the simulator (background traffic, agent
+// processing jitter) draws from explicitly seeded generators so that every
+// test and benchmark run is bit-for-bit reproducible. xoshiro256** is used
+// for speed; SplitMix64 seeds it and derives independent substreams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace netqos {
+
+/// SplitMix64: tiny, high-quality seeder (Vigna 2015).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies the essential parts of
+/// UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  result_type next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derives an independent substream generator; `stream` values that
+  /// differ yield decorrelated sequences.
+  Xoshiro256 fork(std::uint64_t stream) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace netqos

@@ -1,0 +1,53 @@
+// Simulation time primitives.
+//
+// All simulator clocks are virtual: a SimTime is a count of nanoseconds
+// since simulation start. Using a strong integral representation (rather
+// than std::chrono time_points) keeps event-queue keys trivially
+// comparable and serializable, and makes the zero of time unambiguous.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace netqos {
+
+/// Virtual simulation time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of virtual time in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr SimDuration seconds(std::int64_t n) { return n * kSecond; }
+
+/// Converts a virtual time to fractional seconds (for reporting only).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts fractional seconds to virtual time, rounding to nearest ns.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// SNMP TimeTicks are hundredths of a second (RFC 1155).
+constexpr std::uint32_t to_timeticks(SimTime t) {
+  return static_cast<std::uint32_t>(t / (kSecond / 100));
+}
+
+/// Converts TimeTicks (centiseconds) back to virtual nanoseconds.
+constexpr SimTime from_timeticks(std::uint32_t ticks) {
+  return static_cast<SimTime>(ticks) * (kSecond / 100);
+}
+
+/// Human-readable rendering, e.g. "12.345s".
+std::string format_time(SimTime t);
+
+}  // namespace netqos

@@ -1,0 +1,64 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netqos {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+RunningStats TimeSeries::stats_between(SimTime begin, SimTime end) const {
+  RunningStats s;
+  for (const auto& p : points_) {
+    if (p.time >= begin && p.time < end) s.add(p.value);
+  }
+  return s;
+}
+
+double TimeSeries::mean_between(SimTime begin, SimTime end) const {
+  return stats_between(begin, end).mean();
+}
+
+double TimeSeries::percentile_between(SimTime begin, SimTime end,
+                                      double q) const {
+  std::vector<double> values;
+  for (const auto& p : points_) {
+    if (p.time >= begin && p.time < end) values.push_back(p.value);
+  }
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  if (lower + 1 >= values.size()) return values.back();
+  const double fraction = position - static_cast<double>(lower);
+  return values[lower] * (1.0 - fraction) + values[lower + 1] * fraction;
+}
+
+double TimeSeries::max_relative_error(SimTime begin, SimTime end,
+                                      double reference) const {
+  if (reference == 0.0) return 0.0;
+  double worst = 0.0;
+  for (const auto& p : points_) {
+    if (p.time >= begin && p.time < end) {
+      const double err = std::fabs(p.value - reference) / reference;
+      if (err > worst) worst = err;
+    }
+  }
+  return worst;
+}
+
+}  // namespace netqos

@@ -1,0 +1,73 @@
+// Streaming statistics and time-series containers used by the monitor and
+// the experiment harnesses (Table 2 style summaries).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace netqos {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One observation in a time series.
+struct TimePoint {
+  SimTime time = 0;
+  double value = 0.0;
+};
+
+/// Append-only series of (time, value) samples with range queries.
+class TimeSeries {
+ public:
+  void add(SimTime t, double v) { points_.push_back({t, v}); }
+
+  const std::vector<TimePoint>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Stats over samples with begin <= time < end.
+  RunningStats stats_between(SimTime begin, SimTime end) const;
+
+  /// Mean over samples with begin <= time < end (0 if none).
+  double mean_between(SimTime begin, SimTime end) const;
+
+  /// Largest |value - reference| / reference over the window, as a
+  /// fraction. Returns 0 when reference == 0 or the window is empty.
+  double max_relative_error(SimTime begin, SimTime end,
+                            double reference) const;
+
+  /// Value at quantile q in [0, 1] over samples with begin <= time < end,
+  /// by linear interpolation between order statistics. 0 if the window is
+  /// empty.
+  double percentile_between(SimTime begin, SimTime end, double q) const;
+  double percentile(double q) const {
+    return percentile_between(std::numeric_limits<SimTime>::min(),
+                              std::numeric_limits<SimTime>::max(), q);
+  }
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace netqos

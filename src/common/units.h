@@ -1,0 +1,51 @@
+// Bandwidth and data-size units.
+//
+// The paper reports loads in Kbytes/second and link speeds in Mbps; MIB-II
+// ifSpeed is bits/second. These helpers keep the conversions explicit so
+// no call site multiplies by the wrong factor of 8 or 1000.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace netqos {
+
+/// Bits per second. MIB-II ifSpeed semantics (Gauge, bits/sec).
+using BitsPerSecond = std::uint64_t;
+
+/// Bytes per second, used for load-generator rates and reported usage.
+using BytesPerSecond = double;
+
+inline constexpr BitsPerSecond kKbps = 1'000;
+inline constexpr BitsPerSecond kMbps = 1'000'000;
+inline constexpr BitsPerSecond kGbps = 1'000'000'000;
+
+constexpr BitsPerSecond mbps(std::uint64_t n) { return n * kMbps; }
+constexpr BitsPerSecond kbps(std::uint64_t n) { return n * kKbps; }
+
+/// The paper's unit: 1 Kbyte/s == 1000 bytes/s.
+constexpr BytesPerSecond kilobytes_per_second(double n) { return n * 1000.0; }
+
+constexpr BytesPerSecond to_bytes_per_second(BitsPerSecond b) {
+  return static_cast<BytesPerSecond>(b) / 8.0;
+}
+
+constexpr BitsPerSecond to_bits_per_second(BytesPerSecond b) {
+  return static_cast<BitsPerSecond>(b * 8.0);
+}
+
+/// Time to serialize `bytes` onto a link of speed `speed` (8 bits/byte).
+constexpr SimDuration transmission_delay(std::uint64_t bytes,
+                                         BitsPerSecond speed) {
+  // bytes * 8 / speed seconds, computed in integer ns without overflow for
+  // any frame-sized payload and any speed >= 1 bps.
+  return static_cast<SimDuration>(
+      (static_cast<__int128>(bytes) * 8 * kSecond) / speed);
+}
+
+/// Renders a speed like "100Mbps" / "1.5Mbps".
+std::string format_bandwidth(BitsPerSecond bps);
+
+}  // namespace netqos

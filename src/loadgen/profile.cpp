@@ -1,0 +1,60 @@
+#include "loadgen/profile.h"
+
+#include <stdexcept>
+
+namespace netqos::load {
+
+RateProfile& RateProfile::add_step(SimTime start, BytesPerSecond rate) {
+  if (!steps_.empty() && start < steps_.back().start) {
+    throw std::invalid_argument("profile steps must be time-ordered");
+  }
+  if (rate < 0) {
+    throw std::invalid_argument("negative rate");
+  }
+  steps_.push_back({start, rate});
+  return *this;
+}
+
+RateProfile RateProfile::pulse(SimTime begin, SimTime end,
+                               BytesPerSecond rate) {
+  RateProfile p;
+  p.add_step(begin, rate);
+  p.add_step(end, 0.0);
+  return p;
+}
+
+RateProfile RateProfile::staircase(BytesPerSecond initial,
+                                   SimDuration first_duration,
+                                   BytesPerSecond increment,
+                                   SimDuration step_duration, int steps,
+                                   SimTime off_time) {
+  RateProfile p;
+  p.add_step(0, initial);
+  SimTime t = first_duration;
+  BytesPerSecond rate = initial;
+  for (int i = 1; i < steps; ++i) {
+    rate += increment;
+    p.add_step(t, rate);
+    t += step_duration;
+  }
+  p.add_step(off_time, 0.0);
+  return p;
+}
+
+BytesPerSecond RateProfile::rate_at(SimTime t) const {
+  BytesPerSecond rate = 0.0;
+  for (const auto& step : steps_) {
+    if (step.start > t) break;
+    rate = step.rate;
+  }
+  return rate;
+}
+
+SimTime RateProfile::next_change_after(SimTime t) const {
+  for (const auto& step : steps_) {
+    if (step.start > t) return step.start;
+  }
+  return -1;
+}
+
+}  // namespace netqos::load

@@ -1,0 +1,53 @@
+// Load profiles: piecewise-constant payload rates over time.
+//
+// The paper's experiments are all staircases of constant-rate UDP
+// streams; a RateProfile captures one stream's schedule and doubles as
+// the "generated load" reference series in the figures.
+#pragma once
+
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+
+namespace netqos::load {
+
+/// One piecewise-constant segment boundary: from `start`, send at `rate`.
+struct RateStep {
+  SimTime start = 0;
+  BytesPerSecond rate = 0.0;  ///< payload bytes per second
+};
+
+class RateProfile {
+ public:
+  RateProfile() = default;
+
+  /// Steps must be appended in non-decreasing start order.
+  RateProfile& add_step(SimTime start, BytesPerSecond rate);
+
+  /// Constant `rate` on [begin, end), silent outside.
+  static RateProfile pulse(SimTime begin, SimTime end, BytesPerSecond rate);
+
+  /// The paper's Figure 4a staircase: `initial` B/s starting at t=0 for
+  /// `first_duration`, then += `increment` every `step_duration` for
+  /// `steps - 1` further levels, all load off at `off_time`.
+  static RateProfile staircase(BytesPerSecond initial,
+                               SimDuration first_duration,
+                               BytesPerSecond increment,
+                               SimDuration step_duration, int steps,
+                               SimTime off_time);
+
+  /// Rate in effect at time t (0 before the first step).
+  BytesPerSecond rate_at(SimTime t) const;
+
+  /// Next time > t at which the rate changes; -1 if none.
+  SimTime next_change_after(SimTime t) const;
+
+  const std::vector<RateStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+ private:
+  std::vector<RateStep> steps_;
+};
+
+}  // namespace netqos::load

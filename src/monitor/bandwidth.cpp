@@ -1,0 +1,100 @@
+#include "monitor/bandwidth.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace netqos::mon {
+
+BandwidthCalculator::BandwidthCalculator(const topo::NetworkTopology& topo,
+                                         const PollPlan& plan)
+    : topo_(topo), plan_(plan) {}
+
+std::optional<BytesPerSecond> BandwidthCalculator::connection_traffic(
+    std::size_t conn, const StatsDb& db) const {
+  const auto& point = plan_.measurement_for(conn);
+  if (!point.has_value()) return std::nullopt;
+  const auto rate = db.latest_rate({point->node, point->interface});
+  if (!rate.has_value()) return std::nullopt;
+  return rate->total_rate();
+}
+
+std::optional<BytesPerSecond> BandwidthCalculator::domain_usage(
+    std::size_t domain, const StatsDb& db) const {
+  const topo::CollisionDomain& dom = plan_.domains()[domain];
+  BytesPerSecond sum = 0.0;
+  bool any = false;
+  for (std::size_t ci : dom.member_connections) {
+    // Paper §3.3 sums the traffic of the hosts on the hub. The uplink to
+    // the switch already carries the same frames the hosts report, so
+    // counting it too would double the load; only host members sum.
+    const topo::Connection& conn = topo_.connections()[ci];
+    const topo::NodeSpec* a = topo_.find_node(conn.a.node);
+    const topo::NodeSpec* b = topo_.find_node(conn.b.node);
+    const bool host_member = (a->kind == topo::NodeKind::kHost) ||
+                             (b->kind == topo::NodeKind::kHost);
+    if (!host_member) continue;
+    const auto traffic = connection_traffic(ci, db);
+    if (traffic.has_value()) {
+      sum += *traffic;
+      any = true;
+    }
+  }
+  if (!any) return std::nullopt;
+  // "Notice that u_i cannot exceed the maximum speed of the hub."
+  const BytesPerSecond cap = to_bytes_per_second(dom.speed);
+  return std::min(sum, cap);
+}
+
+ConnectionUsage BandwidthCalculator::connection_usage(
+    std::size_t conn, const StatsDb& db) const {
+  ConnectionUsage usage;
+  usage.connection = conn;
+  const topo::Connection& c = topo_.connections()[conn];
+  const auto& domain = plan_.domain_of()[conn];
+
+  if (const auto& point = plan_.measurement_for(conn)) {
+    if (const auto rate = db.latest_rate({point->node, point->interface})) {
+      usage.discard_rate = rate->discard_rate;
+    }
+  }
+
+  if (domain.has_value()) {
+    usage.hub_rule = true;
+    usage.capacity = to_bytes_per_second(plan_.domains()[*domain].speed);
+    const auto used = domain_usage(*domain, db);
+    usage.measured = used.has_value();
+    usage.used = used.value_or(0.0);
+  } else {
+    usage.capacity = to_bytes_per_second(topo::connection_speed(topo_, c));
+    const auto used = connection_traffic(conn, db);
+    usage.measured = used.has_value();
+    usage.used = used.value_or(0.0);
+  }
+  usage.available = std::max(0.0, usage.capacity - usage.used);
+  return usage;
+}
+
+PathUsage BandwidthCalculator::path_usage(const topo::Path& path,
+                                          const StatsDb& db) const {
+  PathUsage result;
+  result.complete = !path.empty();
+  result.available = std::numeric_limits<double>::infinity();
+
+  for (std::size_t ci : path) {
+    ConnectionUsage usage = connection_usage(ci, db);
+    result.complete = result.complete && usage.measured;
+    if (usage.available < result.available) {
+      result.available = usage.available;
+      result.used_at_bottleneck = usage.used;
+      result.bottleneck = ci;
+    }
+    result.connections.push_back(std::move(usage));
+  }
+  if (path.empty()) {
+    result.available = 0.0;
+    result.complete = false;
+  }
+  return result;
+}
+
+}  // namespace netqos::mon

@@ -1,0 +1,73 @@
+// Bandwidth calculation (paper §3.3).
+//
+// Per connection i: used bandwidth u_i, maximum bandwidth m_i (from
+// ifSpeed / connection speed), available a_i = m_i - u_i. Switch rule:
+// u_i = t_i, the traffic of the connection's own interface. Hub rule:
+// u_i = sum of the traffic of every *host* attached to the collision
+// domain, capped at the domain speed ("u_i cannot exceed the maximum
+// speed of the hub"). Path availability: A = min(a_1 ... a_n).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "monitor/plan.h"
+#include "monitor/stats_db.h"
+#include "topology/path.h"
+
+namespace netqos::mon {
+
+struct ConnectionUsage {
+  std::size_t connection = 0;
+  BytesPerSecond used = 0.0;       ///< u_i, bytes/sec
+  BytesPerSecond capacity = 0.0;   ///< m_i, bytes/sec
+  BytesPerSecond available = 0.0;  ///< a_i = m_i - u_i (floored at 0)
+  /// Packets/sec being dropped at the measuring interface: the direct
+  /// congestion signal a saturated segment shows before rates flatten.
+  double discard_rate = 0.0;
+  bool hub_rule = false;           ///< computed with the domain sum
+  bool measured = false;           ///< false when no data was available
+};
+
+struct PathUsage {
+  bool complete = false;  ///< every connection on the path was measured
+  /// True when a connection on the path is administratively/physically
+  /// down (reported via linkDown trap): available is then zero.
+  bool link_down = false;
+  BytesPerSecond available = 0.0;  ///< A = min a_i
+  /// u at the bottleneck (the connection attaining the minimum): this is
+  /// what the paper's figures plot as "measured bandwidth usage" of the
+  /// path.
+  BytesPerSecond used_at_bottleneck = 0.0;
+  std::size_t bottleneck = 0;  ///< connection index attaining the min
+  std::vector<ConnectionUsage> connections;
+};
+
+/// Evaluates the §3.3 rules against the latest rates in a StatsDb.
+class BandwidthCalculator {
+ public:
+  BandwidthCalculator(const topo::NetworkTopology& topo,
+                      const PollPlan& plan);
+
+  /// Usage of one connection from current StatsDb contents.
+  ConnectionUsage connection_usage(std::size_t conn,
+                                   const StatsDb& db) const;
+
+  /// Usage along a path (sequence of connection indices).
+  PathUsage path_usage(const topo::Path& path, const StatsDb& db) const;
+
+ private:
+  /// t_i: measured traffic (in+out bytes/s) of one connection, if its
+  /// measure point has produced a rate.
+  std::optional<BytesPerSecond> connection_traffic(std::size_t conn,
+                                                   const StatsDb& db) const;
+  /// Hub-domain used bandwidth: sum of host-member traffic, capped.
+  std::optional<BytesPerSecond> domain_usage(std::size_t domain,
+                                             const StatsDb& db) const;
+
+  const topo::NetworkTopology& topo_;
+  const PollPlan& plan_;
+};
+
+}  // namespace netqos::mon

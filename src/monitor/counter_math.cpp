@@ -1,0 +1,40 @@
+#include "monitor/counter_math.h"
+
+namespace netqos::mon {
+
+std::optional<RateSample> compute_rates(const CounterSample& older,
+                                        const CounterSample& newer) {
+  const std::uint32_t ticks =
+      timeticks_delta(older.sys_uptime_ticks, newer.sys_uptime_ticks);
+  if (ticks == 0) return std::nullopt;
+  if (older.high_capacity != newer.high_capacity) return std::nullopt;
+  const double seconds = static_cast<double>(ticks) / 100.0;
+
+  auto octet_delta = [&](std::uint64_t o, std::uint64_t n) {
+    return newer.high_capacity
+               ? counter64_delta(o, n)
+               : static_cast<std::uint64_t>(counter32_delta(
+                     static_cast<std::uint32_t>(o),
+                     static_cast<std::uint32_t>(n)));
+  };
+
+  RateSample rates;
+  rates.interval_seconds = seconds;
+  rates.in_rate =
+      static_cast<double>(octet_delta(older.in_octets, newer.in_octets)) /
+      seconds;
+  rates.out_rate =
+      static_cast<double>(octet_delta(older.out_octets, newer.out_octets)) /
+      seconds;
+  rates.in_packet_rate =
+      counter32_delta(older.in_packets, newer.in_packets) / seconds;
+  rates.out_packet_rate =
+      counter32_delta(older.out_packets, newer.out_packets) / seconds;
+  rates.discard_rate =
+      (counter32_delta(older.in_discards, newer.in_discards) +
+       counter32_delta(older.out_discards, newer.out_discards)) /
+      seconds;
+  return rates;
+}
+
+}  // namespace netqos::mon

@@ -1,0 +1,75 @@
+// Counter differencing (paper §3.1).
+//
+// "Because the polling results are cumulative numbers, this data has to
+// be polled periodically. The old value is subtracted from the new one
+// ... The time interval between two polling processes can be found using
+// the system uptime data."
+//
+// MIB-II counters are Counter32: they wrap modulo 2^32, so deltas are
+// computed in modular arithmetic. sysUpTime is TimeTicks (centiseconds)
+// and also wraps (after ~497 days).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.h"
+
+namespace netqos::mon {
+
+/// Modular Counter32 delta: correct across a single wrap.
+constexpr std::uint32_t counter32_delta(std::uint32_t older,
+                                        std::uint32_t newer) {
+  return newer - older;  // unsigned arithmetic wraps exactly as needed
+}
+
+/// Modular TimeTicks delta in centiseconds.
+constexpr std::uint32_t timeticks_delta(std::uint32_t older,
+                                        std::uint32_t newer) {
+  return newer - older;
+}
+
+/// One agent-side reading of an interface, stamped with the agent's own
+/// sysUpTime so rate computation is immune to network/queueing delays on
+/// the response's way back. Octet counters may come from the classic
+/// Counter32 columns (wrap at 2^32) or from the RFC 2863 high-capacity
+/// Counter64 columns; `high_capacity` selects the wrap arithmetic.
+struct CounterSample {
+  std::uint32_t sys_uptime_ticks = 0;  ///< agent sysUpTime (centiseconds)
+  std::uint64_t in_octets = 0;   ///< zero-extended when from Counter32
+  std::uint64_t out_octets = 0;
+  std::uint32_t in_packets = 0;
+  std::uint32_t out_packets = 0;
+  std::uint32_t in_discards = 0;   ///< ifInDiscards
+  std::uint32_t out_discards = 0;  ///< ifOutDiscards (queue overflow)
+  bool high_capacity = false;
+};
+
+/// Per-interface rates over one polling interval.
+struct RateSample {
+  double interval_seconds = 0.0;
+  BytesPerSecond in_rate = 0.0;
+  BytesPerSecond out_rate = 0.0;
+  double in_packet_rate = 0.0;
+  double out_packet_rate = 0.0;
+  /// Packets per second dropped at the interface — queue overflow under
+  /// congestion. Nonzero drop rates are the QoS-diagnosis smoking gun.
+  double discard_rate = 0.0;
+
+  /// Traffic through the interface in both directions (paper §3.1).
+  BytesPerSecond total_rate() const { return in_rate + out_rate; }
+};
+
+/// Modular Counter64 delta (wraps only after ~5 years at 100 Gbps).
+constexpr std::uint64_t counter64_delta(std::uint64_t older,
+                                        std::uint64_t newer) {
+  return newer - older;
+}
+
+/// Differences two samples. Returns nullopt when the uptime delta is zero
+/// (same cache snapshot, or agent restarted to the same tick) or when the
+/// samples mix counter widths.
+std::optional<RateSample> compute_rates(const CounterSample& older,
+                                        const CounterSample& newer);
+
+}  // namespace netqos::mon

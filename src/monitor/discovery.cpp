@@ -1,0 +1,272 @@
+#include "monitor/discovery.h"
+
+#include <algorithm>
+#include <set>
+
+#include "snmp/oid.h"
+
+namespace netqos::mon {
+namespace {
+
+std::string mac_hex(const std::string& raw) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (unsigned char c : raw) {
+    out += digits[c >> 4];
+    out += digits[c & 0xf];
+  }
+  return out;
+}
+
+}  // namespace
+
+TopologyDiscovery::TopologyDiscovery(snmp::SnmpClient& client)
+    : client_(client), walker_(client) {}
+
+void TopologyDiscovery::run(std::vector<DiscoveryTarget> targets,
+                            Callback callback) {
+  if (busy_) {
+    throw std::logic_error("TopologyDiscovery already running");
+  }
+  busy_ = true;
+  callback_ = std::move(callback);
+  agents_.clear();
+  for (auto& target : targets) {
+    AgentInfo info;
+    info.target = target;
+    agents_.push_back(std::move(info));
+  }
+  interrogate(0);
+}
+
+void TopologyDiscovery::interrogate(std::size_t index) {
+  if (index >= agents_.size()) {
+    infer();
+    return;
+  }
+  AgentInfo& agent = agents_[index];
+  client_.get(agent.target.address, agent.target.community,
+              {snmp::mib2::kSysName.child(0)},
+              [this, index](snmp::SnmpResult result) {
+                AgentInfo& agent = agents_[index];
+                if (!result.ok() || result.varbinds.empty() ||
+                    snmp::is_exception(result.varbinds[0].value)) {
+                  agent.reachable = false;
+                  interrogate(index + 1);
+                  return;
+                }
+                agent.reachable = true;
+                if (const auto* name = std::get_if<std::string>(
+                        &result.varbinds[0].value)) {
+                  agent.sys_name = *name;
+                }
+                walk_column(index, 0);
+              });
+}
+
+void TopologyDiscovery::walk_column(std::size_t index, int phase) {
+  static const snmp::Oid kColumns[] = {
+      snmp::mib2::kIfEntry.child(snmp::mib2::kIfDescrColumn),
+      snmp::mib2::kIfEntry.child(snmp::mib2::kIfSpeedColumn),
+      snmp::mib2::kIfEntry.child(snmp::mib2::kIfPhysAddressColumn),
+      snmp::mib2::kDot1dTpFdbPort,
+  };
+  if (phase >= 4) {
+    interrogate(index + 1);
+    return;
+  }
+  AgentInfo& agent = agents_[index];
+  walker_.walk(
+      agent.target.address, agent.target.community, kColumns[phase],
+      [this, index, phase](snmp::WalkResult result) {
+        AgentInfo& agent = agents_[index];
+        if (result.ok) {
+          for (const auto& vb : result.varbinds) {
+            if (phase == 3) {
+              // dot1dTpFdbPort.<6 mac arcs> = port
+              const auto& arcs = vb.oid.arcs();
+              if (arcs.size() < 6) continue;
+              std::string mac;
+              for (std::size_t i = arcs.size() - 6; i < arcs.size(); ++i) {
+                mac += static_cast<char>(arcs[i] & 0xff);
+              }
+              if (const auto* port =
+                      std::get_if<std::int64_t>(&vb.value)) {
+                agent.fdb[mac] = static_cast<std::uint32_t>(*port);
+              }
+              continue;
+            }
+            const std::uint32_t if_index = vb.oid[vb.oid.size() - 1];
+            switch (phase) {
+              case 0:
+                if (const auto* s = std::get_if<std::string>(&vb.value)) {
+                  agent.if_descr[if_index] = *s;
+                }
+                break;
+              case 1:
+                if (const auto* g = std::get_if<snmp::Gauge32>(&vb.value)) {
+                  agent.if_speed[if_index] = g->value;
+                }
+                break;
+              case 2:
+                if (const auto* s = std::get_if<std::string>(&vb.value)) {
+                  agent.if_phys[if_index] = *s;
+                }
+                break;
+              default:
+                break;
+            }
+          }
+        }
+        walk_column(index, phase + 1);
+      });
+}
+
+void TopologyDiscovery::infer() {
+  DiscoveryResult result;
+  result.ok = true;
+
+  // MAC (raw octets) -> (node name, interface name) for agent-owned NICs.
+  std::map<std::string, topo::Endpoint> mac_owner;
+
+  // 1. Nodes from reachable agents.
+  for (const AgentInfo& agent : agents_) {
+    if (!agent.reachable) {
+      result.unreachable.push_back(agent.target.address);
+      result.notes.push_back("unreachable: " +
+                             agent.target.address.to_string());
+      continue;
+    }
+    topo::NodeSpec node;
+    node.name = agent.sys_name.empty() ? agent.target.address.to_string()
+                                       : agent.sys_name;
+    node.kind = agent.is_switch() ? topo::NodeKind::kSwitch
+                                  : topo::NodeKind::kHost;
+    node.snmp_enabled = true;
+    node.snmp_community = agent.target.community;
+    if (node.kind == topo::NodeKind::kSwitch) {
+      node.management_ipv4 = agent.target.address.to_string();
+    }
+    bool first_interface = true;
+    for (const auto& [if_index, descr] : agent.if_descr) {
+      topo::InterfaceSpec itf;
+      itf.local_name = descr;
+      auto speed_it = agent.if_speed.find(if_index);
+      itf.speed = speed_it != agent.if_speed.end() ? speed_it->second : 0;
+      if (node.kind == topo::NodeKind::kHost) {
+        if (first_interface) {
+          // The agent answered on this address; MIB-II has no address
+          // table in this implementation, so attribute it to the first
+          // interface.
+          itf.ipv4 = agent.target.address.to_string();
+          first_interface = false;
+        }
+        auto phys_it = agent.if_phys.find(if_index);
+        if (phys_it != agent.if_phys.end()) {
+          mac_owner[phys_it->second] =
+              topo::Endpoint{node.name, itf.local_name};
+        }
+      }
+      node.interfaces.push_back(std::move(itf));
+    }
+    result.topology.add_node(std::move(node));
+    result.notes.push_back(
+        std::string(agent.is_switch() ? "switch: " : "host: ") +
+        result.topology.nodes().back().name);
+  }
+
+  // 2. Attachments from each switch's FDB.
+  for (const AgentInfo& agent : agents_) {
+    if (!agent.reachable || !agent.is_switch()) continue;
+    const std::string sw_name = agent.sys_name.empty()
+                                    ? agent.target.address.to_string()
+                                    : agent.sys_name;
+
+    // Group learned MACs by port.
+    std::map<std::uint32_t, std::vector<std::string>> by_port;
+    for (const auto& [mac, port] : agent.fdb) by_port[port].push_back(mac);
+
+    for (auto& [port, macs] : by_port) {
+      auto descr_it = agent.if_descr.find(port);
+      if (descr_it == agent.if_descr.end()) continue;
+      const std::string& port_name = descr_it->second;
+
+      // Resolve each MAC to an endpoint, inventing placeholder hosts for
+      // MACs no agent owns (the paper's agentless S3-S6).
+      std::vector<topo::Endpoint> endpoints;
+      for (const std::string& mac : macs) {
+        auto owner = mac_owner.find(mac);
+        if (owner != mac_owner.end()) {
+          endpoints.push_back(owner->second);
+          continue;
+        }
+        topo::NodeSpec ghost;
+        ghost.name = "host-" + mac_hex(mac);
+        ghost.kind = topo::NodeKind::kHost;
+        ghost.snmp_enabled = false;
+        topo::InterfaceSpec itf;
+        itf.local_name = "if0";
+        auto speed_it = agent.if_speed.find(port);
+        itf.speed = speed_it != agent.if_speed.end() ? speed_it->second
+                                                     : 10'000'000;
+        // No agent answered for this MAC, so its IP is unknown.
+        ghost.interfaces.push_back(itf);
+        if (result.topology.find_node(ghost.name) == nullptr) {
+          result.topology.add_node(ghost);
+          result.notes.push_back("agentless host inferred from FDB: " +
+                                 ghost.name);
+        }
+        endpoints.push_back(topo::Endpoint{ghost.name, "if0"});
+        mac_owner[mac] = endpoints.back();
+      }
+
+      if (endpoints.size() == 1) {
+        result.topology.add_connection(
+            {topo::Endpoint{sw_name, port_name}, endpoints.front()});
+        result.notes.push_back("direct: " + sw_name + "." + port_name +
+                               " <-> " + endpoints.front().to_string());
+      } else if (endpoints.size() > 1) {
+        // Shared segment: synthesize a hub.
+        topo::NodeSpec hub;
+        hub.name = "hub-" + sw_name + "-" + port_name;
+        hub.kind = topo::NodeKind::kHub;
+        auto speed_it = agent.if_speed.find(port);
+        hub.default_speed = speed_it != agent.if_speed.end()
+                                ? speed_it->second
+                                : 10'000'000;
+        topo::InterfaceSpec uplink;
+        uplink.local_name = "up";
+        hub.interfaces.push_back(uplink);
+        for (std::size_t i = 0; i < endpoints.size(); ++i) {
+          topo::InterfaceSpec member;
+          member.local_name = "h" + std::to_string(i + 1);
+          hub.interfaces.push_back(member);
+        }
+        result.topology.add_node(hub);
+        result.topology.add_connection(
+            {topo::Endpoint{hub.name, "up"},
+             topo::Endpoint{sw_name, port_name}});
+        for (std::size_t i = 0; i < endpoints.size(); ++i) {
+          result.topology.add_connection(
+              {topo::Endpoint{hub.name, "h" + std::to_string(i + 1)},
+               endpoints[i]});
+        }
+        result.notes.push_back("shared segment on " + sw_name + "." +
+                               port_name + ": inferred " + hub.name +
+                               " with " + std::to_string(endpoints.size()) +
+                               " members");
+      }
+    }
+  }
+
+  const auto problems = result.topology.validate();
+  for (const auto& p : problems) {
+    result.notes.push_back("validation: " + p);
+  }
+
+  busy_ = false;
+  Callback callback = std::move(callback_);
+  callback(std::move(result));
+}
+
+}  // namespace netqos::mon

@@ -1,0 +1,89 @@
+// Dynamic network topology discovery (paper §5 future work).
+//
+// The paper obtains topology from specification files and notes that
+// "pure network discovery is not feasible in the DeSiDeRaTa environment
+// ... A hybrid approach may be a better solution in the future". This
+// module implements that future direction: given only the management
+// addresses of the SNMP agents in scope, it reconstructs the topology by
+//
+//   1. reading sysName, ifDescr, ifSpeed, and ifPhysAddress from every
+//      agent (MIB-II),
+//   2. reading dot1dTpFdbPort (bridge MIB) from agents that have one —
+//      those are switches,
+//   3. inferring attachments: a switch port with one learned MAC is a
+//      direct connection to that interface; a port with several learned
+//      MACs is a shared segment, modelled as a hub with the hosts behind
+//      it; ports seeing each other's host populations are switch-switch
+//      uplinks,
+//   4. MACs that no polled agent owns become agentless placeholder hosts
+//      (the paper's S3-S6 case: attached, but no daemon to ask).
+//
+// The result is a topo::NetworkTopology (plus a spec rendering via
+// spec::write_spec) that can be diffed against the configured spec — the
+// "hybrid approach".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snmp/client.h"
+#include "snmp/walker.h"
+#include "topology/model.h"
+
+namespace netqos::mon {
+
+/// One agent the discovery should interrogate.
+struct DiscoveryTarget {
+  sim::Ipv4Address address;
+  std::string community = "public";
+};
+
+struct DiscoveryResult {
+  bool ok = false;
+  std::string error;
+  topo::NetworkTopology topology;
+  /// Diagnostic trail of inference decisions, human readable.
+  std::vector<std::string> notes;
+  /// Agents that did not answer.
+  std::vector<sim::Ipv4Address> unreachable;
+};
+
+class TopologyDiscovery {
+ public:
+  using Callback = std::function<void(DiscoveryResult)>;
+
+  /// `client` must outlive the discovery. One run at a time.
+  explicit TopologyDiscovery(snmp::SnmpClient& client);
+
+  void run(std::vector<DiscoveryTarget> targets, Callback callback);
+  bool busy() const { return busy_; }
+
+ private:
+  struct AgentInfo {
+    DiscoveryTarget target;
+    bool reachable = false;
+    std::string sys_name;
+    // ifIndex -> attributes
+    std::map<std::uint32_t, std::string> if_descr;
+    std::map<std::uint32_t, std::uint64_t> if_speed;
+    std::map<std::uint32_t, std::string> if_phys;  // 6 raw octets
+    // bridge FDB: MAC octets (as string) -> port number; empty for hosts
+    std::map<std::string, std::uint32_t> fdb;
+    bool is_switch() const { return !fdb.empty(); }
+  };
+
+  void interrogate(std::size_t index);
+  void walk_column(std::size_t index, int phase);
+  void infer();
+
+  snmp::SnmpClient& client_;
+  snmp::SubtreeWalker walker_;
+  bool busy_ = false;
+  std::vector<AgentInfo> agents_;
+  Callback callback_;
+};
+
+}  // namespace netqos::mon

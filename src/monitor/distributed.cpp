@@ -1,0 +1,65 @@
+#include "monitor/distributed.h"
+
+#include <stdexcept>
+
+namespace netqos::mon {
+
+DistributedMonitor::DistributedMonitor(sim::Simulator& sim,
+                                       const topo::NetworkTopology& topo,
+                                       std::vector<sim::Host*> stations,
+                                       MonitorConfig base) {
+  if (stations.empty()) {
+    throw std::invalid_argument("distributed monitor needs >= 1 station");
+  }
+  // Partition agents round-robin. The plan is identical for all workers
+  // (it depends only on the topology), so build it once to learn names.
+  const PollPlan plan = PollPlan::build(topo);
+  std::vector<std::vector<std::string>> partitions(stations.size());
+  for (std::size_t i = 0; i < plan.agents().size(); ++i) {
+    partitions[i % stations.size()].push_back(plan.agents()[i].node);
+  }
+
+  for (std::size_t s = 0; s < stations.size(); ++s) {
+    MonitorConfig config = base;
+    config.agent_allowlist = std::move(partitions[s]);
+    workers_.push_back(std::make_unique<NetworkMonitor>(
+        sim, topo, *stations[s], db_, config));
+  }
+}
+
+void DistributedMonitor::add_path(const std::string& from,
+                                  const std::string& to) {
+  workers_.front()->add_path(from, to);
+}
+
+void DistributedMonitor::add_sample_callback(
+    NetworkMonitor::SampleCallback callback) {
+  workers_.front()->add_sample_callback(std::move(callback));
+}
+
+void DistributedMonitor::start() {
+  // Start non-coordinator workers first so their samples are flowing by
+  // the time the coordinator evaluates paths.
+  for (std::size_t i = workers_.size(); i-- > 0;) {
+    if (!workers_[i]->polled_agents().empty()) workers_[i]->start();
+  }
+}
+
+void DistributedMonitor::stop() {
+  for (auto& worker : workers_) worker->stop();
+}
+
+MonitorStats DistributedMonitor::aggregate_stats() const {
+  MonitorStats total;
+  for (const auto& worker : workers_) {
+    const MonitorStats& s = worker->stats();
+    total.rounds_started += s.rounds_started;
+    total.rounds_completed += s.rounds_completed;
+    total.agent_polls += s.agent_polls;
+    total.agent_poll_failures += s.agent_poll_failures;
+    total.resolve_failures += s.resolve_failures;
+  }
+  return total;
+}
+
+}  // namespace netqos::mon

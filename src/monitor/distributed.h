@@ -1,0 +1,53 @@
+// Distributed network monitoring (paper §5 future work).
+//
+// A single monitoring station's polling traffic grows with the number of
+// agents; distributing the poller spreads that load. This coordinator
+// partitions the poll plan's agents round-robin across several station
+// hosts. Every station runs its own SNMP client and polls only its
+// partition, but all samples land in one shared StatsDb; the coordinator
+// station evaluates the monitored paths against the merged view, so path
+// results are identical to the centralized monitor's (modulo poll phase).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "monitor/monitor.h"
+
+namespace netqos::mon {
+
+class DistributedMonitor {
+ public:
+  /// `stations` must be non-empty; stations[0] is the coordinator that
+  /// evaluates paths. Agents are assigned round-robin in plan order.
+  DistributedMonitor(sim::Simulator& sim, const topo::NetworkTopology& topo,
+                     std::vector<sim::Host*> stations,
+                     MonitorConfig base = {});
+
+  /// Paths are registered on the coordinator.
+  void add_path(const std::string& from, const std::string& to);
+  void add_sample_callback(NetworkMonitor::SampleCallback callback);
+
+  void start();
+  void stop();
+
+  NetworkMonitor& coordinator() { return *workers_.front(); }
+  const std::vector<std::unique_ptr<NetworkMonitor>>& workers() const {
+    return workers_;
+  }
+  const StatsDb& stats_db() const { return db_; }
+
+  /// Sum of per-worker poll counts (for load-sharing analysis).
+  MonitorStats aggregate_stats() const;
+
+  const TimeSeries& used_series(const std::string& from,
+                                const std::string& to) const {
+    return workers_.front()->used_series(from, to);
+  }
+
+ private:
+  StatsDb db_;
+  std::vector<std::unique_ptr<NetworkMonitor>> workers_;
+};
+
+}  // namespace netqos::mon

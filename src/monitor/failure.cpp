@@ -1,0 +1,79 @@
+#include "monitor/failure.h"
+
+#include "netsim/simulator.h"
+
+namespace netqos::mon {
+
+FailureDetector::FailureDetector(sim::Simulator& sim,
+                                 const topo::NetworkTopology& topo,
+                                 sim::Host& station)
+    : sim_(sim), topo_(topo), down_(topo.connections().size(), false) {
+  listener_ = std::make_unique<snmp::TrapListener>(
+      station.udp(),
+      [this](const snmp::TrapNotification& trap) { on_trap(trap); });
+}
+
+std::optional<std::string> FailureDetector::node_for_agent(
+    sim::Ipv4Address source) const {
+  for (const auto& node : topo_.nodes()) {
+    if (!node.snmp_enabled) continue;
+    if (!node.management_ipv4.empty() &&
+        sim::Ipv4Address::parse(node.management_ipv4) == source) {
+      return node.name;
+    }
+    for (const auto& itf : node.interfaces) {
+      if (!itf.ipv4.empty() && sim::Ipv4Address::parse(itf.ipv4) == source) {
+        return node.name;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void FailureDetector::on_trap(const snmp::TrapNotification& trap) {
+  const bool is_down = trap.trap_oid == snmp::mib2::kLinkDownTrap;
+  const bool is_up = trap.trap_oid == snmp::mib2::kLinkUpTrap;
+  if (!is_down && !is_up) return;  // not a link trap
+
+  LinkEvent event;
+  event.time = sim_.now();
+  event.up = is_up;
+  if (auto node = node_for_agent(trap.source)) {
+    event.node = *node;
+  } else {
+    event.node = trap.source.to_string();
+  }
+  for (const auto& vb : trap.varbinds) {
+    if (vb.oid.starts_with(
+            snmp::mib2::kIfEntry.child(snmp::mib2::kIfDescrColumn))) {
+      if (const auto* name = std::get_if<std::string>(&vb.value)) {
+        event.interface = *name;
+      }
+    }
+  }
+
+  // Map to the topology connection.
+  if (!event.interface.empty()) {
+    for (std::size_t ci : topo_.connections_of(event.node)) {
+      if (topo_.connections()[ci].end_at(event.node).interface ==
+          event.interface) {
+        event.connection = ci;
+        down_[ci] = is_down;
+        break;
+      }
+    }
+  }
+
+  events_.push_back(event);
+  for (const auto& callback : callbacks_) callback(events_.back());
+}
+
+bool FailureDetector::connection_down(std::size_t connection) const {
+  return connection < down_.size() && down_[connection];
+}
+
+const snmp::TrapListenerStats& FailureDetector::listener_stats() const {
+  return listener_->stats();
+}
+
+}  // namespace netqos::mon

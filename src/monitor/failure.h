@@ -1,0 +1,61 @@
+// Link-failure detection from SNMP traps (DeSiDeRaTa "failure detection").
+//
+// Agents emit linkDown/linkUp SNMPv2 traps on carrier transitions; this
+// detector listens on the monitoring station, maps the trap's source
+// agent + ifDescr back to the topology connection, and reports link
+// events with the affected monitored resource identified.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netsim/host.h"
+#include "snmp/trap.h"
+#include "topology/model.h"
+
+namespace netqos::mon {
+
+struct LinkEvent {
+  SimTime time = 0;
+  std::string node;       ///< agent that reported
+  std::string interface;  ///< ifDescr from the trap
+  bool up = false;
+  /// Topology connection the interface belongs to, when resolvable.
+  std::optional<std::size_t> connection;
+};
+
+class FailureDetector {
+ public:
+  using Callback = std::function<void(const LinkEvent&)>;
+
+  /// Listens on `station`'s UDP/162. Agents must be deployed with this
+  /// station's address as their trap sink.
+  FailureDetector(sim::Simulator& sim, const topo::NetworkTopology& topo,
+                  sim::Host& station);
+
+  void add_callback(Callback callback) {
+    callbacks_.push_back(std::move(callback));
+  }
+
+  const std::vector<LinkEvent>& events() const { return events_; }
+
+  /// True while the given connection is known to be down.
+  bool connection_down(std::size_t connection) const;
+
+  const snmp::TrapListenerStats& listener_stats() const;
+
+ private:
+  void on_trap(const snmp::TrapNotification& trap);
+  std::optional<std::string> node_for_agent(sim::Ipv4Address source) const;
+
+  sim::Simulator& sim_;
+  const topo::NetworkTopology& topo_;
+  std::unique_ptr<snmp::TrapListener> listener_;
+  std::vector<LinkEvent> events_;
+  std::vector<Callback> callbacks_;
+  std::vector<bool> down_;  ///< per-connection down flag
+};
+
+}  // namespace netqos::mon

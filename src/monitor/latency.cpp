@@ -1,0 +1,84 @@
+#include "monitor/latency.h"
+
+#include <stdexcept>
+
+#include "common/byte_buffer.h"
+#include "netsim/packet.h"
+
+namespace netqos::mon {
+
+LatencyProbe::LatencyProbe(sim::Simulator& sim, sim::Host& source,
+                           sim::Ipv4Address target,
+                           LatencyProbeConfig config)
+    : sim_(sim), source_(source), target_(target), config_(config) {
+  src_port_ = source_.udp().allocate_ephemeral_port();
+  if (src_port_ == 0 ||
+      !source_.udp().bind(src_port_, [this](const sim::Ipv4Packet& p) {
+        on_reply(p);
+      })) {
+    throw std::logic_error("latency probe could not bind a port");
+  }
+}
+
+LatencyProbe::~LatencyProbe() {
+  stop();
+  source_.udp().unbind(src_port_);
+}
+
+void LatencyProbe::start() {
+  if (running_) return;
+  running_ = true;
+  send_probe();
+}
+
+void LatencyProbe::stop() {
+  running_ = false;
+  if (next_event_ != 0) {
+    sim_.cancel(next_event_);
+    next_event_ = 0;
+  }
+}
+
+void LatencyProbe::send_probe() {
+  const std::uint32_t sequence = next_sequence_++;
+  ByteWriter payload;
+  payload.put_u32(sequence);
+
+  const std::size_t padding =
+      config_.payload_bytes > 4 ? config_.payload_bytes - 4 : 0;
+  if (source_.udp().send(target_, sim::kEchoPort, src_port_,
+                         std::move(payload).take(), padding)) {
+    ++sent_;
+    in_flight_[sequence] = sim_.now();
+    // Expire the probe after the timeout; late replies are ignored.
+    sim_.schedule_after(config_.timeout, [this, sequence] {
+      if (in_flight_.erase(sequence) > 0) ++lost_;
+    });
+  } else {
+    ++lost_;
+  }
+
+  next_event_ = sim_.schedule_after(config_.probe_interval, [this] {
+    next_event_ = 0;
+    if (running_) send_probe();
+  });
+}
+
+void LatencyProbe::on_reply(const sim::Ipv4Packet& packet) {
+  if (packet.udp.payload.size() < 4) return;
+  ByteReader reader(packet.udp.payload);
+  const std::uint32_t sequence = reader.get_u32();
+  auto it = in_flight_.find(sequence);
+  if (it == in_flight_.end()) return;  // late duplicate
+  const SimTime sent_at = it->second;
+  in_flight_.erase(it);
+  rtts_.add(sim_.now(), to_seconds(sim_.now() - sent_at));
+}
+
+RunningStats LatencyProbe::rtt_stats() const {
+  RunningStats stats;
+  for (const auto& point : rtts_.points()) stats.add(point.value);
+  return stats;
+}
+
+}  // namespace netqos::mon

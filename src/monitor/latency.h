@@ -1,0 +1,61 @@
+// Network latency measurement (paper §5 lists this as future work).
+//
+// A LatencyProbe sends small UDP datagrams to the ECHO service (UDP/7,
+// RFC 862) of a target host and records round-trip times. Unlike the
+// bandwidth monitor this is an active end-to-end measurement: it needs no
+// SNMP, only an echo responder on the far end.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "netsim/host.h"
+#include "netsim/simulator.h"
+
+namespace netqos::mon {
+
+struct LatencyProbeConfig {
+  SimDuration probe_interval = 1 * kSecond;
+  SimDuration timeout = 2 * kSecond;
+  std::size_t payload_bytes = 56;  ///< classic ping-sized payload
+};
+
+class LatencyProbe {
+ public:
+  LatencyProbe(sim::Simulator& sim, sim::Host& source,
+               sim::Ipv4Address target, LatencyProbeConfig config = {});
+  ~LatencyProbe();
+  LatencyProbe(const LatencyProbe&) = delete;
+  LatencyProbe& operator=(const LatencyProbe&) = delete;
+
+  void start();
+  void stop();
+
+  /// RTT samples in seconds over time.
+  const TimeSeries& rtt_series() const { return rtts_; }
+  RunningStats rtt_stats() const;
+  std::uint64_t probes_sent() const { return sent_; }
+  std::uint64_t probes_lost() const { return lost_; }
+
+ private:
+  void send_probe();
+  void on_reply(const sim::Ipv4Packet& packet);
+
+  sim::Simulator& sim_;
+  sim::Host& source_;
+  sim::Ipv4Address target_;
+  LatencyProbeConfig config_;
+  std::uint16_t src_port_ = 0;
+
+  bool running_ = false;
+  sim::EventId next_event_ = 0;
+  std::uint32_t next_sequence_ = 1;
+  // sequence -> send time of in-flight probes
+  std::unordered_map<std::uint32_t, SimTime> in_flight_;
+  TimeSeries rtts_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace netqos::mon

@@ -1,0 +1,320 @@
+#include "monitor/monitor.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace netqos::mon {
+
+NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
+                               const topo::NetworkTopology& topo,
+                               sim::Host& station, MonitorConfig config)
+    : sim_(sim),
+      topo_(topo),
+      config_(std::move(config)),
+      plan_(PollPlan::build(topo)),
+      client_(sim, station.udp(), config_.client),
+      walker_(client_),
+      calculator_(topo, plan_),
+      db_(&own_db_) {
+  select_agents();
+}
+
+NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
+                               const topo::NetworkTopology& topo,
+                               sim::Host& station, StatsDb& shared_db,
+                               MonitorConfig config)
+    : sim_(sim),
+      topo_(topo),
+      config_(std::move(config)),
+      plan_(PollPlan::build(topo)),
+      client_(sim, station.udp(), config_.client),
+      walker_(client_),
+      calculator_(topo, plan_),
+      db_(&shared_db) {
+  select_agents();
+}
+
+void NetworkMonitor::select_agents() {
+  for (const AgentTask& task : plan_.agents()) {
+    if (config_.agent_allowlist.empty()) {
+      polled_agents_.push_back(&task);
+      continue;
+    }
+    for (const auto& allowed : config_.agent_allowlist) {
+      if (task.node == allowed) {
+        polled_agents_.push_back(&task);
+        break;
+      }
+    }
+  }
+}
+
+void NetworkMonitor::add_path(const std::string& from,
+                              const std::string& to) {
+  auto path = topo::traverse_recursive(topo_, from, to);
+  if (!path.has_value()) {
+    throw std::invalid_argument("no communication path between '" + from +
+                                "' and '" + to + "'");
+  }
+  MonitoredPath entry;
+  entry.key = {from, to};
+  entry.path = std::move(*path);
+  paths_.push_back(std::move(entry));
+}
+
+void NetworkMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  if (polled_agents_.empty()) {
+    throw std::logic_error("no SNMP-capable nodes to poll");
+  }
+  resolve_next_agent(0);
+}
+
+void NetworkMonitor::stop() {
+  running_ = false;
+  if (next_round_event_ != 0) {
+    sim_.cancel(next_round_event_);
+    next_round_event_ = 0;
+  }
+}
+
+void NetworkMonitor::resolve_next_agent(std::size_t index) {
+  if (!running_) return;
+  if (index >= polled_agents_.size()) {
+    // All ifIndexes resolved; begin polling immediately.
+    schedule_round(sim_.now());
+    return;
+  }
+  const AgentTask& task = *polled_agents_[index];
+  const snmp::Oid descr_column =
+      snmp::mib2::kIfEntry.child(snmp::mib2::kIfDescrColumn);
+  walker_.walk(
+      task.address, task.community, descr_column,
+      [this, index, &task](snmp::WalkResult result) {
+        if (!result.ok) {
+          ++stats_.resolve_failures;
+          NETQOS_WARN() << "ifTable walk failed on " << task.node << ": "
+                        << result.error;
+        } else {
+          for (const auto& vb : result.varbinds) {
+            // Instance OID is ifDescr.<ifIndex>.
+            const std::uint32_t if_index = vb.oid[vb.oid.size() - 1];
+            if (const auto* name = std::get_if<std::string>(&vb.value)) {
+              if_indexes_[{task.node, *name}] = if_index;
+            }
+          }
+        }
+        resolve_next_agent(index + 1);
+      });
+}
+
+void NetworkMonitor::schedule_round(SimTime when) {
+  next_round_event_ = sim_.schedule_at(when, [this] {
+    next_round_event_ = 0;
+    if (running_) run_round();
+  });
+}
+
+void NetworkMonitor::run_round() {
+  ++stats_.rounds_started;
+  auto round = std::make_shared<Round>();
+  round->started = sim_.now();
+  round->outstanding = polled_agents_.size();
+
+  for (const AgentTask* task : polled_agents_) {
+    poll_agent(*task, round);
+  }
+  // Fixed polling period, independent of round completion latency.
+  schedule_round(round->started + config_.poll_interval);
+}
+
+void NetworkMonitor::poll_agent(const AgentTask& task,
+                                const std::shared_ptr<Round>& round) {
+  using snmp::mib2::if_column;
+
+  // Interfaces with resolved indices, in request order.
+  std::vector<std::string> interfaces;
+  std::vector<snmp::Oid> oids;
+  oids.push_back(snmp::mib2::kSysUpTime.child(0));
+  for (const auto& if_name : task.interfaces) {
+    auto it = if_indexes_.find({task.node, if_name});
+    if (it == if_indexes_.end()) continue;
+    const std::uint32_t index = it->second;
+    interfaces.push_back(if_name);
+    if (config_.use_hc_counters) {
+      oids.push_back(
+          snmp::mib2::ifx_column(snmp::mib2::kIfHCInOctetsColumn, index));
+      oids.push_back(
+          snmp::mib2::ifx_column(snmp::mib2::kIfHCOutOctetsColumn, index));
+    } else {
+      oids.push_back(if_column(snmp::mib2::kIfInOctetsColumn, index));
+      oids.push_back(if_column(snmp::mib2::kIfOutOctetsColumn, index));
+    }
+    oids.push_back(if_column(snmp::mib2::kIfInUcastPktsColumn, index));
+    oids.push_back(if_column(snmp::mib2::kIfOutUcastPktsColumn, index));
+    oids.push_back(if_column(snmp::mib2::kIfInDiscardsColumn, index));
+    oids.push_back(if_column(snmp::mib2::kIfOutDiscardsColumn, index));
+  }
+  if (interfaces.empty()) {
+    if (--round->outstanding == 0) finish_round(round);
+    return;
+  }
+
+  ++stats_.agent_polls;
+  client_.get(
+      task.address, task.community, std::move(oids),
+      [this, node = task.node, interfaces = std::move(interfaces),
+       round](snmp::SnmpResult result) {
+        const bool usable =
+            result.ok() && result.varbinds.size() == 1 + 6 * interfaces.size();
+        if (!usable) {
+          ++stats_.agent_poll_failures;
+          round->failed_any = true;
+        } else {
+          bool parse_ok = true;
+          std::uint32_t uptime = 0;
+          if (const auto* ticks =
+                  std::get_if<snmp::TimeTicks>(&result.varbinds[0].value)) {
+            uptime = ticks->value;
+          } else {
+            parse_ok = false;
+          }
+          for (std::size_t i = 0; parse_ok && i < interfaces.size(); ++i) {
+            const std::size_t base = 1 + 6 * i;
+            CounterSample sample;
+            sample.sys_uptime_ticks = uptime;
+            sample.high_capacity = config_.use_hc_counters;
+            if (config_.use_hc_counters) {
+              const auto* in_oct = std::get_if<snmp::Counter64>(
+                  &result.varbinds[base].value);
+              const auto* out_oct = std::get_if<snmp::Counter64>(
+                  &result.varbinds[base + 1].value);
+              if (in_oct == nullptr || out_oct == nullptr) {
+                parse_ok = false;
+                break;
+              }
+              sample.in_octets = in_oct->value;
+              sample.out_octets = out_oct->value;
+            } else {
+              const auto* in_oct = std::get_if<snmp::Counter32>(
+                  &result.varbinds[base].value);
+              const auto* out_oct = std::get_if<snmp::Counter32>(
+                  &result.varbinds[base + 1].value);
+              if (in_oct == nullptr || out_oct == nullptr) {
+                parse_ok = false;
+                break;
+              }
+              sample.in_octets = in_oct->value;
+              sample.out_octets = out_oct->value;
+            }
+            const auto* in_pkt = std::get_if<snmp::Counter32>(
+                &result.varbinds[base + 2].value);
+            const auto* out_pkt = std::get_if<snmp::Counter32>(
+                &result.varbinds[base + 3].value);
+            const auto* in_disc = std::get_if<snmp::Counter32>(
+                &result.varbinds[base + 4].value);
+            const auto* out_disc = std::get_if<snmp::Counter32>(
+                &result.varbinds[base + 5].value);
+            if (in_pkt == nullptr || out_pkt == nullptr ||
+                in_disc == nullptr || out_disc == nullptr) {
+              parse_ok = false;
+              break;
+            }
+            sample.in_packets = in_pkt->value;
+            sample.out_packets = out_pkt->value;
+            sample.in_discards = in_disc->value;
+            sample.out_discards = out_disc->value;
+            db_->update({node, interfaces[i]}, round->started, sample);
+          }
+          if (!parse_ok) {
+            ++stats_.agent_poll_failures;
+            round->failed_any = true;
+          }
+        }
+        if (--round->outstanding == 0) finish_round(round);
+      });
+}
+
+void NetworkMonitor::finish_round(const std::shared_ptr<Round>& round) {
+  ++stats_.rounds_completed;
+
+  // Per-connection history: each connection on any monitored path gets
+  // one point per round (paths may share connections).
+  std::set<std::size_t> touched;
+  for (const MonitoredPath& entry : paths_) {
+    touched.insert(entry.path.begin(), entry.path.end());
+  }
+  for (std::size_t ci : touched) {
+    const ConnectionUsage usage = calculator_.connection_usage(ci, *db_);
+    if (usage.measured) {
+      connection_series_[ci].add(round->started, usage.used);
+    }
+  }
+
+  for (MonitoredPath& entry : paths_) {
+    PathUsage usage = calculator_.path_usage(entry.path, *db_);
+
+    // Trap-driven link state overrides counters: a downed connection
+    // means zero availability now, however fresh the last rates look.
+    if (failure_detector_ != nullptr) {
+      for (std::size_t ci : entry.path) {
+        if (failure_detector_->connection_down(ci)) {
+          usage.link_down = true;
+          usage.complete = true;
+          usage.available = 0.0;
+          usage.bottleneck = ci;
+          break;
+        }
+      }
+    }
+    if (!usage.complete) continue;  // first round has no rates yet
+
+    entry.used.add(round->started, usage.used_at_bottleneck);
+    entry.available.add(round->started, usage.available);
+    for (const auto& callback : sample_callbacks_) {
+      callback(entry.key, round->started, usage);
+    }
+  }
+}
+
+const TimeSeries* NetworkMonitor::connection_used_series(
+    std::size_t connection) const {
+  auto it = connection_series_.find(connection);
+  return it == connection_series_.end() ? nullptr : &it->second;
+}
+
+const NetworkMonitor::MonitoredPath& NetworkMonitor::find_path_entry(
+    const std::string& from, const std::string& to) const {
+  for (const auto& entry : paths_) {
+    if ((entry.key.first == from && entry.key.second == to) ||
+        (entry.key.first == to && entry.key.second == from)) {
+      return entry;
+    }
+  }
+  throw std::out_of_range("path " + from + " <-> " + to + " not monitored");
+}
+
+const TimeSeries& NetworkMonitor::used_series(const std::string& from,
+                                              const std::string& to) const {
+  return find_path_entry(from, to).used;
+}
+
+const TimeSeries& NetworkMonitor::available_series(
+    const std::string& from, const std::string& to) const {
+  return find_path_entry(from, to).available;
+}
+
+PathUsage NetworkMonitor::current_usage(const std::string& from,
+                                        const std::string& to) const {
+  return calculator_.path_usage(find_path_entry(from, to).path, *db_);
+}
+
+const topo::Path& NetworkMonitor::path_of(const std::string& from,
+                                          const std::string& to) const {
+  return find_path_entry(from, to).path;
+}
+
+}  // namespace netqos::mon

@@ -1,0 +1,171 @@
+// The network QoS monitor — the paper's primary contribution.
+//
+// Runs on a monitoring station host (host L in the paper's testbed),
+// obtains the topology from the specification file, resolves interface
+// indices by walking each agent's ifTable, then polls every agent
+// periodically over real (simulated) SNMP, maintains per-interface rate
+// statistics, and evaluates per-path used/available bandwidth with the
+// §3.3 hub/switch rules.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "monitor/bandwidth.h"
+#include "monitor/failure.h"
+#include "monitor/plan.h"
+#include "monitor/stats_db.h"
+#include "netsim/host.h"
+#include "snmp/client.h"
+#include "snmp/walker.h"
+#include "topology/path.h"
+
+namespace netqos::mon {
+
+struct MonitorConfig {
+  SimDuration poll_interval = 2 * kSecond;
+  snmp::ClientConfig client = {.timeout = 500 * kMillisecond, .retries = 1};
+  /// When non-empty, poll only these agent nodes. Used by the distributed
+  /// extension to partition polling across monitor stations.
+  std::vector<std::string> agent_allowlist;
+  /// Poll the RFC 2863 high-capacity Counter64 octet columns instead of
+  /// the paper's Counter32 ones — immune to the ~6-minute wrap at
+  /// 100 Mbps. Requires agents that serve the ifXTable (ours do).
+  bool use_hc_counters = false;
+};
+
+struct MonitorStats {
+  std::uint64_t rounds_started = 0;
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t agent_polls = 0;
+  std::uint64_t agent_poll_failures = 0;
+  std::uint64_t resolve_failures = 0;
+};
+
+/// A monitored host pair, as given to add_path.
+using PathKey = std::pair<std::string, std::string>;
+
+class NetworkMonitor {
+ public:
+  /// `station` is the host the monitor runs on; all SNMP traffic leaves
+  /// through its UDP stack and therefore consumes real bandwidth.
+  NetworkMonitor(sim::Simulator& sim, const topo::NetworkTopology& topo,
+                 sim::Host& station, MonitorConfig config = {});
+
+  /// As above, but records samples into an external shared StatsDb (the
+  /// distributed extension merges several pollers into one view). The db
+  /// must outlive the monitor.
+  NetworkMonitor(sim::Simulator& sim, const topo::NetworkTopology& topo,
+                 sim::Host& station, StatsDb& shared_db,
+                 MonitorConfig config);
+
+  /// Registers a host pair. The communication path is computed with the
+  /// paper's recursive traversal. Throws std::invalid_argument when no
+  /// path exists.
+  void add_path(const std::string& from, const std::string& to);
+
+  /// Resolves ifIndexes (one ifTable walk per agent) and then begins
+  /// periodic polling.
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Invoked after every completed poll round, once per monitored path.
+  /// Multiple consumers (reporting sinks, the QoS detector, the RM
+  /// middleware) may subscribe.
+  using SampleCallback =
+      std::function<void(const PathKey&, SimTime, const PathUsage&)>;
+  void add_sample_callback(SampleCallback callback) {
+    sample_callbacks_.push_back(std::move(callback));
+  }
+
+  /// Bytes/sec used at the path bottleneck over time (the paper's
+  /// "measured bandwidth usage" curves).
+  const TimeSeries& used_series(const std::string& from,
+                                const std::string& to) const;
+  /// Bytes/sec available (min over connections) over time.
+  const TimeSeries& available_series(const std::string& from,
+                                     const std::string& to) const;
+
+  /// Current usage snapshot for a monitored path.
+  PathUsage current_usage(const std::string& from,
+                          const std::string& to) const;
+
+  /// Attaches trap-driven link-state knowledge: paths crossing a downed
+  /// connection evaluate to zero available bandwidth (with `link_down`
+  /// set) instead of reporting stale counters. The detector must outlive
+  /// the monitor.
+  void set_failure_detector(const FailureDetector* detector) {
+    failure_detector_ = detector;
+  }
+
+  /// Per-connection usage history (bytes/sec used) for connections on
+  /// monitored paths. Returns nullptr before the first completed round
+  /// touching that connection.
+  const TimeSeries* connection_used_series(std::size_t connection) const;
+
+  /// The traversed path for a registered pair.
+  const topo::Path& path_of(const std::string& from,
+                            const std::string& to) const;
+
+  const PollPlan& plan() const { return plan_; }
+  const StatsDb& stats_db() const { return *db_; }
+  /// Agents this instance actually polls (after allowlist filtering).
+  const std::vector<const AgentTask*>& polled_agents() const {
+    return polled_agents_;
+  }
+  const MonitorStats& stats() const { return stats_; }
+  const snmp::ClientStats& client_stats() const { return client_.stats(); }
+  const topo::NetworkTopology& topology() const { return topo_; }
+
+ private:
+  struct MonitoredPath {
+    PathKey key;
+    topo::Path path;
+    TimeSeries used;
+    TimeSeries available;
+  };
+
+  struct Round {
+    SimTime started = 0;
+    std::size_t outstanding = 0;
+    bool failed_any = false;
+  };
+
+  void select_agents();
+  void resolve_next_agent(std::size_t index);
+  void schedule_round(SimTime when);
+  void run_round();
+  void poll_agent(const AgentTask& task, const std::shared_ptr<Round>& round);
+  void finish_round(const std::shared_ptr<Round>& round);
+  const MonitoredPath& find_path_entry(const std::string& from,
+                                       const std::string& to) const;
+
+  sim::Simulator& sim_;
+  const topo::NetworkTopology& topo_;
+  MonitorConfig config_;
+  PollPlan plan_;
+  snmp::SnmpClient client_;
+  snmp::SubtreeWalker walker_;
+  BandwidthCalculator calculator_;
+  StatsDb own_db_;
+  StatsDb* db_;  ///< &own_db_ or the shared db
+  std::vector<const AgentTask*> polled_agents_;
+
+  std::vector<MonitoredPath> paths_;
+  // (node, ifDescr) -> resolved ifIndex on that agent.
+  std::map<InterfaceKey, std::uint32_t> if_indexes_;
+
+  bool running_ = false;
+  sim::EventId next_round_event_ = 0;
+  MonitorStats stats_;
+  std::vector<SampleCallback> sample_callbacks_;
+  const FailureDetector* failure_detector_ = nullptr;
+  std::map<std::size_t, TimeSeries> connection_series_;
+};
+
+}  // namespace netqos::mon

@@ -1,0 +1,98 @@
+#include "monitor/plan.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace netqos::mon {
+namespace {
+
+/// The address the agent on `node` answers on, or nullopt.
+std::optional<sim::Ipv4Address> agent_address(const topo::NodeSpec& node) {
+  if (!node.snmp_enabled) return std::nullopt;
+  if (node.kind == topo::NodeKind::kHost) {
+    for (const auto& itf : node.interfaces) {
+      if (!itf.ipv4.empty()) return sim::Ipv4Address::parse(itf.ipv4);
+    }
+    return std::nullopt;
+  }
+  if (node.kind == topo::NodeKind::kSwitch &&
+      !node.management_ipv4.empty()) {
+    return sim::Ipv4Address::parse(node.management_ipv4);
+  }
+  return std::nullopt;  // hubs (and misconfigured switches) have no agent
+}
+
+}  // namespace
+
+PollPlan PollPlan::build(const topo::NetworkTopology& topo) {
+  const auto problems = topo.validate();
+  if (!problems.empty()) {
+    std::string all = "invalid topology:";
+    for (const auto& p : problems) all += "\n  - " + p;
+    throw std::invalid_argument(all);
+  }
+
+  PollPlan plan;
+  plan.domains_ = topo::collision_domains(topo);
+  plan.domain_of_ = topo::connection_domains(topo, plan.domains_);
+  plan.measurements_.resize(topo.connections().size());
+
+  // node name -> interfaces that must be polled there
+  std::map<std::string, std::vector<std::string>> needed;
+
+  for (std::size_t ci = 0; ci < topo.connections().size(); ++ci) {
+    const topo::Connection& conn = topo.connections()[ci];
+
+    // Preference 1: an endpoint host running an agent.
+    std::optional<MeasurePoint> chosen;
+    for (const topo::Endpoint* ep : {&conn.a, &conn.b}) {
+      const topo::NodeSpec* node = topo.find_node(ep->node);
+      if (node->kind == topo::NodeKind::kHost &&
+          agent_address(*node).has_value()) {
+        chosen = MeasurePoint{ep->node, ep->interface, false};
+        break;
+      }
+    }
+    // Preference 2 (paper §4.1): the SNMP-capable switch port.
+    if (!chosen.has_value()) {
+      for (const topo::Endpoint* ep : {&conn.a, &conn.b}) {
+        const topo::NodeSpec* node = topo.find_node(ep->node);
+        if (node->kind == topo::NodeKind::kSwitch &&
+            agent_address(*node).has_value()) {
+          chosen = MeasurePoint{ep->node, ep->interface, true};
+          break;
+        }
+      }
+    }
+
+    plan.measurements_[ci] = chosen;
+    if (chosen.has_value()) {
+      needed[chosen->node].push_back(chosen->interface);
+    } else {
+      plan.unmonitorable_.push_back(ci);
+    }
+  }
+
+  for (auto& [node_name, interfaces] : needed) {
+    const topo::NodeSpec* node = topo.find_node(node_name);
+    AgentTask task;
+    task.node = node_name;
+    task.address = *agent_address(*node);
+    task.community = node->snmp_community;
+    // Deduplicate interfaces while keeping first-seen order.
+    for (const auto& itf : interfaces) {
+      bool seen = false;
+      for (const auto& existing : task.interfaces) {
+        if (existing == itf) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) task.interfaces.push_back(itf);
+    }
+    plan.agents_.push_back(std::move(task));
+  }
+  return plan;
+}
+
+}  // namespace netqos::mon

@@ -1,0 +1,73 @@
+// Poll planning: which SNMP agent measures each connection.
+//
+// Paper §4.1: "even though there is no SNMP demon on either S4 or S5, the
+// bandwidth between S4 and S5 can still be monitored by polling the
+// interfaces on the switch that are connected to S4 and S5". The plan
+// encodes that fallback: a connection is measured at its own host's agent
+// when one runs there, otherwise at the SNMP-capable switch port facing
+// it. Hubs never run agents; hub-attached connections are measured at
+// the attached host (for the domain sum) or the switch uplink port.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/address.h"
+#include "topology/domains.h"
+#include "topology/model.h"
+
+namespace netqos::mon {
+
+/// Where one connection's traffic counters live.
+struct MeasurePoint {
+  std::string node;        ///< agent's node name
+  std::string interface;   ///< ifDescr on that agent
+  bool via_switch = false; ///< true when using the §4.1 switch-port fallback
+};
+
+/// One agent the poller must query each round.
+struct AgentTask {
+  std::string node;
+  sim::Ipv4Address address;  ///< host primary IP or switch management IP
+  std::string community;
+  std::vector<std::string> interfaces;  ///< ifDescr values to poll
+};
+
+class PollPlan {
+ public:
+  /// Builds the plan for a validated topology. Throws
+  /// std::invalid_argument if the topology fails validation.
+  static PollPlan build(const topo::NetworkTopology& topo);
+
+  /// Measurement point for a connection index, or nullopt when neither
+  /// side is SNMP-capable (the connection is unmonitorable).
+  const std::optional<MeasurePoint>& measurement_for(std::size_t conn) const {
+    return measurements_.at(conn);
+  }
+
+  const std::vector<AgentTask>& agents() const { return agents_; }
+
+  /// Connection indices that no agent can observe.
+  const std::vector<std::size_t>& unmonitorable() const {
+    return unmonitorable_;
+  }
+
+  /// Collision domains computed for the topology (hub rule input).
+  const std::vector<topo::CollisionDomain>& domains() const {
+    return domains_;
+  }
+  /// Per-connection domain membership.
+  const std::vector<std::optional<std::size_t>>& domain_of() const {
+    return domain_of_;
+  }
+
+ private:
+  std::vector<std::optional<MeasurePoint>> measurements_;
+  std::vector<AgentTask> agents_;
+  std::vector<std::size_t> unmonitorable_;
+  std::vector<topo::CollisionDomain> domains_;
+  std::vector<std::optional<std::size_t>> domain_of_;
+};
+
+}  // namespace netqos::mon

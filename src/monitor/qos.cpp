@@ -1,0 +1,74 @@
+#include "monitor/qos.h"
+
+namespace netqos::mon {
+
+ViolationDetector::ViolationDetector(NetworkMonitor& monitor,
+                                     double recovery_margin)
+    : monitor_(monitor), recovery_margin_(recovery_margin) {
+  monitor_.add_sample_callback(
+      [this](const PathKey& key, SimTime time, const PathUsage& usage) {
+        on_sample(key, time, usage);
+      });
+}
+
+bool ViolationDetector::same_pair(const PathKey& a, const PathKey& b) {
+  return (a.first == b.first && a.second == b.second) ||
+         (a.first == b.second && a.second == b.first);
+}
+
+void ViolationDetector::add_requirement(const std::string& from,
+                                        const std::string& to,
+                                        BytesPerSecond min_available) {
+  try {
+    monitor_.path_of(from, to);
+  } catch (const std::out_of_range&) {
+    monitor_.add_path(from, to);
+  }
+  requirements_.push_back({{from, to}, min_available, false});
+}
+
+void ViolationDetector::on_sample(const PathKey& key, SimTime time,
+                                  const PathUsage& usage) {
+  for (Requirement& req : requirements_) {
+    if (!same_pair(req.key, key)) continue;
+
+    const bool below = usage.available < req.min_available;
+    const bool recovered =
+        usage.available >= req.min_available * (1.0 + recovery_margin_);
+
+    if (!req.violated && below) {
+      req.violated = true;
+      QosEvent event;
+      event.kind = QosEvent::Kind::kViolation;
+      event.path = req.key;
+      event.time = time;
+      event.available = usage.available;
+      event.required = req.min_available;
+      event.bottleneck = usage.bottleneck;
+      event.bottleneck_description =
+          monitor_.topology().connections()[usage.bottleneck].to_string();
+      events_.push_back(event);
+      for (const auto& callback : callbacks_) callback(events_.back());
+    } else if (req.violated && recovered) {
+      req.violated = false;
+      QosEvent event;
+      event.kind = QosEvent::Kind::kRecovery;
+      event.path = req.key;
+      event.time = time;
+      event.available = usage.available;
+      event.required = req.min_available;
+      events_.push_back(event);
+      for (const auto& callback : callbacks_) callback(events_.back());
+    }
+  }
+}
+
+bool ViolationDetector::in_violation(const std::string& from,
+                                     const std::string& to) const {
+  for (const Requirement& req : requirements_) {
+    if (same_pair(req.key, {from, to})) return req.violated;
+  }
+  return false;
+}
+
+}  // namespace netqos::mon

@@ -1,0 +1,74 @@
+// QoS violation detection (paper §5 future work, implemented here).
+//
+// The DeSiDeRaTa middleware consumes the monitor's metrics against a
+// network QoS specification: each requirement demands a minimum available
+// bandwidth on the path between two hosts. The detector subscribes to
+// monitor samples and emits violation/recovery events with a bottleneck
+// diagnosis. Hysteresis avoids flapping at the threshold.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.h"
+
+namespace netqos::mon {
+
+struct QosEvent {
+  enum class Kind { kViolation, kRecovery };
+
+  Kind kind = Kind::kViolation;
+  PathKey path;
+  SimTime time = 0;
+  BytesPerSecond available = 0.0;
+  BytesPerSecond required = 0.0;
+  /// Connection index diagnosed as the bottleneck (valid for violations).
+  std::size_t bottleneck = 0;
+  std::string bottleneck_description;
+};
+
+class ViolationDetector {
+ public:
+  using EventCallback = std::function<void(const QosEvent&)>;
+
+  /// `recovery_margin` is the fractional headroom above the requirement
+  /// needed before a violated path is declared recovered.
+  explicit ViolationDetector(NetworkMonitor& monitor,
+                             double recovery_margin = 0.05);
+
+  /// Adds a requirement. The path must already be (or will be) registered
+  /// with the monitor via add_path; this also registers it if missing.
+  void add_requirement(const std::string& from, const std::string& to,
+                       BytesPerSecond min_available);
+
+  /// Subscribes to QoS events. Multiple consumers (logging, the RM
+  /// middleware) may subscribe; all are invoked in subscription order.
+  void add_event_callback(EventCallback callback) {
+    callbacks_.push_back(std::move(callback));
+  }
+
+  /// All events observed so far, in order.
+  const std::vector<QosEvent>& events() const { return events_; }
+
+  /// True while the given path is in violation.
+  bool in_violation(const std::string& from, const std::string& to) const;
+
+ private:
+  struct Requirement {
+    PathKey key;
+    BytesPerSecond min_available = 0.0;
+    bool violated = false;
+  };
+
+  void on_sample(const PathKey& key, SimTime time, const PathUsage& usage);
+  static bool same_pair(const PathKey& a, const PathKey& b);
+
+  NetworkMonitor& monitor_;
+  double recovery_margin_;
+  std::vector<Requirement> requirements_;
+  std::vector<QosEvent> events_;
+  std::vector<EventCallback> callbacks_;
+};
+
+}  // namespace netqos::mon

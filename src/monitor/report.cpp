@@ -1,0 +1,51 @@
+#include "monitor/report.h"
+
+#include <cmath>
+
+namespace netqos::mon {
+
+CsvSink::CsvSink(NetworkMonitor& monitor, std::ostream& out,
+                 bool write_header)
+    : out_(out) {
+  if (write_header) {
+    out_ << "time_s,from,to,used_KBps,available_KBps,bottleneck\n";
+  }
+  monitor.add_sample_callback([this, &monitor](const PathKey& key,
+                                               SimTime time,
+                                               const PathUsage& usage) {
+    out_ << to_seconds(time) << ',' << key.first << ',' << key.second << ','
+         << usage.used_at_bottleneck / 1000.0 << ','
+         << usage.available / 1000.0 << ','
+         << monitor.topology().connections()[usage.bottleneck].to_string()
+         << '\n';
+  });
+}
+
+LoadWindowStats analyze_window(const TimeSeries& measured, SimTime begin,
+                               SimTime end, BytesPerSecond generated,
+                               BytesPerSecond background,
+                               SimDuration settle) {
+  LoadWindowStats stats;
+  stats.generated_kbps = generated / 1000.0;
+
+  const SimTime effective_begin = begin + settle;
+  const RunningStats window = measured.stats_between(effective_begin, end);
+  stats.measured_kbps = window.mean() / 1000.0;
+  stats.less_background_kbps = (window.mean() - background) / 1000.0;
+
+  if (generated > 0.0) {
+    stats.percent_error =
+        100.0 * (window.mean() - background - generated) / generated;
+    stats.max_percent_error =
+        100.0 * measured.max_relative_error(effective_begin, end,
+                                            generated + background);
+  }
+  return stats;
+}
+
+BytesPerSecond estimate_background(const TimeSeries& measured, SimTime begin,
+                                   SimTime end) {
+  return measured.mean_between(begin, end);
+}
+
+}  // namespace netqos::mon

@@ -1,0 +1,48 @@
+// Reporting sinks: CSV writer and experiment-style summaries.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "common/stats.h"
+#include "loadgen/profile.h"
+#include "monitor/monitor.h"
+
+namespace netqos::mon {
+
+/// Streams every path sample as CSV rows:
+/// time_s,from,to,used_KBps,available_KBps,bottleneck
+class CsvSink {
+ public:
+  /// Subscribes to the monitor. `out` must outlive the sink.
+  CsvSink(NetworkMonitor& monitor, std::ostream& out,
+          bool write_header = true);
+
+ private:
+  std::ostream& out_;
+};
+
+/// One row of a Table 2 style summary for a constant-load window.
+struct LoadWindowStats {
+  double generated_kbps = 0.0;        ///< KB/s, paper's "Generated Load"
+  double measured_kbps = 0.0;         ///< average measured over the window
+  double less_background_kbps = 0.0;  ///< measured minus background
+  double percent_error = 0.0;         ///< of the window average
+  double max_percent_error = 0.0;     ///< worst individual sample
+};
+
+/// Computes a Table 2 row from a measured series over [begin, end), given
+/// the generated payload rate and the background level (both bytes/sec).
+/// `settle` trims the start of the window so staircase transitions (and
+/// one polling interval of lag) don't contaminate the average.
+LoadWindowStats analyze_window(const TimeSeries& measured, SimTime begin,
+                               SimTime end, BytesPerSecond generated,
+                               BytesPerSecond background,
+                               SimDuration settle = 0);
+
+/// Average of a measured series over a window with zero generated load —
+/// the paper's background estimate.
+BytesPerSecond estimate_background(const TimeSeries& measured, SimTime begin,
+                                   SimTime end);
+
+}  // namespace netqos::mon

@@ -1,0 +1,36 @@
+#include "monitor/stats_db.h"
+
+namespace netqos::mon {
+
+std::optional<RateSample> StatsDb::update(const InterfaceKey& key,
+                                          SimTime when,
+                                          const CounterSample& sample) {
+  Entry& entry = entries_[key];
+  std::optional<RateSample> rates;
+  if (entry.has_sample) {
+    rates = compute_rates(entry.last_sample, sample);
+  }
+  entry.last_sample = sample;
+  entry.has_sample = true;
+  if (rates.has_value()) {
+    entry.last_rate = rates;
+    entry.total_series.add(when, rates->total_rate());
+  }
+  if (when > last_update_) last_update_ = when;
+  return rates;
+}
+
+std::optional<RateSample> StatsDb::latest_rate(
+    const InterfaceKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.last_rate;
+}
+
+const TimeSeries* StatsDb::total_rate_series(const InterfaceKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  return &it->second.total_series;
+}
+
+}  // namespace netqos::mon

@@ -1,0 +1,52 @@
+// Interface statistics database.
+//
+// Stores the latest counter sample per (node, interface), computes rates
+// on update (paper §3.1 differencing), and keeps rate history as time
+// series for the experiment figures.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/stats.h"
+#include "monitor/counter_math.h"
+
+namespace netqos::mon {
+
+/// (node name, ifDescr) key.
+using InterfaceKey = std::pair<std::string, std::string>;
+
+class StatsDb {
+ public:
+  /// Records a fresh sample taken at monitor-side time `when`. Returns
+  /// the rates vs. the previous sample, or nullopt for the first sample
+  /// (or a zero uptime delta).
+  std::optional<RateSample> update(const InterfaceKey& key, SimTime when,
+                                   const CounterSample& sample);
+
+  /// Most recent rates for an interface.
+  std::optional<RateSample> latest_rate(const InterfaceKey& key) const;
+
+  /// History of total (in+out) byte rates.
+  const TimeSeries* total_rate_series(const InterfaceKey& key) const;
+
+  /// Number of interfaces tracked.
+  std::size_t size() const { return entries_.size(); }
+
+  /// Monitor-side time of the most recent update anywhere (0 if none).
+  SimTime last_update() const { return last_update_; }
+
+ private:
+  struct Entry {
+    bool has_sample = false;
+    CounterSample last_sample;
+    std::optional<RateSample> last_rate;
+    TimeSeries total_series;
+  };
+
+  std::map<InterfaceKey, Entry> entries_;
+  SimTime last_update_ = 0;
+};
+
+}  // namespace netqos::mon

@@ -1,0 +1,82 @@
+// Layer-2 and layer-3 addresses for the simulated LAN.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace netqos::sim {
+
+/// 48-bit Ethernet MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Locally administered unicast MAC derived from a small integer id.
+  static constexpr MacAddress from_id(std::uint32_t id) {
+    return MacAddress({0x02, 0x00,
+                       static_cast<std::uint8_t>(id >> 24),
+                       static_cast<std::uint8_t>(id >> 16),
+                       static_cast<std::uint8_t>(id >> 8),
+                       static_cast<std::uint8_t>(id)});
+  }
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  constexpr bool is_broadcast() const { return *this == broadcast(); }
+
+  const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address as a host-order 32-bit value.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses "a.b.c.d"; throws std::invalid_argument on malformed input.
+  static Ipv4Address parse(const std::string& dotted);
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_unspecified() const { return value_ == 0; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace netqos::sim
+
+template <>
+struct std::hash<netqos::sim::MacAddress> {
+  std::size_t operator()(const netqos::sim::MacAddress& m) const noexcept {
+    std::size_t h = 0;
+    for (auto o : m.octets()) h = h * 131 + o;
+    return h;
+  }
+};
+
+template <>
+struct std::hash<netqos::sim::Ipv4Address> {
+  std::size_t operator()(const netqos::sim::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

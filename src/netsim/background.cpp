@@ -1,0 +1,60 @@
+#include "netsim/background.h"
+
+#include <stdexcept>
+
+#include "netsim/packet.h"
+
+namespace netqos::sim {
+
+BackgroundTraffic::BackgroundTraffic(Simulator& sim, std::vector<Host*> hosts,
+                                     BackgroundConfig config)
+    : sim_(sim),
+      hosts_(std::move(hosts)),
+      config_(config),
+      rng_(config.seed) {
+  if (hosts_.size() < 2) {
+    throw std::invalid_argument("background traffic needs >= 2 hosts");
+  }
+  if (config_.min_payload > config_.max_payload || config_.max_payload == 0) {
+    throw std::invalid_argument("bad background payload bounds");
+  }
+}
+
+void BackgroundTraffic::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void BackgroundTraffic::schedule_next() {
+  // Mean payload size determines the datagram rate for the target
+  // byte rate; exponential gaps make the process Poisson-like.
+  const double mean_payload =
+      0.5 * static_cast<double>(config_.min_payload + config_.max_payload);
+  const double rate = config_.mean_rate / mean_payload;  // datagrams/sec
+  if (rate <= 0) return;
+  const double gap_seconds = rng_.exponential(1.0 / rate);
+  sim_.schedule_after(from_seconds(gap_seconds), [this] {
+    if (!running_) return;
+    send_one();
+    schedule_next();
+  });
+}
+
+void BackgroundTraffic::send_one() {
+  const std::size_t from = rng_.uniform_int(0, hosts_.size() - 1);
+  std::size_t to = rng_.uniform_int(0, hosts_.size() - 2);
+  if (to >= from) ++to;  // uniform over pairs with to != from
+
+  const std::size_t payload =
+      rng_.uniform_int(config_.min_payload, config_.max_payload);
+  Host& src = *hosts_[from];
+  Host& dst = *hosts_[to];
+  const std::uint16_t sport = src.udp().allocate_ephemeral_port();
+  if (src.udp().send(dst.ip(), kDiscardPort, sport, {}, payload)) {
+    ++datagrams_sent_;
+    payload_bytes_sent_ += payload;
+  }
+}
+
+}  // namespace netqos::sim

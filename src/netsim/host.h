@@ -1,0 +1,41 @@
+// End host: non-promiscuous NICs plus a UDP stack.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "netsim/node.h"
+#include "netsim/udp.h"
+
+namespace netqos::sim {
+
+class Host : public Node {
+ public:
+  Host(Simulator& sim, std::string name, const ArpResolver& arp);
+
+  /// Adds a host interface carrying an IPv4 address. The first interface
+  /// becomes the default egress and the UDP stack's source address.
+  Nic& add_host_interface(std::string name, BitsPerSecond speed,
+                          MacAddress mac, Ipv4Address ip);
+
+  /// The host's primary IPv4 address (first interface).
+  Ipv4Address ip() const { return primary_ip_; }
+
+  /// UDP stack; valid only after the first interface is added.
+  UdpStack& udp();
+  const UdpStack& udp() const;
+
+  void on_frame(Nic& ingress, const Frame& frame) override;
+
+  /// IP assigned to a given NIC (unspecified if unknown).
+  Ipv4Address interface_ip(const Nic& nic) const;
+
+ private:
+  const ArpResolver& arp_;
+  std::unique_ptr<UdpStack> udp_;
+  Ipv4Address primary_ip_;
+  std::unordered_map<const Nic*, Ipv4Address> nic_ips_;
+};
+
+}  // namespace netqos::sim

@@ -1,0 +1,31 @@
+// Shared-medium repeater hub.
+//
+// A hub retransmits every frame out of every port except the one it
+// arrived on (paper §3.3: "all packets that go through the hub will be
+// sent to every host connected to the hub"). It learns nothing and has no
+// management plane — the paper's testbed hub ran no SNMP daemon and is
+// observed indirectly via the switch port facing it.
+#pragma once
+
+#include "netsim/node.h"
+
+namespace netqos::sim {
+
+class Hub : public Node {
+ public:
+  Hub(Simulator& sim, std::string name) : Node(sim, std::move(name)) {}
+
+  /// Adds a repeater port. `mac` is only an identity for diagnostics; hub
+  /// ports are promiscuous and never filter.
+  Nic& add_port(std::string name, BitsPerSecond speed, MacAddress mac) {
+    return add_interface(std::move(name), speed, mac, /*promiscuous=*/true);
+  }
+
+  void on_frame(Nic& ingress, const Frame& frame) override {
+    for (auto& nic : nics_) {
+      if (nic.get() != &ingress) nic->transmit(frame);
+    }
+  }
+};
+
+}  // namespace netqos::sim

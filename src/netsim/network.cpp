@@ -1,0 +1,155 @@
+#include "netsim/network.h"
+
+#include <stdexcept>
+
+namespace netqos::sim {
+
+template <typename T>
+T& Network::add_node(std::unique_ptr<T> node) {
+  if (by_name_.contains(node->name())) {
+    throw std::invalid_argument("duplicate node name: " + node->name());
+  }
+  T& ref = *node;
+  by_name_.emplace(node->name(), node.get());
+  nodes_.push_back(std::move(node));
+  return ref;
+}
+
+Host& Network::add_host(const std::string& name) {
+  return add_node(std::make_unique<Host>(sim_, name, *this));
+}
+
+Switch& Network::add_switch(const std::string& name) {
+  return add_node(std::make_unique<Switch>(sim_, name));
+}
+
+Hub& Network::add_hub(const std::string& name) {
+  return add_node(std::make_unique<Hub>(sim_, name));
+}
+
+Nic& Network::add_host_interface(Host& host, const std::string& if_name,
+                                 BitsPerSecond speed, Ipv4Address ip) {
+  const MacAddress mac = allocate_mac();
+  Nic& nic = host.add_host_interface(if_name, speed, mac, ip);
+  register_address(ip, mac);
+  return nic;
+}
+
+Nic& Network::add_port(Switch& sw, const std::string& if_name,
+                       BitsPerSecond speed) {
+  return sw.add_port(if_name, speed, allocate_mac());
+}
+
+Nic& Network::add_port(Hub& hub, const std::string& if_name,
+                       BitsPerSecond speed) {
+  return hub.add_port(if_name, speed, allocate_mac());
+}
+
+void Network::enable_switch_management(Switch& sw, Ipv4Address ip) {
+  const MacAddress mac = allocate_mac();
+  sw.enable_management(ip, mac, *this);
+  register_address(ip, mac);
+}
+
+Link& Network::connect(Node& a, const std::string& if_a, Node& b,
+                       const std::string& if_b, SimDuration propagation) {
+  Nic* na = a.find_interface(if_a);
+  Nic* nb = b.find_interface(if_b);
+  if (na == nullptr || nb == nullptr) {
+    throw std::invalid_argument("connect: unknown interface " + a.name() +
+                                "." + if_a + " or " + b.name() + "." + if_b);
+  }
+  links_.push_back(std::make_unique<Link>(sim_, *na, *nb, propagation));
+  return *links_.back();
+}
+
+Node* Network::find_node(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Host* Network::find_host(const std::string& name) {
+  return dynamic_cast<Host*>(find_node(name));
+}
+
+Switch* Network::find_switch(const std::string& name) {
+  return dynamic_cast<Switch*>(find_node(name));
+}
+
+std::optional<MacAddress> Network::resolve(Ipv4Address ip) const {
+  auto it = arp_.find(ip);
+  if (it == arp_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Network::register_address(Ipv4Address ip, MacAddress mac) {
+  if (ip.is_unspecified()) {
+    throw std::invalid_argument("cannot register unspecified address");
+  }
+  auto [it, inserted] = arp_.emplace(ip, mac);
+  if (!inserted && it->second != mac) {
+    throw std::invalid_argument("IPv4 address " + ip.to_string() +
+                                " already assigned to another interface");
+  }
+}
+
+std::unique_ptr<Network> build_network(Simulator& sim,
+                                       const topo::NetworkTopology& topo) {
+  const auto problems = topo.validate();
+  if (!problems.empty()) {
+    std::string all = "invalid topology:";
+    for (const auto& p : problems) all += "\n  - " + p;
+    throw std::invalid_argument(all);
+  }
+
+  auto net = std::make_unique<Network>(sim);
+  for (const auto& spec : topo.nodes()) {
+    switch (spec.kind) {
+      case topo::NodeKind::kHost: {
+        Host& host = net->add_host(spec.name);
+        for (const auto& itf : spec.interfaces) {
+          if (itf.ipv4.empty()) {
+            throw std::invalid_argument("host interface " + spec.name + "." +
+                                        itf.local_name + " has no IPv4");
+          }
+          net->add_host_interface(host, itf.local_name,
+                                  spec.interface_speed(itf),
+                                  Ipv4Address::parse(itf.ipv4));
+        }
+        break;
+      }
+      case topo::NodeKind::kSwitch: {
+        Switch& sw = net->add_switch(spec.name);
+        for (const auto& itf : spec.interfaces) {
+          net->add_port(sw, itf.local_name, spec.interface_speed(itf));
+        }
+        if (spec.snmp_enabled) {
+          if (spec.management_ipv4.empty()) {
+            throw std::invalid_argument("SNMP-enabled switch '" + spec.name +
+                                        "' needs a management IPv4");
+          }
+          net->enable_switch_management(
+              sw, Ipv4Address::parse(spec.management_ipv4));
+        }
+        break;
+      }
+      case topo::NodeKind::kHub: {
+        Hub& hub = net->add_hub(spec.name);
+        for (const auto& itf : spec.interfaces) {
+          net->add_port(hub, itf.local_name, spec.interface_speed(itf));
+        }
+        break;
+      }
+    }
+  }
+
+  for (const auto& conn : topo.connections()) {
+    Node* a = net->find_node(conn.a.node);
+    Node* b = net->find_node(conn.b.node);
+    // validate() guaranteed both exist.
+    net->connect(*a, conn.a.interface, *b, conn.b.interface);
+  }
+  return net;
+}
+
+}  // namespace netqos::sim

@@ -1,0 +1,77 @@
+// Network container: owns nodes and links, allocates MACs, and serves as
+// the static ARP registry. Also hosts the builder that instantiates a
+// live network from a topology::NetworkTopology (which the spec parser
+// produces from DeSiDeRaTa-style specification files).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/hub.h"
+#include "netsim/link.h"
+#include "netsim/switch.h"
+#include "topology/model.h"
+
+namespace netqos::sim {
+
+class Network : public ArpResolver {
+ public:
+  explicit Network(Simulator& sim) : sim_(sim) {}
+
+  Simulator& simulator() { return sim_; }
+
+  Host& add_host(const std::string& name);
+  Switch& add_switch(const std::string& name);
+  Hub& add_hub(const std::string& name);
+
+  /// Adds an interface with an IP to a host and registers it for ARP.
+  Nic& add_host_interface(Host& host, const std::string& if_name,
+                          BitsPerSecond speed, Ipv4Address ip);
+  /// Adds a switched/hub port (no IP).
+  Nic& add_port(Switch& sw, const std::string& if_name, BitsPerSecond speed);
+  Nic& add_port(Hub& hub, const std::string& if_name, BitsPerSecond speed);
+
+  /// Turns on the switch management plane and registers its IP.
+  void enable_switch_management(Switch& sw, Ipv4Address ip);
+
+  /// Cables two interfaces together.
+  Link& connect(Node& a, const std::string& if_a, Node& b,
+                const std::string& if_b,
+                SimDuration propagation = 500 * kNanosecond);
+
+  Node* find_node(const std::string& name);
+  Host* find_host(const std::string& name);
+  Switch* find_switch(const std::string& name);
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+  /// Static ARP lookup.
+  std::optional<MacAddress> resolve(Ipv4Address ip) const override;
+  /// Registers an additional IP→MAC mapping (e.g. management addresses).
+  void register_address(Ipv4Address ip, MacAddress mac);
+
+  MacAddress allocate_mac() { return MacAddress::from_id(next_mac_id_++); }
+
+ private:
+  template <typename T>
+  T& add_node(std::unique_ptr<T> node);
+
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::string, Node*> by_name_;
+  std::unordered_map<Ipv4Address, MacAddress> arp_;
+  std::uint32_t next_mac_id_ = 1;
+};
+
+/// Instantiates a live network from a validated topology. Hosts must have
+/// IPv4 addresses on every connected interface; SNMP-enabled switches must
+/// carry a management IPv4. Throws std::invalid_argument on violations
+/// (after topo.validate() problems, which are reported verbatim).
+std::unique_ptr<Network> build_network(Simulator& sim,
+                                       const topo::NetworkTopology& topo);
+
+}  // namespace netqos::sim

@@ -1,0 +1,38 @@
+#include "netsim/node.h"
+
+#include <stdexcept>
+
+#include "netsim/simulator.h"
+
+namespace netqos::sim {
+
+Node::Node(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+Nic& Node::add_interface(std::string name, BitsPerSecond speed,
+                         MacAddress mac, bool promiscuous) {
+  if (find_interface(name) != nullptr) {
+    throw std::invalid_argument("duplicate interface '" + name + "' on " +
+                                name_);
+  }
+  nics_.push_back(
+      std::make_unique<Nic>(sim_, *this, std::move(name), speed, mac,
+                            promiscuous));
+  return *nics_.back();
+}
+
+Nic* Node::find_interface(const std::string& name) {
+  for (auto& nic : nics_) {
+    if (nic->name() == name) return nic.get();
+  }
+  return nullptr;
+}
+
+const Nic* Node::find_interface(const std::string& name) const {
+  for (const auto& nic : nics_) {
+    if (nic->name() == name) return nic.get();
+  }
+  return nullptr;
+}
+
+}  // namespace netqos::sim

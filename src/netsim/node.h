@@ -1,0 +1,45 @@
+// Base class for hosts and network devices.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "netsim/nic.h"
+
+namespace netqos::sim {
+
+class Simulator;
+
+class Node {
+ public:
+  Node(Simulator& sim, std::string name);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulator& simulator() { return sim_; }
+
+  /// Creates an interface owned by this node. `promiscuous` is chosen by
+  /// the subclass (host NICs filter by MAC; device ports do not).
+  Nic& add_interface(std::string name, BitsPerSecond speed, MacAddress mac,
+                     bool promiscuous);
+
+  Nic* find_interface(const std::string& name);
+  const Nic* find_interface(const std::string& name) const;
+  const std::vector<std::unique_ptr<Nic>>& interfaces() const {
+    return nics_;
+  }
+
+  /// A frame accepted by one of this node's NICs.
+  virtual void on_frame(Nic& ingress, const Frame& frame) = 0;
+
+ protected:
+  Simulator& sim_;
+  std::string name_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace netqos::sim

@@ -1,0 +1,30 @@
+#include "netsim/services.h"
+
+#include <stdexcept>
+
+namespace netqos::sim {
+
+DiscardService::DiscardService(Host& host) {
+  const bool ok =
+      host.udp().bind(kDiscardPort, [this](const Ipv4Packet& packet) {
+        ++datagrams_;
+        payload_bytes_ += packet.udp.payload_size();
+      });
+  if (!ok) {
+    throw std::logic_error("DISCARD port already bound on " + host.name());
+  }
+}
+
+EchoService::EchoService(Host& host) {
+  const bool ok = host.udp().bind(kEchoPort, [this, &host](
+                                                 const Ipv4Packet& packet) {
+    ++datagrams_;
+    host.udp().send(packet.src, packet.udp.src_port, kEchoPort,
+                    packet.udp.payload, packet.udp.padding);
+  });
+  if (!ok) {
+    throw std::logic_error("ECHO port already bound on " + host.name());
+  }
+}
+
+}  // namespace netqos::sim

@@ -1,0 +1,37 @@
+// Standard inetd-style UDP services the paper's testbed relies on.
+//
+// The load generator sends to the DISCARD port (UDP/9, RFC 863); the
+// latency extension (paper §5 future work) uses ECHO (UDP/7, RFC 862).
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/host.h"
+
+namespace netqos::sim {
+
+/// Sinks every datagram on UDP/9, counting what it absorbed.
+class DiscardService {
+ public:
+  explicit DiscardService(Host& host);
+
+  std::uint64_t datagrams() const { return datagrams_; }
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  std::uint64_t datagrams_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+/// Echoes every datagram on UDP/7 back to its sender.
+class EchoService {
+ public:
+  explicit EchoService(Host& host);
+
+  std::uint64_t datagrams() const { return datagrams_; }
+
+ private:
+  std::uint64_t datagrams_ = 0;
+};
+
+}  // namespace netqos::sim

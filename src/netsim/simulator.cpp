@@ -1,0 +1,49 @@
+#include "netsim/simulator.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace netqos::sim {
+
+EventId Simulator::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument("cannot schedule event in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    ++executed_;
+    fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    ++executed_;
+    fn();
+  }
+}
+
+}  // namespace netqos::sim

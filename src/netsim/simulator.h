@@ -1,0 +1,74 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop over a priority queue keyed by
+// (time, sequence). The sequence number makes same-time events fire in
+// scheduling order, which keeps every run deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace netqos::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(SimTime when, Callback fn);
+
+  /// Schedules `fn` to run `delay` after now.
+  EventId schedule_after(SimDuration delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled. O(1): the event is tombstoned, not removed.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or the time limit is passed.
+  /// Events scheduled exactly at `until` DO run; the clock never exceeds
+  /// `until`.
+  void run_until(SimTime until);
+
+  /// Runs until the queue drains completely.
+  void run_all();
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+  /// Number of events currently pending (including tombstoned ones).
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    // Ordered as a min-heap via std::greater.
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Callbacks stored separately so cancel() can drop one in O(1).
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace netqos::sim

@@ -1,0 +1,56 @@
+#include "netsim/trace.h"
+
+#include <sstream>
+
+#include "netsim/nic.h"
+#include "netsim/node.h"
+#include "netsim/simulator.h"
+
+namespace netqos::sim {
+
+void FrameTracer::attach(Link& link, std::string label) {
+  link.set_tap([this, label = std::move(label)](const Nic& from,
+                                                const Frame& frame) {
+    record(label, from, frame);
+  });
+}
+
+FrameTracer::Filter FrameTracer::port_filter(std::uint16_t port) {
+  return [port](const TraceRecord& r) {
+    return r.src_port == port || r.dst_port == port;
+  };
+}
+
+void FrameTracer::record(const std::string& label, const Nic& from,
+                         const Frame& frame) {
+  ++total_seen_;
+  TraceRecord rec;
+  rec.time = sim_.now();
+  rec.link = label;
+  rec.from = from.owner().name() + "." + from.name();
+  rec.src_mac = frame->src;
+  rec.dst_mac = frame->dst;
+  rec.src_ip = frame->ip.src;
+  rec.dst_ip = frame->ip.dst;
+  rec.src_port = frame->ip.udp.src_port;
+  rec.dst_port = frame->ip.udp.dst_port;
+  rec.wire_bytes = frame->wire_size();
+
+  if (filter_ && !filter_(rec)) return;
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++evicted_;
+  }
+  records_.push_back(std::move(rec));
+}
+
+std::string FrameTracer::format(const TraceRecord& record) {
+  std::ostringstream out;
+  out << format_time(record.time) << " [" << record.link << "] "
+      << record.from << ": " << record.src_ip.to_string() << ":"
+      << record.src_port << " > " << record.dst_ip.to_string() << ":"
+      << record.dst_port << " (" << record.wire_bytes << "B)";
+  return out.str();
+}
+
+}  // namespace netqos::sim

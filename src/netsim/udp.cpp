@@ -1,0 +1,81 @@
+#include "netsim/udp.h"
+
+#include "common/log.h"
+#include "netsim/simulator.h"
+
+namespace netqos::sim {
+
+UdpStack::UdpStack(Simulator& sim, Ipv4Address ip, MacAddress mac,
+                   const ArpResolver& arp, FrameSender sender)
+    : sim_(sim), ip_(ip), mac_(mac), arp_(arp), sender_(std::move(sender)) {}
+
+bool UdpStack::bind(std::uint16_t port, Handler handler) {
+  return handlers_.emplace(port, std::move(handler)).second;
+}
+
+void UdpStack::unbind(std::uint16_t port) { handlers_.erase(port); }
+
+std::uint16_t UdpStack::allocate_ephemeral_port() {
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    const std::uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ == 65535
+                          ? static_cast<std::uint16_t>(49152)
+                          : static_cast<std::uint16_t>(next_ephemeral_ + 1);
+    if (!bound(port)) return port;
+  }
+  return 0;  // every ephemeral port bound — caller treats 0 as failure
+}
+
+bool UdpStack::send(Ipv4Address dst, std::uint16_t dst_port,
+                    std::uint16_t src_port, Bytes payload,
+                    std::size_t padding) {
+  if (dst == ip_) {
+    // Loopback: deliver locally without generating wire traffic, after a
+    // small in-kernel scheduling delay.
+    Ipv4Packet packet;
+    packet.src = ip_;
+    packet.dst = dst;
+    packet.udp.src_port = src_port;
+    packet.udp.dst_port = dst_port;
+    packet.udp.payload = std::move(payload);
+    packet.udp.padding = padding;
+    ++stats_.datagrams_sent;
+    sim_.schedule_after(10 * kMicrosecond, [this, packet = std::move(packet)] {
+      deliver(packet);
+    });
+    return true;
+  }
+  const auto dst_mac = arp_.resolve(dst);
+  if (!dst_mac) {
+    ++stats_.send_failures;
+    NETQOS_DEBUG() << "UDP send to unresolvable " << dst.to_string();
+    return false;
+  }
+  EthernetFrame frame;
+  frame.src = mac_;
+  frame.dst = *dst_mac;
+  frame.ip.src = ip_;
+  frame.ip.dst = dst;
+  frame.ip.udp.src_port = src_port;
+  frame.ip.udp.dst_port = dst_port;
+  frame.ip.udp.payload = std::move(payload);
+  frame.ip.udp.padding = padding;
+  if (!sender_(make_frame(std::move(frame)))) {
+    ++stats_.send_failures;
+    return false;
+  }
+  ++stats_.datagrams_sent;
+  return true;
+}
+
+void UdpStack::deliver(const Ipv4Packet& packet) {
+  auto it = handlers_.find(packet.udp.dst_port);
+  if (it == handlers_.end()) {
+    ++stats_.no_handler_drops;
+    return;
+  }
+  ++stats_.datagrams_received;
+  it->second(packet);
+}
+
+}  // namespace netqos::sim

@@ -1,0 +1,80 @@
+// Minimal UDP/IPv4 stack shared by hosts and switch management planes.
+//
+// There is no routing (single LAN, as in the paper's testbed) and no ARP
+// protocol traffic: address resolution is a lookup into the Network's
+// static registry, mirroring a stable LAN whose ARP caches are warm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/byte_buffer.h"
+#include "netsim/packet.h"
+
+namespace netqos::sim {
+
+class Simulator;
+
+/// Resolves an IPv4 address to the MAC that owns it.
+class ArpResolver {
+ public:
+  virtual ~ArpResolver() = default;
+  virtual std::optional<MacAddress> resolve(Ipv4Address ip) const = 0;
+};
+
+struct UdpStackStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t send_failures = 0;      ///< unresolvable dst or tx drop
+  std::uint64_t no_handler_drops = 0;   ///< no socket bound to dst port
+};
+
+class UdpStack {
+ public:
+  /// Handler receives the full IP packet (source address/port live there).
+  using Handler = std::function<void(const Ipv4Packet& packet)>;
+  /// Hands a finished frame to the owner for transmission; returns false
+  /// if it could not be queued.
+  using FrameSender = std::function<bool(Frame)>;
+
+  /// `sim` drives loopback delivery: datagrams addressed to `ip` itself
+  /// never touch the wire and arrive after a tiny scheduling delay.
+  UdpStack(class Simulator& sim, Ipv4Address ip, MacAddress mac,
+           const ArpResolver& arp, FrameSender sender);
+
+  Ipv4Address ip() const { return ip_; }
+  MacAddress mac() const { return mac_; }
+
+  /// Binds a handler to a local port. Returns false if already bound.
+  bool bind(std::uint16_t port, Handler handler);
+  void unbind(std::uint16_t port);
+  bool bound(std::uint16_t port) const { return handlers_.contains(port); }
+
+  /// Ephemeral port in [49152, 65535], skipping bound ports.
+  std::uint16_t allocate_ephemeral_port();
+
+  /// Builds and transmits a UDP datagram. `padding` adds synthetic bulk
+  /// payload bytes (see packet.h). Returns false on resolution failure or
+  /// transmit-queue overflow.
+  bool send(Ipv4Address dst, std::uint16_t dst_port, std::uint16_t src_port,
+            Bytes payload, std::size_t padding = 0);
+
+  /// Delivers an inbound packet to the bound handler, if any.
+  void deliver(const Ipv4Packet& packet);
+
+  const UdpStackStats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  Ipv4Address ip_;
+  MacAddress mac_;
+  const ArpResolver& arp_;
+  FrameSender sender_;
+  std::unordered_map<std::uint16_t, Handler> handlers_;
+  std::uint16_t next_ephemeral_ = 49152;
+  UdpStackStats stats_;
+};
+
+}  // namespace netqos::sim

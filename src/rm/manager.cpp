@@ -1,0 +1,56 @@
+#include "rm/manager.h"
+
+#include "topology/path.h"
+
+namespace netqos::rm {
+
+ResourceManager::ResourceManager(mon::NetworkMonitor& monitor,
+                                 mon::ViolationDetector& detector)
+    : monitor_(monitor) {
+  detector.add_event_callback(
+      [this](const mon::QosEvent& event) { on_event(event); });
+}
+
+void ResourceManager::on_event(const mon::QosEvent& event) {
+  if (event.kind == mon::QosEvent::Kind::kRecovery) {
+    if (active_violations_ > 0) --active_violations_;
+    return;
+  }
+  ++active_violations_;
+
+  Recommendation rec;
+  rec.time = event.time;
+  rec.path = event.path;
+  rec.congested_connection = event.bottleneck_description;
+
+  // Diagnosis: if an alternative simple path avoids the bottleneck,
+  // recommend rerouting; otherwise recommend shedding load.
+  const auto alternatives = topo::all_simple_paths(
+      monitor_.topology(), event.path.first, event.path.second);
+  bool reroute_possible = false;
+  for (const auto& path : alternatives) {
+    bool uses_bottleneck = false;
+    for (std::size_t ci : path) {
+      if (ci == event.bottleneck) {
+        uses_bottleneck = true;
+        break;
+      }
+    }
+    if (!uses_bottleneck) {
+      reroute_possible = true;
+      break;
+    }
+  }
+  rec.action = reroute_possible
+                   ? "reroute traffic between " + event.path.first + " and " +
+                         event.path.second + " around " +
+                         rec.congested_connection
+                   : "shed or reallocate load crossing " +
+                         rec.congested_connection +
+                         " (no alternate path exists)";
+
+  recommendations_.push_back(rec);
+  if (callback_) callback_(recommendations_.back());
+}
+
+}  // namespace netqos::rm

@@ -1,0 +1,57 @@
+// Resource-management middleware consumer.
+//
+// DeSiDeRaTa's RM layer performs "QoS monitoring and failure detection,
+// QoS diagnosis, and reallocation of resources". The paper's monitor
+// exists to feed network metrics into that loop; this module implements
+// the consuming side: it tracks path health from monitor samples and QoS
+// events, diagnoses the congested resource, and issues reallocation
+// recommendations (the actual application migration is outside this
+// paper's scope — the recommendation record is the interface the
+// middleware would act on).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "monitor/qos.h"
+
+namespace netqos::rm {
+
+/// A recommendation the middleware would act upon.
+struct Recommendation {
+  SimTime time = 0;
+  mon::PathKey path;
+  std::string congested_connection;
+  /// Hosts whose communication should be moved off the congested
+  /// resource, or whose load should be shed.
+  std::string action;
+};
+
+class ResourceManager {
+ public:
+  ResourceManager(mon::NetworkMonitor& monitor,
+                  mon::ViolationDetector& detector);
+
+  using RecommendationCallback = std::function<void(const Recommendation&)>;
+  void set_recommendation_callback(RecommendationCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  const std::vector<Recommendation>& recommendations() const {
+    return recommendations_;
+  }
+
+  /// Number of paths currently in violation.
+  std::size_t active_violations() const { return active_violations_; }
+
+ private:
+  void on_event(const mon::QosEvent& event);
+
+  mon::NetworkMonitor& monitor_;
+  std::vector<Recommendation> recommendations_;
+  RecommendationCallback callback_;
+  std::size_t active_violations_ = 0;
+};
+
+}  // namespace netqos::rm

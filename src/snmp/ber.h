@@ -1,0 +1,81 @@
+// BER (Basic Encoding Rules) subset for SNMP.
+//
+// SNMP messages are ASN.1 structures serialized with BER (RFC 1157 §4,
+// RFC 1906). This codec implements the definite-length encodings SNMP
+// needs: universal INTEGER / OCTET STRING / NULL / OBJECT IDENTIFIER /
+// SEQUENCE, the SMI application types (IpAddress, Counter32, Gauge32,
+// TimeTicks, Counter64), context-tagged PDUs, and the v2c varbind
+// exceptions.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/byte_buffer.h"
+#include "snmp/oid.h"
+#include "snmp/value.h"
+
+namespace netqos::snmp {
+
+/// Thrown when decoding meets malformed or unsupported BER.
+class BerError : public std::runtime_error {
+ public:
+  explicit BerError(const std::string& what)
+      : std::runtime_error("BER: " + what) {}
+};
+
+namespace ber {
+
+// Tag octets.
+inline constexpr std::uint8_t kTagInteger = 0x02;
+inline constexpr std::uint8_t kTagOctetString = 0x04;
+inline constexpr std::uint8_t kTagNull = 0x05;
+inline constexpr std::uint8_t kTagOid = 0x06;
+inline constexpr std::uint8_t kTagSequence = 0x30;
+inline constexpr std::uint8_t kTagIpAddress = 0x40;
+inline constexpr std::uint8_t kTagCounter32 = 0x41;
+inline constexpr std::uint8_t kTagGauge32 = 0x42;
+inline constexpr std::uint8_t kTagTimeTicks = 0x43;
+inline constexpr std::uint8_t kTagCounter64 = 0x46;
+// Context-specific constructed tags select the PDU type.
+inline constexpr std::uint8_t kTagGetRequest = 0xa0;
+inline constexpr std::uint8_t kTagGetNextRequest = 0xa1;
+inline constexpr std::uint8_t kTagGetResponse = 0xa2;
+inline constexpr std::uint8_t kTagSetRequest = 0xa3;
+inline constexpr std::uint8_t kTagGetBulkRequest = 0xa5;
+
+/// Writes a tag + definite length header.
+void write_header(ByteWriter& out, std::uint8_t tag, std::size_t length);
+
+/// Writes tag+length+content for each primitive type.
+void write_integer(ByteWriter& out, std::int64_t value);
+void write_unsigned(ByteWriter& out, std::uint8_t tag, std::uint64_t value);
+void write_octet_string(ByteWriter& out, const std::string& value);
+void write_null(ByteWriter& out);
+void write_oid(ByteWriter& out, const Oid& oid);
+void write_value(ByteWriter& out, const SnmpValue& value);
+
+/// Wraps already-encoded content in a constructed TLV.
+void write_wrapped(ByteWriter& out, std::uint8_t tag, const Bytes& content);
+
+/// Reads a TLV header; returns the tag and sets `length`.
+std::uint8_t read_header(ByteReader& in, std::size_t& length);
+/// Reads a header and demands a specific tag.
+std::size_t expect_header(ByteReader& in, std::uint8_t tag);
+
+std::int64_t read_integer_content(ByteReader& in, std::size_t length);
+std::uint64_t read_unsigned_content(ByteReader& in, std::size_t length);
+Oid read_oid_content(ByteReader& in, std::size_t length);
+
+/// Reads one complete value TLV of any supported type.
+SnmpValue read_value(ByteReader& in);
+
+/// Reads an INTEGER TLV.
+std::int64_t read_integer(ByteReader& in);
+/// Reads an OCTET STRING TLV.
+std::string read_octet_string(ByteReader& in);
+/// Reads an OBJECT IDENTIFIER TLV.
+Oid read_oid(ByteReader& in);
+
+}  // namespace ber
+}  // namespace netqos::snmp

@@ -1,0 +1,153 @@
+#include "snmp/client.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+#include "snmp/ber.h"
+
+namespace netqos::snmp {
+
+SnmpClient::SnmpClient(sim::Simulator& sim, sim::UdpStack& stack,
+                       ClientConfig config)
+    : sim_(sim), stack_(stack), config_(config) {
+  src_port_ = stack_.allocate_ephemeral_port();
+  if (src_port_ == 0 ||
+      !stack_.bind(src_port_,
+                   [this](const sim::Ipv4Packet& p) { on_packet(p); })) {
+    throw std::logic_error("SNMP client could not bind a source port");
+  }
+}
+
+SnmpClient::~SnmpClient() {
+  for (auto& [id, pending] : pending_) {
+    sim_.cancel(pending.timeout_event);
+  }
+  stack_.unbind(src_port_);
+}
+
+void SnmpClient::get(sim::Ipv4Address agent, const std::string& community,
+                     std::vector<Oid> oids, Callback callback) {
+  Pdu pdu;
+  pdu.type = PduType::kGetRequest;
+  for (auto& oid : oids) pdu.varbinds.push_back({std::move(oid), Null{}});
+  send_request(agent, community, std::move(pdu), std::move(callback));
+}
+
+void SnmpClient::get_next(sim::Ipv4Address agent,
+                          const std::string& community,
+                          std::vector<Oid> oids, Callback callback) {
+  Pdu pdu;
+  pdu.type = PduType::kGetNextRequest;
+  for (auto& oid : oids) pdu.varbinds.push_back({std::move(oid), Null{}});
+  send_request(agent, community, std::move(pdu), std::move(callback));
+}
+
+void SnmpClient::get_bulk(sim::Ipv4Address agent,
+                          const std::string& community,
+                          std::vector<Oid> oids, std::int32_t non_repeaters,
+                          std::int32_t max_repetitions, Callback callback) {
+  Pdu pdu;
+  pdu.type = PduType::kGetBulkRequest;
+  pdu.error_status = static_cast<ErrorStatus>(non_repeaters);
+  pdu.error_index = max_repetitions;
+  for (auto& oid : oids) pdu.varbinds.push_back({std::move(oid), Null{}});
+  send_request(agent, community, std::move(pdu), std::move(callback));
+}
+
+void SnmpClient::send_request(sim::Ipv4Address agent,
+                              const std::string& community, Pdu pdu,
+                              Callback callback) {
+  const std::int32_t request_id = next_request_id_++;
+  pdu.request_id = request_id;
+
+  Message message;
+  message.version = config_.version;
+  message.community = community;
+  message.pdu = std::move(pdu);
+
+  Pending pending;
+  pending.wire = encode_message(message);
+  pending.agent = agent;
+  pending.callback = std::move(callback);
+  pending_.emplace(request_id, std::move(pending));
+  transmit(request_id);
+}
+
+void SnmpClient::transmit(std::int32_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+
+  ++pending.attempts;
+  pending.last_send = sim_.now();
+  if (!stack_.send(pending.agent, sim::kSnmpPort, src_port_, pending.wire)) {
+    SnmpResult result;
+    result.status = SnmpResult::Status::kSendFailed;
+    result.attempts = pending.attempts;
+    Callback callback = std::move(pending.callback);
+    pending_.erase(it);
+    callback(std::move(result));
+    return;
+  }
+  ++stats_.requests_sent;
+  stats_.payload_bytes_sent += pending.wire.size();
+  pending.timeout_event = sim_.schedule_after(
+      config_.timeout, [this, request_id] { on_timeout(request_id); });
+}
+
+void SnmpClient::on_timeout(std::int32_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+
+  if (pending.attempts <= config_.retries) {
+    ++stats_.retries;
+    transmit(request_id);
+    return;
+  }
+  ++stats_.timeouts;
+  SnmpResult result;
+  result.status = SnmpResult::Status::kTimeout;
+  result.attempts = pending.attempts;
+  Callback callback = std::move(pending.callback);
+  pending_.erase(it);
+  callback(std::move(result));
+}
+
+void SnmpClient::on_packet(const sim::Ipv4Packet& packet) {
+  stats_.payload_bytes_received += packet.udp.payload.size();
+  Message message;
+  try {
+    message = decode_message(packet.udp.payload);
+  } catch (const BerError& e) {
+    NETQOS_DEBUG() << "client decode error: " << e.what();
+    return;
+  }
+  if (message.pdu.type != PduType::kGetResponse) return;
+
+  auto it = pending_.find(message.pdu.request_id);
+  if (it == pending_.end()) {
+    // Late duplicate after a retry already completed the request.
+    ++stats_.mismatched;
+    return;
+  }
+  Pending& pending = it->second;
+  sim_.cancel(pending.timeout_event);
+  ++stats_.responses;
+
+  SnmpResult result;
+  result.status = message.pdu.error_status == ErrorStatus::kNoError
+                      ? SnmpResult::Status::kOk
+                      : SnmpResult::Status::kErrorResponse;
+  result.error_status = message.pdu.error_status;
+  result.error_index = message.pdu.error_index;
+  result.varbinds = std::move(message.pdu.varbinds);
+  result.rtt = sim_.now() - pending.last_send;
+  result.attempts = pending.attempts;
+
+  Callback callback = std::move(pending.callback);
+  pending_.erase(it);
+  callback(std::move(result));
+}
+
+}  // namespace netqos::snmp

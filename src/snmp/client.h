@@ -1,0 +1,100 @@
+// Asynchronous SNMP manager-side client.
+//
+// This is the monitor's polling transport: it sends requests over the
+// simulated network, matches responses by request-id, and retries on
+// timeout. Everything is callback-driven on the discrete-event loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "netsim/simulator.h"
+#include "netsim/udp.h"
+#include "snmp/pdu.h"
+
+namespace netqos::snmp {
+
+struct ClientConfig {
+  SimDuration timeout = 1 * kSecond;
+  int retries = 2;  ///< resends after the first attempt
+  SnmpVersion version = SnmpVersion::kV2c;
+};
+
+struct ClientStats {
+  std::uint64_t requests_sent = 0;   ///< including retries
+  std::uint64_t responses = 0;
+  std::uint64_t timeouts = 0;        ///< final timeouts after all retries
+  std::uint64_t retries = 0;
+  std::uint64_t mismatched = 0;      ///< responses with unknown request id
+  /// SNMP payload octets on the wire (excluding UDP/IP/Ethernet framing),
+  /// for monitoring-overhead accounting.
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t payload_bytes_received = 0;
+};
+
+struct SnmpResult {
+  enum class Status { kOk, kTimeout, kErrorResponse, kSendFailed };
+
+  Status status = Status::kTimeout;
+  ErrorStatus error_status = ErrorStatus::kNoError;
+  std::int32_t error_index = 0;
+  std::vector<VarBind> varbinds;
+  SimDuration rtt = 0;  ///< request send to response receipt (last attempt)
+  int attempts = 0;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+class SnmpClient {
+ public:
+  using Callback = std::function<void(SnmpResult)>;
+
+  /// Binds an ephemeral source port on `stack`.
+  SnmpClient(sim::Simulator& sim, sim::UdpStack& stack,
+             ClientConfig config = {});
+  ~SnmpClient();
+  SnmpClient(const SnmpClient&) = delete;
+  SnmpClient& operator=(const SnmpClient&) = delete;
+
+  void get(sim::Ipv4Address agent, const std::string& community,
+           std::vector<Oid> oids, Callback callback);
+  void get_next(sim::Ipv4Address agent, const std::string& community,
+                std::vector<Oid> oids, Callback callback);
+  void get_bulk(sim::Ipv4Address agent, const std::string& community,
+                std::vector<Oid> oids, std::int32_t non_repeaters,
+                std::int32_t max_repetitions, Callback callback);
+
+  const ClientStats& stats() const { return stats_; }
+  const ClientConfig& config() const { return config_; }
+  std::size_t outstanding() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Bytes wire;
+    sim::Ipv4Address agent;
+    Callback callback;
+    sim::EventId timeout_event = 0;
+    SimTime last_send = 0;
+    int attempts = 0;
+  };
+
+  void send_request(sim::Ipv4Address agent, const std::string& community,
+                    Pdu pdu, Callback callback);
+  void transmit(std::int32_t request_id);
+  void on_timeout(std::int32_t request_id);
+  void on_packet(const sim::Ipv4Packet& packet);
+
+  sim::Simulator& sim_;
+  sim::UdpStack& stack_;
+  ClientConfig config_;
+  std::uint16_t src_port_;
+  std::int32_t next_request_id_ = 1;
+  std::unordered_map<std::int32_t, Pending> pending_;
+  ClientStats stats_;
+};
+
+}  // namespace netqos::snmp

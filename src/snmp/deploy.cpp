@@ -1,0 +1,110 @@
+#include "snmp/deploy.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "snmp/bridge.h"
+
+namespace netqos::snmp {
+
+std::vector<DeployedAgent> deploy_agents(sim::Simulator& sim,
+                                         sim::Network& network,
+                                         const topo::NetworkTopology& topo,
+                                         const DeployOptions& options) {
+  std::vector<DeployedAgent> deployed;
+
+  for (const auto& spec : topo.nodes()) {
+    if (!spec.snmp_enabled) continue;
+
+    sim::Node* node = network.find_node(spec.name);
+    if (node == nullptr) {
+      throw std::invalid_argument("deploy_agents: node '" + spec.name +
+                                  "' not in network");
+    }
+
+    sim::UdpStack* stack = nullptr;
+    sim::Switch* bridge = nullptr;
+    if (auto* host = dynamic_cast<sim::Host*>(node)) {
+      stack = &host->udp();
+    } else if (auto* sw = dynamic_cast<sim::Switch*>(node)) {
+      stack = sw->management();
+      bridge = sw;
+      if (stack == nullptr) {
+        throw std::invalid_argument("switch '" + spec.name +
+                                    "' has no management plane");
+      }
+    } else {
+      // Hubs are dumb repeaters; a spec asking for SNMP there is invalid.
+      throw std::invalid_argument("node '" + spec.name +
+                                  "' cannot run an SNMP agent");
+    }
+
+    AgentConfig config = options.agent;
+    config.community = spec.snmp_community;
+    // Decorrelate per-agent jitter streams deterministically.
+    SplitMix64 seeder(options.agent.seed);
+    for (char c : spec.name) seeder.next(), config.seed ^= seeder.next() + c;
+    IfTableConfig table_config = options.iftable;
+    table_config.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+
+    DeployedAgent entry;
+    entry.node = spec.name;
+    entry.agent = std::make_unique<SnmpAgent>(sim, *stack, config);
+
+    register_system_group(entry.agent->mib(), sim, spec.name);
+    std::vector<const sim::Nic*> nics;
+    for (const auto& itf : spec.interfaces) {
+      const sim::Nic* nic = node->find_interface(itf.local_name);
+      if (nic == nullptr) {
+        throw std::invalid_argument("interface '" + spec.name + "." +
+                                    itf.local_name + "' not in network");
+      }
+      nics.push_back(nic);
+    }
+    if (!options.trap_sink.is_unspecified()) {
+      entry.agent->set_trap_sink(options.trap_sink);
+      // Emit linkDown/linkUp on carrier transitions of every interface.
+      // The observer captures the raw agent pointer: keep the deployment
+      // alive as long as the network can change link state.
+      for (std::size_t i = 0; i < nics.size(); ++i) {
+        sim::Nic* nic = node->find_interface(spec.interfaces[i].local_name);
+        if (!nic->connected()) continue;
+        SnmpAgent* agent = entry.agent.get();
+        const auto if_index = static_cast<std::int64_t>(i + 1);
+        const std::string if_name = nic->name();
+        nic->link()->add_state_observer([agent, if_index, if_name](bool up) {
+          std::vector<VarBind> varbinds;
+          varbinds.push_back(
+              {mib2::if_column(mib2::kIfIndexColumn,
+                               static_cast<std::uint32_t>(if_index)),
+               SnmpValue(if_index)});
+          varbinds.push_back(
+              {mib2::if_column(mib2::kIfDescrColumn,
+                               static_cast<std::uint32_t>(if_index)),
+               SnmpValue(if_name)});
+          agent->send_trap(up ? mib2::kLinkUpTrap : mib2::kLinkDownTrap,
+                           std::move(varbinds));
+        });
+      }
+    }
+
+    entry.if_table = std::make_unique<Mib2IfTable>(
+        entry.agent->mib(), sim, std::move(nics), table_config);
+    if (bridge != nullptr) {
+      register_bridge_mib(entry.agent->mib(), *bridge);
+    }
+
+    deployed.push_back(std::move(entry));
+  }
+  return deployed;
+}
+
+DeployedAgent* find_agent(std::vector<DeployedAgent>& agents,
+                          const std::string& node) {
+  for (auto& entry : agents) {
+    if (entry.node == node) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace netqos::snmp

@@ -1,0 +1,49 @@
+// Agent deployment: instantiates an SNMP agent (with MIB-II system group
+// and ifTable) on every SNMP-enabled node of a built network, matching
+// the topology's declaration of where "SNMP demons" run (paper §4.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/network.h"
+#include "snmp/agent.h"
+#include "snmp/mib2.h"
+#include "topology/model.h"
+
+namespace netqos::snmp {
+
+struct DeployOptions {
+  /// Agent-side ifTable snapshot cache behaviour. Real agents cache on an
+  /// internal timer; this is the source of the paper's polling-delay
+  /// artifact (§4.3.1). Seeds are decorrelated per node.
+  IfTableConfig iftable = {.cached = true};
+  /// Template for per-agent configuration; community comes from the
+  /// topology node, the seed is decorrelated per node.
+  AgentConfig agent = {};
+  /// When set, every agent sends linkDown/linkUp SNMPv2 traps here on
+  /// carrier transitions of its interfaces (failure detection).
+  sim::Ipv4Address trap_sink;
+};
+
+/// One deployed agent and its MIB bindings.
+struct DeployedAgent {
+  std::string node;
+  std::unique_ptr<SnmpAgent> agent;
+  std::unique_ptr<Mib2IfTable> if_table;
+};
+
+/// Deploys agents per the topology. The network must have been built from
+/// the same topology (node/interface names must match). Returns the
+/// deployment, which owns the agents — keep it alive while simulating.
+std::vector<DeployedAgent> deploy_agents(sim::Simulator& sim,
+                                         sim::Network& network,
+                                         const topo::NetworkTopology& topo,
+                                         const DeployOptions& options = {});
+
+/// Finds a deployed agent by node name (nullptr if absent).
+DeployedAgent* find_agent(std::vector<DeployedAgent>& agents,
+                          const std::string& node);
+
+}  // namespace netqos::snmp

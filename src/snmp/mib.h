@@ -1,0 +1,51 @@
+// MIB tree: the agent-side database of managed objects.
+//
+// Objects are registered at instance OIDs (scalars at x.0, table cells at
+// entry.column.index) with callable providers, so values are computed at
+// query time from live state. GETNEXT order is lexicographic OID order,
+// which std::map gives us directly.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "snmp/oid.h"
+#include "snmp/value.h"
+
+namespace netqos::snmp {
+
+class MibTree {
+ public:
+  using Provider = std::function<SnmpValue()>;
+  using RefreshHook = std::function<void(MibTree&)>;
+
+  /// Registers an instance OID. Replaces any existing registration.
+  void register_object(Oid instance, Provider provider);
+  /// Convenience: a constant value.
+  void register_constant(Oid instance, SnmpValue value);
+  void unregister_object(const Oid& instance);
+  /// Removes every instance under (and including) `root`.
+  void unregister_subtree(const Oid& root);
+
+  /// Hooks run before every get/get_next so dynamically-sized tables
+  /// (e.g. the bridge forwarding database) can refresh their rows.
+  void add_refresh_hook(RefreshHook hook);
+
+  /// Exact-match GET. nullopt when the instance does not exist.
+  std::optional<SnmpValue> get(const Oid& instance);
+
+  /// GETNEXT: first instance strictly greater than `oid`, with its value.
+  std::optional<std::pair<Oid, SnmpValue>> get_next(const Oid& oid);
+
+  std::size_t size() const { return objects_.size(); }
+
+ private:
+  void run_hooks();
+
+  std::map<Oid, Provider> objects_;
+  std::vector<RefreshHook> hooks_;
+  bool in_hook_ = false;
+};
+
+}  // namespace netqos::snmp

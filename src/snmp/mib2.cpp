@@ -1,0 +1,143 @@
+#include "snmp/mib2.h"
+
+#include "common/units.h"
+#include "netsim/link.h"
+
+namespace netqos::snmp {
+
+void register_system_group(MibTree& mib, sim::Simulator& sim,
+                           const std::string& sys_name, SimTime epoch) {
+  mib.register_constant(mib2::kSysDescr.child(0),
+                        std::string("netqos simulated agent"));
+  mib.register_object(mib2::kSysUpTime.child(0), [&sim, epoch] {
+    return SnmpValue(TimeTicks{to_timeticks(sim.now() - epoch)});
+  });
+  mib.register_constant(mib2::kSysName.child(0), sys_name);
+}
+
+Mib2IfTable::Mib2IfTable(MibTree& mib, sim::Simulator& sim,
+                         std::vector<const sim::Nic*> nics,
+                         IfTableConfig config)
+    : sim_(sim),
+      nics_(std::move(nics)),
+      config_(config),
+      rng_(config.seed) {
+  snapshot_.resize(nics_.size());
+  hc_snapshot_.resize(nics_.size());
+  if (config_.cached) take_snapshot();
+
+  mib.register_object(mib2::kIfNumber.child(0), [this] {
+    return SnmpValue(static_cast<std::int64_t>(nics_.size()));
+  });
+
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    const std::uint32_t index = static_cast<std::uint32_t>(i + 1);
+    const sim::Nic* nic = nics_[i];
+
+    mib.register_constant(mib2::if_column(mib2::kIfIndexColumn, index),
+                          static_cast<std::int64_t>(index));
+    mib.register_constant(mib2::if_column(mib2::kIfDescrColumn, index),
+                          nic->name());
+    mib.register_object(mib2::if_column(mib2::kIfSpeedColumn, index),
+                        [nic] {
+                          return SnmpValue(Gauge32{
+                              static_cast<std::uint32_t>(nic->speed())});
+                        });
+    const auto mac_octets = nic->mac().octets();
+    mib.register_constant(
+        mib2::if_column(mib2::kIfPhysAddressColumn, index),
+        std::string(mac_octets.begin(), mac_octets.end()));
+    // Carrier state is always served live (agents do not cache status).
+    mib.register_object(
+        mib2::if_column(mib2::kIfOperStatusColumn, index), [nic] {
+          const bool up = nic->connected() && nic->link()->up();
+          return SnmpValue(static_cast<std::int64_t>(up ? 1 : 2));
+        });
+
+    auto counter = [this, i](std::uint32_t sim::InterfaceCounters::*member) {
+      return [this, i, member] {
+        return SnmpValue(Counter32{counters(i).*member});
+      };
+    };
+    using C = sim::InterfaceCounters;
+    mib.register_object(mib2::if_column(mib2::kIfInOctetsColumn, index),
+                        counter(&C::if_in_octets));
+    mib.register_object(mib2::if_column(mib2::kIfInUcastPktsColumn, index),
+                        counter(&C::if_in_ucast_pkts));
+    mib.register_object(mib2::if_column(mib2::kIfInDiscardsColumn, index),
+                        counter(&C::if_in_discards));
+    mib.register_object(mib2::if_column(mib2::kIfOutOctetsColumn, index),
+                        counter(&C::if_out_octets));
+    mib.register_object(mib2::if_column(mib2::kIfOutUcastPktsColumn, index),
+                        counter(&C::if_out_ucast_pkts));
+    mib.register_object(mib2::if_column(mib2::kIfOutDiscardsColumn, index),
+                        counter(&C::if_out_discards));
+
+    // ifXTable (RFC 2863): high-capacity 64-bit octet counters, cached
+    // under the same snapshot regime as the 32-bit table.
+    mib.register_constant(mib2::ifx_column(mib2::kIfNameColumn, index),
+                          nic->name());
+    mib.register_object(
+        mib2::ifx_column(mib2::kIfHCInOctetsColumn, index), [this, i] {
+          return SnmpValue(Counter64{hc_counters(i).in_octets});
+        });
+    mib.register_object(
+        mib2::ifx_column(mib2::kIfHCOutOctetsColumn, index), [this, i] {
+          return SnmpValue(Counter64{hc_counters(i).out_octets});
+        });
+    mib.register_object(
+        mib2::ifx_column(mib2::kIfHighSpeedColumn, index), [nic] {
+          return SnmpValue(Gauge32{
+              static_cast<std::uint32_t>(nic->speed() / 1'000'000)});
+        });
+  }
+}
+
+Mib2IfTable::~Mib2IfTable() = default;
+
+std::uint32_t Mib2IfTable::index_of(const sim::Nic& nic) const {
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    if (nics_[i] == &nic) return static_cast<std::uint32_t>(i + 1);
+  }
+  return 0;
+}
+
+const sim::InterfaceCounters& Mib2IfTable::counters(std::size_t i) {
+  if (!config_.cached) return nics_[i]->counters();
+  arm_refresh();
+  return snapshot_[i];
+}
+
+Mib2IfTable::HcCounters Mib2IfTable::hc_counters(std::size_t i) {
+  if (!config_.cached) {
+    return {nics_[i]->total_in_octets(), nics_[i]->total_out_octets()};
+  }
+  arm_refresh();
+  return hc_snapshot_[i];
+}
+
+void Mib2IfTable::take_snapshot() {
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    snapshot_[i] = nics_[i]->counters();
+    hc_snapshot_[i] = {nics_[i]->total_in_octets(),
+                       nics_[i]->total_out_octets()};
+  }
+  ++refreshes_;
+}
+
+void Mib2IfTable::arm_refresh() {
+  if (refresh_pending_) return;  // one refresh per query burst
+  refresh_pending_ = true;
+  SimDuration delay = config_.refresh_delay;
+  delay += static_cast<SimDuration>(
+      rng_.uniform() * static_cast<double>(config_.refresh_jitter));
+  if (rng_.uniform() < config_.hiccup_probability) {
+    delay += config_.hiccup_delay;
+  }
+  sim_.schedule_after(delay, [this] {
+    take_snapshot();
+    refresh_pending_ = false;
+  });
+}
+
+}  // namespace netqos::snmp

@@ -1,0 +1,79 @@
+#include "snmp/oid.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace netqos::snmp {
+
+Oid Oid::parse(const std::string& dotted) {
+  if (dotted.empty()) {
+    throw std::invalid_argument("empty OID");
+  }
+  std::vector<std::uint32_t> arcs;
+  std::size_t pos = 0;
+  while (pos < dotted.size()) {
+    std::size_t end = dotted.find('.', pos);
+    if (end == std::string::npos) end = dotted.size();
+    if (end == pos) {
+      throw std::invalid_argument("malformed OID: '" + dotted + "'");
+    }
+    const std::string part = dotted.substr(pos, end - pos);
+    for (char c : part) {
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("malformed OID arc: '" + part + "'");
+      }
+    }
+    const unsigned long value = std::strtoul(part.c_str(), nullptr, 10);
+    if (value > 0xffffffffUL) {
+      throw std::invalid_argument("OID arc out of range: '" + part + "'");
+    }
+    arcs.push_back(static_cast<std::uint32_t>(value));
+    pos = end + 1;
+  }
+  if (dotted.back() == '.') {
+    throw std::invalid_argument("malformed OID: trailing dot");
+  }
+  return Oid(std::move(arcs));
+}
+
+Oid Oid::child(std::uint32_t arc) const {
+  Oid out = *this;
+  out.arcs_.push_back(arc);
+  return out;
+}
+
+Oid Oid::concat(const Oid& suffix) const {
+  Oid out = *this;
+  out.arcs_.insert(out.arcs_.end(), suffix.arcs_.begin(), suffix.arcs_.end());
+  return out;
+}
+
+bool Oid::starts_with(const Oid& prefix) const {
+  if (prefix.size() > size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (arcs_[i] != prefix.arcs_[i]) return false;
+  }
+  return true;
+}
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(arcs_[i]);
+  }
+  return out;
+}
+
+namespace mib2 {
+
+Oid if_column(std::uint32_t column, std::uint32_t if_index) {
+  return kIfEntry.child(column).child(if_index);
+}
+
+Oid ifx_column(std::uint32_t column, std::uint32_t if_index) {
+  return kIfXEntry.child(column).child(if_index);
+}
+
+}  // namespace mib2
+}  // namespace netqos::snmp

@@ -1,0 +1,93 @@
+// SNMP object identifiers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace netqos::snmp {
+
+/// An ASN.1 OBJECT IDENTIFIER: a sequence of non-negative arcs.
+/// Ordering is lexicographic, which is exactly the GETNEXT ordering of a
+/// MIB tree.
+class Oid {
+ public:
+  Oid() = default;
+  Oid(std::initializer_list<std::uint32_t> arcs) : arcs_(arcs) {}
+  explicit Oid(std::vector<std::uint32_t> arcs) : arcs_(std::move(arcs)) {}
+
+  /// Parses dotted notation ("1.3.6.1.2.1.1.3.0"); throws
+  /// std::invalid_argument on malformed input.
+  static Oid parse(const std::string& dotted);
+
+  const std::vector<std::uint32_t>& arcs() const { return arcs_; }
+  std::size_t size() const { return arcs_.size(); }
+  bool empty() const { return arcs_.empty(); }
+  std::uint32_t operator[](std::size_t i) const { return arcs_[i]; }
+
+  /// This OID extended with extra arcs (instance suffixes).
+  Oid child(std::uint32_t arc) const;
+  Oid concat(const Oid& suffix) const;
+
+  /// True when `prefix` is a (non-strict) prefix of this OID.
+  bool starts_with(const Oid& prefix) const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const Oid&) const = default;
+
+ private:
+  std::vector<std::uint32_t> arcs_;
+};
+
+namespace mib2 {
+
+// MIB-II object identifiers the paper polls (Table 1), plus the few extra
+// ifEntry columns the monitor uses for discard diagnostics.
+inline const Oid kSysDescr{1, 3, 6, 1, 2, 1, 1, 1};
+inline const Oid kSysUpTime{1, 3, 6, 1, 2, 1, 1, 3};      // .0 instance
+inline const Oid kSysName{1, 3, 6, 1, 2, 1, 1, 5};
+inline const Oid kIfNumber{1, 3, 6, 1, 2, 1, 2, 1};
+inline const Oid kIfEntry{1, 3, 6, 1, 2, 1, 2, 2, 1};
+inline constexpr std::uint32_t kIfIndexColumn = 1;
+inline constexpr std::uint32_t kIfDescrColumn = 2;
+inline constexpr std::uint32_t kIfSpeedColumn = 5;
+inline constexpr std::uint32_t kIfPhysAddressColumn = 6;
+inline constexpr std::uint32_t kIfInOctetsColumn = 10;
+inline constexpr std::uint32_t kIfInUcastPktsColumn = 11;
+inline constexpr std::uint32_t kIfInDiscardsColumn = 13;
+inline constexpr std::uint32_t kIfOutOctetsColumn = 16;
+inline constexpr std::uint32_t kIfOutUcastPktsColumn = 17;
+inline constexpr std::uint32_t kIfOutDiscardsColumn = 19;
+
+/// ifEntry column instance for interface index `if_index` (1-based).
+Oid if_column(std::uint32_t column, std::uint32_t if_index);
+
+/// Bridge MIB (RFC 1493): dot1dTpFdbPort, the port a MAC address was
+/// learned on, indexed by the six MAC octets.
+inline const Oid kDot1dTpFdbPort{1, 3, 6, 1, 2, 1, 17, 4, 3, 1, 2};
+
+/// ifOperStatus (up(1)/down(2)) — served so managers can see carrier.
+inline constexpr std::uint32_t kIfOperStatusColumn = 8;
+
+// ifXTable (RFC 2863): high-capacity 64-bit counters. At 100 Mbps a
+// Counter32 octet counter wraps in under six minutes; HC counters are
+// how real monitors survive fast links.
+inline const Oid kIfXEntry{1, 3, 6, 1, 2, 1, 31, 1, 1, 1};
+inline constexpr std::uint32_t kIfNameColumn = 1;
+inline constexpr std::uint32_t kIfHCInOctetsColumn = 6;
+inline constexpr std::uint32_t kIfHCOutOctetsColumn = 10;
+inline constexpr std::uint32_t kIfHighSpeedColumn = 15;  ///< Mbps Gauge
+
+/// ifXTable column instance for interface index `if_index` (1-based).
+Oid ifx_column(std::uint32_t column, std::uint32_t if_index);
+
+// SNMPv2 notification objects (RFC 1907 / RFC 1573).
+inline const Oid kSnmpTrapOid{1, 3, 6, 1, 6, 3, 1, 1, 4, 1};  // .0 instance
+inline const Oid kLinkDownTrap{1, 3, 6, 1, 6, 3, 1, 1, 5, 3};
+inline const Oid kLinkUpTrap{1, 3, 6, 1, 6, 3, 1, 1, 5, 4};
+
+}  // namespace mib2
+}  // namespace netqos::snmp

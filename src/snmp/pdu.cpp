@@ -1,0 +1,173 @@
+#include "snmp/pdu.h"
+
+#include "snmp/ber.h"
+
+namespace netqos::snmp {
+
+const char* error_status_name(ErrorStatus status) {
+  switch (status) {
+    case ErrorStatus::kNoError: return "noError";
+    case ErrorStatus::kTooBig: return "tooBig";
+    case ErrorStatus::kNoSuchName: return "noSuchName";
+    case ErrorStatus::kBadValue: return "badValue";
+    case ErrorStatus::kReadOnly: return "readOnly";
+    case ErrorStatus::kGenErr: return "genErr";
+  }
+  return "?";
+}
+
+namespace {
+
+Bytes encode_varbind(const VarBind& vb) {
+  ByteWriter content;
+  ber::write_oid(content, vb.oid);
+  ber::write_value(content, vb.value);
+  ByteWriter out;
+  ber::write_wrapped(out, ber::kTagSequence, content.bytes());
+  return std::move(out).take();
+}
+
+Bytes encode_pdu(const Pdu& pdu) {
+  ByteWriter vbl;
+  for (const auto& vb : pdu.varbinds) {
+    const Bytes encoded = encode_varbind(vb);
+    vbl.put_bytes(encoded);
+  }
+
+  ByteWriter content;
+  ber::write_integer(content, pdu.request_id);
+  ber::write_integer(content, static_cast<std::int64_t>(pdu.error_status));
+  ber::write_integer(content, pdu.error_index);
+  ber::write_wrapped(content, ber::kTagSequence, vbl.bytes());
+
+  ByteWriter out;
+  ber::write_wrapped(out, static_cast<std::uint8_t>(pdu.type),
+                     content.bytes());
+  return std::move(out).take();
+}
+
+Bytes encode_trap_v1(const TrapV1Pdu& trap) {
+  ByteWriter vbl;
+  for (const auto& vb : trap.varbinds) {
+    const Bytes encoded = encode_varbind(vb);
+    vbl.put_bytes(encoded);
+  }
+
+  ByteWriter content;
+  ber::write_oid(content, trap.enterprise);
+  ber::write_header(content, ber::kTagIpAddress, 4);
+  content.put_u32(trap.agent_addr);
+  ber::write_integer(content,
+                     static_cast<std::int64_t>(trap.generic_trap));
+  ber::write_integer(content, trap.specific_trap);
+  ber::write_unsigned(content, ber::kTagTimeTicks, trap.time_stamp_ticks);
+  ber::write_wrapped(content, ber::kTagSequence, vbl.bytes());
+
+  ByteWriter out;
+  ber::write_wrapped(out, static_cast<std::uint8_t>(PduType::kTrapV1),
+                     content.bytes());
+  return std::move(out).take();
+}
+
+TrapV1Pdu decode_trap_v1(ByteReader& in) {
+  TrapV1Pdu trap;
+  trap.enterprise = ber::read_oid(in);
+  std::size_t addr_len = ber::expect_header(in, ber::kTagIpAddress);
+  if (addr_len != 4) throw BerError("agent-addr must be 4 octets");
+  trap.agent_addr = in.get_u32();
+  trap.generic_trap = static_cast<GenericTrap>(ber::read_integer(in));
+  trap.specific_trap = static_cast<std::int32_t>(ber::read_integer(in));
+  const std::size_t ticks_len = ber::expect_header(in, ber::kTagTimeTicks);
+  trap.time_stamp_ticks =
+      static_cast<std::uint32_t>(ber::read_unsigned_content(in, ticks_len));
+
+  const std::size_t vbl_len = ber::expect_header(in, ber::kTagSequence);
+  const std::size_t end = in.position() + vbl_len;
+  while (in.position() < end) {
+    ber::expect_header(in, ber::kTagSequence);
+    VarBind vb;
+    vb.oid = ber::read_oid(in);
+    vb.value = ber::read_value(in);
+    trap.varbinds.push_back(std::move(vb));
+  }
+  return trap;
+}
+
+bool is_pdu_tag(std::uint8_t tag) {
+  switch (static_cast<PduType>(tag)) {
+    case PduType::kGetRequest:
+    case PduType::kGetNextRequest:
+    case PduType::kGetResponse:
+    case PduType::kSetRequest:
+    case PduType::kGetBulkRequest:
+    case PduType::kSnmpV2Trap:
+      return true;
+    case PduType::kTrapV1:
+      return false;  // handled separately: its body is not a regular PDU
+  }
+  return false;
+}
+
+Pdu decode_pdu(ByteReader& in) {
+  std::size_t pdu_len = 0;
+  const std::uint8_t tag = ber::read_header(in, pdu_len);
+  if (!is_pdu_tag(tag)) {
+    throw BerError("unknown PDU tag " + std::to_string(tag));
+  }
+  Pdu pdu;
+  pdu.type = static_cast<PduType>(tag);
+  pdu.request_id = static_cast<std::int32_t>(ber::read_integer(in));
+  pdu.error_status = static_cast<ErrorStatus>(ber::read_integer(in));
+  pdu.error_index = static_cast<std::int32_t>(ber::read_integer(in));
+
+  const std::size_t vbl_len = ber::expect_header(in, ber::kTagSequence);
+  const std::size_t end = in.position() + vbl_len;
+  while (in.position() < end) {
+    ber::expect_header(in, ber::kTagSequence);  // one varbind
+    VarBind vb;
+    vb.oid = ber::read_oid(in);
+    vb.value = ber::read_value(in);
+    pdu.varbinds.push_back(std::move(vb));
+  }
+  return pdu;
+}
+
+}  // namespace
+
+Bytes encode_message(const Message& message) {
+  ByteWriter content;
+  ber::write_integer(content, static_cast<std::int64_t>(message.version));
+  ber::write_octet_string(content, message.community);
+  if (message.trap_v1.has_value()) {
+    content.put_bytes(encode_trap_v1(*message.trap_v1));
+  } else {
+    content.put_bytes(encode_pdu(message.pdu));
+  }
+
+  ByteWriter out;
+  ber::write_wrapped(out, ber::kTagSequence, content.bytes());
+  return std::move(out).take();
+}
+
+Message decode_message(const Bytes& wire) {
+  ByteReader in(wire);
+  ber::expect_header(in, ber::kTagSequence);
+  Message message;
+  message.version = static_cast<SnmpVersion>(ber::read_integer(in));
+  if (message.version != SnmpVersion::kV1 &&
+      message.version != SnmpVersion::kV2c) {
+    throw BerError("unsupported SNMP version");
+  }
+  message.community = ber::read_octet_string(in);
+  if (in.peek_u8() == static_cast<std::uint8_t>(PduType::kTrapV1)) {
+    std::size_t length = 0;
+    ber::read_header(in, length);
+    message.trap_v1 = decode_trap_v1(in);
+    message.pdu.type = PduType::kTrapV1;
+  } else {
+    message.pdu = decode_pdu(in);
+  }
+  return message;
+}
+
+}  // namespace netqos::snmp

@@ -1,0 +1,78 @@
+#include "snmp/trap.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+#include "snmp/ber.h"
+
+namespace netqos::snmp {
+
+TrapListener::TrapListener(sim::UdpStack& stack, Callback callback,
+                           std::uint16_t port)
+    : stack_(stack), callback_(std::move(callback)), port_(port) {
+  const bool ok = stack_.bind(
+      port_, [this](const sim::Ipv4Packet& p) { handle(p); });
+  if (!ok) {
+    throw std::logic_error("trap port already bound");
+  }
+}
+
+TrapListener::~TrapListener() { stack_.unbind(port_); }
+
+void TrapListener::handle(const sim::Ipv4Packet& packet) {
+  Message message;
+  try {
+    message = decode_message(packet.udp.payload);
+  } catch (const BerError& e) {
+    ++stats_.malformed;
+    NETQOS_DEBUG() << "trap decode error: " << e.what();
+    return;
+  }
+  // Classic v1 traps are translated to v2 notification form per
+  // RFC 2576 §3.1: generic traps 0..5 map to snmpTraps.(g+1), and
+  // enterprise-specific traps to enterprise.0.specific.
+  if (message.trap_v1.has_value()) {
+    const TrapV1Pdu& v1 = *message.trap_v1;
+    TrapNotification trap;
+    trap.source = packet.src;
+    trap.community = message.community;
+    trap.sys_uptime_ticks = v1.time_stamp_ticks;
+    if (v1.generic_trap == GenericTrap::kEnterpriseSpecific) {
+      trap.trap_oid = v1.enterprise.child(0).child(
+          static_cast<std::uint32_t>(v1.specific_trap));
+    } else {
+      trap.trap_oid = Oid({1, 3, 6, 1, 6, 3, 1, 1, 5}).child(
+          static_cast<std::uint32_t>(v1.generic_trap) + 1);
+    }
+    trap.varbinds = v1.varbinds;
+    ++stats_.received;
+    callback_(trap);
+    return;
+  }
+
+  if (message.pdu.type != PduType::kSnmpV2Trap ||
+      message.pdu.varbinds.size() < 2) {
+    ++stats_.malformed;
+    return;
+  }
+
+  TrapNotification trap;
+  trap.source = packet.src;
+  trap.community = message.community;
+  if (const auto* ticks =
+          std::get_if<TimeTicks>(&message.pdu.varbinds[0].value)) {
+    trap.sys_uptime_ticks = ticks->value;
+  }
+  if (const auto* oid = std::get_if<Oid>(&message.pdu.varbinds[1].value)) {
+    trap.trap_oid = *oid;
+  } else {
+    ++stats_.malformed;
+    return;
+  }
+  trap.varbinds.assign(message.pdu.varbinds.begin() + 2,
+                       message.pdu.varbinds.end());
+  ++stats_.received;
+  callback_(trap);
+}
+
+}  // namespace netqos::snmp

@@ -1,0 +1,54 @@
+// Manager-side SNMP notification receiver.
+//
+// Listens on UDP/162, decodes SNMPv2-Trap messages, splits off the two
+// standard varbinds (sysUpTime.0, snmpTrapOID.0), and hands the rest to a
+// callback. Used by the failure-detection extension: agents emit
+// linkDown/linkUp when a cable's carrier changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/udp.h"
+#include "snmp/pdu.h"
+
+namespace netqos::snmp {
+
+struct TrapNotification {
+  sim::Ipv4Address source;  ///< agent that sent the trap
+  std::string community;
+  std::uint32_t sys_uptime_ticks = 0;
+  Oid trap_oid;
+  std::vector<VarBind> varbinds;  ///< payload after the standard two
+};
+
+struct TrapListenerStats {
+  std::uint64_t received = 0;
+  std::uint64_t malformed = 0;
+};
+
+class TrapListener {
+ public:
+  using Callback = std::function<void(const TrapNotification&)>;
+
+  /// Binds `port` on the stack. Throws std::logic_error if taken.
+  TrapListener(sim::UdpStack& stack, Callback callback,
+               std::uint16_t port = sim::kSnmpTrapPort);
+  ~TrapListener();
+  TrapListener(const TrapListener&) = delete;
+  TrapListener& operator=(const TrapListener&) = delete;
+
+  const TrapListenerStats& stats() const { return stats_; }
+
+ private:
+  void handle(const sim::Ipv4Packet& packet);
+
+  sim::UdpStack& stack_;
+  Callback callback_;
+  std::uint16_t port_;
+  TrapListenerStats stats_;
+};
+
+}  // namespace netqos::snmp

@@ -1,0 +1,63 @@
+#include "snmp/value.h"
+
+namespace netqos::snmp {
+
+std::string value_to_string(const SnmpValue& value) {
+  struct Visitor {
+    std::string operator()(Null) const { return "NULL"; }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(const std::string& v) const {
+      return '"' + v + '"';
+    }
+    std::string operator()(const Oid& v) const { return v.to_string(); }
+    std::string operator()(IpAddressValue v) const {
+      return std::to_string((v.value >> 24) & 0xff) + "." +
+             std::to_string((v.value >> 16) & 0xff) + "." +
+             std::to_string((v.value >> 8) & 0xff) + "." +
+             std::to_string(v.value & 0xff);
+    }
+    std::string operator()(Counter32 v) const {
+      return "Counter32(" + std::to_string(v.value) + ")";
+    }
+    std::string operator()(Gauge32 v) const {
+      return "Gauge32(" + std::to_string(v.value) + ")";
+    }
+    std::string operator()(TimeTicks v) const {
+      return "TimeTicks(" + std::to_string(v.value) + ")";
+    }
+    std::string operator()(Counter64 v) const {
+      return "Counter64(" + std::to_string(v.value) + ")";
+    }
+    std::string operator()(VarBindException e) const {
+      switch (e) {
+        case VarBindException::kNoSuchObject: return "noSuchObject";
+        case VarBindException::kNoSuchInstance: return "noSuchInstance";
+        case VarBindException::kEndOfMibView: return "endOfMibView";
+      }
+      return "exception?";
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+std::uint32_t as_counter32(const SnmpValue& value) {
+  return std::get<Counter32>(value).value;
+}
+
+std::uint32_t as_gauge32(const SnmpValue& value) {
+  return std::get<Gauge32>(value).value;
+}
+
+std::uint32_t as_timeticks(const SnmpValue& value) {
+  return std::get<TimeTicks>(value).value;
+}
+
+std::int64_t as_integer(const SnmpValue& value) {
+  return std::get<std::int64_t>(value);
+}
+
+bool is_exception(const SnmpValue& value) {
+  return std::holds_alternative<VarBindException>(value);
+}
+
+}  // namespace netqos::snmp

@@ -1,0 +1,61 @@
+// SNMP variable values (the ASN.1 / SMI types MIB-II uses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "snmp/oid.h"
+
+namespace netqos::snmp {
+
+/// SMIv1/v2 application types carried distinctly so the codec round-trips
+/// the exact wire tag.
+struct Counter32 {
+  std::uint32_t value = 0;
+  bool operator==(const Counter32&) const = default;
+};
+struct Gauge32 {
+  std::uint32_t value = 0;
+  bool operator==(const Gauge32&) const = default;
+};
+struct TimeTicks {
+  std::uint32_t value = 0;  ///< hundredths of a second
+  bool operator==(const TimeTicks&) const = default;
+};
+struct Counter64 {
+  std::uint64_t value = 0;
+  bool operator==(const Counter64&) const = default;
+};
+struct IpAddressValue {
+  std::uint32_t value = 0;  ///< host order
+  bool operator==(const IpAddressValue&) const = default;
+};
+struct Null {
+  bool operator==(const Null&) const = default;
+};
+
+/// SNMPv2c varbind exceptions (RFC 1905 §3): returned in place of a value.
+enum class VarBindException : std::uint8_t {
+  kNoSuchObject = 0x80,
+  kNoSuchInstance = 0x81,
+  kEndOfMibView = 0x82,
+};
+
+using SnmpValue =
+    std::variant<Null, std::int64_t, std::string, Oid, IpAddressValue,
+                 Counter32, Gauge32, TimeTicks, Counter64, VarBindException>;
+
+/// Human-readable rendering (for logs and example output).
+std::string value_to_string(const SnmpValue& value);
+
+/// Convenience extractors; throw std::bad_variant_access on mismatch.
+std::uint32_t as_counter32(const SnmpValue& value);
+std::uint32_t as_gauge32(const SnmpValue& value);
+std::uint32_t as_timeticks(const SnmpValue& value);
+std::int64_t as_integer(const SnmpValue& value);
+
+/// True when the value is a VarBindException marker.
+bool is_exception(const SnmpValue& value);
+
+}  // namespace netqos::snmp

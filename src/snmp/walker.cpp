@@ -1,0 +1,77 @@
+#include "snmp/walker.h"
+
+#include <stdexcept>
+
+namespace netqos::snmp {
+
+SubtreeWalker::SubtreeWalker(SnmpClient& client, std::size_t bulk_size)
+    : client_(client), bulk_size_(bulk_size == 0 ? 1 : bulk_size) {}
+
+void SubtreeWalker::walk(sim::Ipv4Address agent, const std::string& community,
+                         Oid root, Callback callback) {
+  if (busy_) {
+    throw std::logic_error("SubtreeWalker already walking");
+  }
+  busy_ = true;
+  agent_ = agent;
+  community_ = community;
+  root_ = std::move(root);
+  cursor_ = root_;
+  collected_ = WalkResult{};
+  callback_ = std::move(callback);
+  step();
+}
+
+void SubtreeWalker::step() {
+  if (client_.config().version == SnmpVersion::kV1) {
+    // SNMPv1 has no GETBULK (RFC 1157): chain plain GETNEXT requests.
+    client_.get_next(agent_, community_, {cursor_}, [this](SnmpResult r) {
+      on_result(std::move(r));
+    });
+    return;
+  }
+  client_.get_bulk(agent_, community_, {cursor_}, /*non_repeaters=*/0,
+                   static_cast<std::int32_t>(bulk_size_),
+                   [this](SnmpResult result) { on_result(std::move(result)); });
+}
+
+void SubtreeWalker::on_result(SnmpResult result) {
+  if (!result.ok()) {
+    // A v1 GETNEXT past the last object answers noSuchName — that is the
+    // normal end-of-walk signal, not a failure (RFC 1157 §4.1.3).
+    if (result.status == SnmpResult::Status::kErrorResponse &&
+        result.error_status == ErrorStatus::kNoSuchName &&
+        client_.config().version == SnmpVersion::kV1) {
+      finish("");
+      return;
+    }
+    finish(result.status == SnmpResult::Status::kTimeout
+               ? "timeout"
+               : "error response: " +
+                     std::string(error_status_name(result.error_status)));
+    return;
+  }
+  if (result.varbinds.empty()) {
+    finish("");
+    return;
+  }
+  for (auto& vb : result.varbinds) {
+    if (!vb.oid.starts_with(root_) || is_exception(vb.value)) {
+      finish("");
+      return;
+    }
+    cursor_ = vb.oid;
+    collected_.varbinds.push_back(std::move(vb));
+  }
+  step();
+}
+
+void SubtreeWalker::finish(std::string error) {
+  busy_ = false;
+  collected_.ok = error.empty();
+  collected_.error = std::move(error);
+  Callback callback = std::move(callback_);
+  callback(std::move(collected_));
+}
+
+}  // namespace netqos::snmp

@@ -1,0 +1,56 @@
+// ifTable walker: retrieves a whole MIB subtree with chained GETNEXT (v1)
+// or GETBULK (v2c) requests. Used by the monitor at startup to map
+// interface descriptions to ifIndex values, and by the dynamic-discovery
+// extension.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "snmp/client.h"
+
+namespace netqos::snmp {
+
+struct WalkResult {
+  bool ok = false;
+  std::string error;  ///< empty when ok
+  std::vector<VarBind> varbinds;  ///< all instances under the root, in order
+};
+
+/// Walks the subtree under `root` on `agent` and invokes `callback` once
+/// with everything collected. The walker object must stay alive until the
+/// callback fires; one walker supports one walk at a time.
+///
+/// SNMPv2c clients walk with GETBULK (`bulk_size` repetitions per
+/// round-trip); when the client is configured for SNMPv1 — which has no
+/// GETBULK — the walker falls back to chained GETNEXT automatically.
+class SubtreeWalker {
+ public:
+  using Callback = std::function<void(WalkResult)>;
+
+  explicit SubtreeWalker(SnmpClient& client, std::size_t bulk_size = 16);
+
+  void walk(sim::Ipv4Address agent, const std::string& community, Oid root,
+            Callback callback);
+
+  bool busy() const { return busy_; }
+
+ private:
+  void step();
+  void on_result(SnmpResult result);
+  void finish(std::string error);
+
+  SnmpClient& client_;
+  std::size_t bulk_size_;
+  bool busy_ = false;
+
+  sim::Ipv4Address agent_;
+  std::string community_;
+  Oid root_;
+  Oid cursor_;
+  WalkResult collected_;
+  Callback callback_;
+};
+
+}  // namespace netqos::snmp

@@ -1,0 +1,110 @@
+#include "spec/lexer.h"
+
+namespace netqos::spec {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kAtom: return "atom";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kArrow: return "'<->'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_atom_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-' ||
+         c == ':';
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < source.size() &&
+                     source[i + 1] == '/')) {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+
+    const std::size_t tok_line = line;
+    const std::size_t tok_col = column;
+
+    if (c == '{') {
+      tokens.push_back({TokenKind::kLBrace, "{", tok_line, tok_col});
+      advance();
+    } else if (c == '}') {
+      tokens.push_back({TokenKind::kRBrace, "}", tok_line, tok_col});
+      advance();
+    } else if (c == ';') {
+      tokens.push_back({TokenKind::kSemicolon, ";", tok_line, tok_col});
+      advance();
+    } else if (c == '<') {
+      if (source.compare(i, 3, "<->") != 0) {
+        throw ParseError("expected '<->'", tok_line, tok_col);
+      }
+      tokens.push_back({TokenKind::kArrow, "<->", tok_line, tok_col});
+      advance(3);
+    } else if (c == '"') {
+      advance();
+      std::string text;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\n') {
+          throw ParseError("unterminated string", tok_line, tok_col);
+        }
+        text += source[i];
+        advance();
+      }
+      if (i >= source.size()) {
+        throw ParseError("unterminated string", tok_line, tok_col);
+      }
+      advance();  // closing quote
+      tokens.push_back({TokenKind::kString, std::move(text), tok_line,
+                        tok_col});
+    } else if (is_atom_char(c)) {
+      std::string text;
+      while (i < source.size() && is_atom_char(source[i])) {
+        text += source[i];
+        advance();
+      }
+      tokens.push_back({TokenKind::kAtom, std::move(text), tok_line,
+                        tok_col});
+    } else {
+      throw ParseError(std::string("unexpected character '") + c + "'",
+                       tok_line, tok_col);
+    }
+  }
+
+  tokens.push_back({TokenKind::kEnd, "", line, column});
+  return tokens;
+}
+
+}  // namespace netqos::spec

@@ -1,0 +1,33 @@
+// Lexer for the specification language.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "spec/token.h"
+
+namespace netqos::spec {
+
+/// Parse/lex failure with source position.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t line, std::size_t column)
+      : std::runtime_error("spec:" + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Tokenizes a whole spec source. '#' and '//' start line comments.
+/// Throws ParseError on unterminated strings or illegal characters.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace netqos::spec

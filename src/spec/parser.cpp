@@ -1,0 +1,320 @@
+#include "spec/parser.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace netqos::spec {
+namespace {
+
+bool is_ipv4_literal(const std::string& text) {
+  int dots = 0;
+  for (char c : text) {
+    if (c == '.') {
+      ++dots;
+    } else if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  return dots == 3;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  SpecFile parse() {
+    SpecFile file;
+    expect_keyword("network");
+    file.network_name = expect_atom("network name");
+    expect(TokenKind::kLBrace);
+    while (!at(TokenKind::kRBrace)) {
+      const Token& tok = peek();
+      if (tok.kind != TokenKind::kAtom) {
+        fail("expected node or connect statement", tok);
+      }
+      if (tok.text == "host" || tok.text == "switch" || tok.text == "hub") {
+        parse_node(file.topology);
+      } else if (tok.text == "connect") {
+        parse_connect(file.topology);
+      } else {
+        fail("expected 'host', 'switch', 'hub', or 'connect', got '" +
+                 tok.text + "'",
+             tok);
+      }
+    }
+    expect(TokenKind::kRBrace);
+
+    if (at_keyword("qos")) {
+      parse_qos(file);
+    }
+    expect(TokenKind::kEnd);
+
+    const auto problems = file.topology.validate();
+    if (!problems.empty()) {
+      std::string all = "invalid topology:";
+      for (const auto& p : problems) all += "\n  - " + p;
+      fail(all, peek());
+    }
+    return file;
+  }
+
+ private:
+  void parse_node(topo::NetworkTopology& topo) {
+    const Token kind_tok = next();
+    topo::NodeSpec node;
+    if (kind_tok.text == "host") {
+      node.kind = topo::NodeKind::kHost;
+    } else if (kind_tok.text == "switch") {
+      node.kind = topo::NodeKind::kSwitch;
+    } else {
+      node.kind = topo::NodeKind::kHub;
+    }
+    node.name = expect_atom("node name");
+    expect(TokenKind::kLBrace);
+    while (!at(TokenKind::kRBrace)) {
+      parse_node_attr(node);
+    }
+    expect(TokenKind::kRBrace);
+    try {
+      topo.add_node(std::move(node));
+    } catch (const std::invalid_argument& e) {
+      fail(e.what(), kind_tok);
+    }
+  }
+
+  void parse_node_attr(topo::NodeSpec& node) {
+    const Token tok = next();
+    if (tok.kind != TokenKind::kAtom) fail("expected node attribute", tok);
+
+    if (tok.text == "os") {
+      node.os = expect_atom_or_string("os value");
+      expect(TokenKind::kSemicolon);
+    } else if (tok.text == "snmp") {
+      const std::string mode = expect_atom("'on' or 'off'");
+      if (mode == "on") {
+        node.snmp_enabled = true;
+      } else if (mode == "off") {
+        node.snmp_enabled = false;
+      } else {
+        fail("snmp must be 'on' or 'off', got '" + mode + "'", tok);
+      }
+      if (at_keyword("community")) {
+        next();
+        node.snmp_community = expect_atom_or_string("community string");
+      }
+      expect(TokenKind::kSemicolon);
+    } else if (tok.text == "management") {
+      expect_keyword("address");
+      const Token addr = next();
+      if (addr.kind != TokenKind::kAtom || !is_ipv4_literal(addr.text)) {
+        fail("expected IPv4 address", addr);
+      }
+      node.management_ipv4 = addr.text;
+      expect(TokenKind::kSemicolon);
+    } else if (tok.text == "speed") {
+      const Token value = next();
+      if (value.kind != TokenKind::kAtom) fail("expected bandwidth", value);
+      node.default_speed =
+          parse_bandwidth(value.text, value.line, value.column);
+      expect(TokenKind::kSemicolon);
+    } else if (tok.text == "interface") {
+      topo::InterfaceSpec itf;
+      itf.local_name = expect_atom("interface name");
+      if (at(TokenKind::kLBrace)) {
+        next();
+        while (!at(TokenKind::kRBrace)) {
+          parse_interface_attr(itf);
+        }
+        expect(TokenKind::kRBrace);
+      }
+      if (at(TokenKind::kSemicolon)) next();  // optional after a block
+      node.interfaces.push_back(std::move(itf));
+    } else {
+      fail("unknown node attribute '" + tok.text + "'", tok);
+    }
+  }
+
+  void parse_interface_attr(topo::InterfaceSpec& itf) {
+    const Token tok = next();
+    if (tok.kind != TokenKind::kAtom) {
+      fail("expected interface attribute", tok);
+    }
+    if (tok.text == "speed") {
+      const Token value = next();
+      if (value.kind != TokenKind::kAtom) fail("expected bandwidth", value);
+      itf.speed = parse_bandwidth(value.text, value.line, value.column);
+      expect(TokenKind::kSemicolon);
+    } else if (tok.text == "address") {
+      const Token addr = next();
+      if (addr.kind != TokenKind::kAtom || !is_ipv4_literal(addr.text)) {
+        fail("expected IPv4 address", addr);
+      }
+      itf.ipv4 = addr.text;
+      expect(TokenKind::kSemicolon);
+    } else {
+      fail("unknown interface attribute '" + tok.text + "'", tok);
+    }
+  }
+
+  void parse_connect(topo::NetworkTopology& topo) {
+    next();  // 'connect'
+    topo::Connection conn;
+    conn.a = parse_endpoint();
+    expect(TokenKind::kArrow);
+    conn.b = parse_endpoint();
+    expect(TokenKind::kSemicolon);
+    topo.add_connection(std::move(conn));
+  }
+
+  topo::Endpoint parse_endpoint() {
+    const Token tok = next();
+    if (tok.kind != TokenKind::kAtom) {
+      fail("expected endpoint 'node.interface'", tok);
+    }
+    const std::size_t dot = tok.text.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= tok.text.size() ||
+        tok.text.find('.', dot + 1) != std::string::npos) {
+      fail("endpoint must be 'node.interface', got '" + tok.text + "'", tok);
+    }
+    return topo::Endpoint{tok.text.substr(0, dot), tok.text.substr(dot + 1)};
+  }
+
+  void parse_qos(SpecFile& file) {
+    next();  // 'qos'
+    expect(TokenKind::kLBrace);
+    while (!at(TokenKind::kRBrace)) {
+      expect_keyword("path");
+      QosRequirement req;
+      req.from = expect_atom("host name");
+      expect(TokenKind::kArrow);
+      req.to = expect_atom("host name");
+      expect(TokenKind::kLBrace);
+      expect_keyword("min_available");
+      const Token value = next();
+      if (value.kind != TokenKind::kAtom) fail("expected bandwidth", value);
+      req.min_available_bps =
+          parse_bandwidth(value.text, value.line, value.column);
+      expect(TokenKind::kSemicolon);
+      expect(TokenKind::kRBrace);
+
+      for (const auto* host : {&req.from, &req.to}) {
+        if (file.topology.find_node(*host) == nullptr) {
+          fail("qos path references unknown host '" + *host + "'", value);
+        }
+      }
+      file.qos.push_back(std::move(req));
+    }
+    expect(TokenKind::kRBrace);
+  }
+
+  // --- token helpers -----------------------------------------------------
+
+  const Token& peek() const { return tokens_[pos_]; }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  bool at_keyword(const std::string& word) const {
+    return peek().kind == TokenKind::kAtom && peek().text == word;
+  }
+
+  Token next() {
+    const Token tok = tokens_[pos_];
+    if (tok.kind != TokenKind::kEnd) ++pos_;
+    return tok;
+  }
+
+  void expect(TokenKind kind) {
+    const Token tok = next();
+    if (tok.kind != kind) {
+      fail(std::string("expected ") + token_kind_name(kind) + ", got " +
+               token_kind_name(tok.kind),
+           tok);
+    }
+  }
+
+  void expect_keyword(const std::string& word) {
+    const Token tok = next();
+    if (tok.kind != TokenKind::kAtom || tok.text != word) {
+      fail("expected '" + word + "'", tok);
+    }
+  }
+
+  std::string expect_atom(const std::string& what) {
+    const Token tok = next();
+    if (tok.kind != TokenKind::kAtom) {
+      fail("expected " + what, tok);
+    }
+    return tok.text;
+  }
+
+  std::string expect_atom_or_string(const std::string& what) {
+    const Token tok = next();
+    if (tok.kind != TokenKind::kAtom && tok.kind != TokenKind::kString) {
+      fail("expected " + what, tok);
+    }
+    return tok.text;
+  }
+
+  [[noreturn]] void fail(const std::string& message, const Token& at) const {
+    throw ParseError(message, at.line, at.column);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+BitsPerSecond parse_bandwidth(const std::string& text, std::size_t line,
+                              std::size_t column) {
+  std::size_t digits = 0;
+  while (digits < text.size() &&
+         ((text[digits] >= '0' && text[digits] <= '9') ||
+          text[digits] == '.')) {
+    ++digits;
+  }
+  if (digits == 0) {
+    throw ParseError("expected bandwidth, got '" + text + "'", line, column);
+  }
+  const double number = std::strtod(text.substr(0, digits).c_str(), nullptr);
+  const std::string unit = text.substr(digits);
+
+  double multiplier = 1.0;
+  if (unit.empty() || unit == "bps") {
+    multiplier = 1.0;
+  } else if (unit == "Kbps" || unit == "kbps") {
+    multiplier = 1e3;
+  } else if (unit == "Mbps" || unit == "mbps") {
+    multiplier = 1e6;
+  } else if (unit == "Gbps" || unit == "gbps") {
+    multiplier = 1e9;
+  } else if (unit == "Bps") {
+    multiplier = 8.0;
+  } else if (unit == "KBps") {
+    multiplier = 8e3;
+  } else if (unit == "MBps") {
+    multiplier = 8e6;
+  } else {
+    throw ParseError("unknown bandwidth unit '" + unit + "'", line, column);
+  }
+  const double bps = number * multiplier;
+  if (bps < 0 || bps > 1e18) {
+    throw ParseError("bandwidth out of range: '" + text + "'", line, column);
+  }
+  return static_cast<BitsPerSecond>(bps);
+}
+
+SpecFile parse_spec(const std::string& source) {
+  return Parser(lex(source)).parse();
+}
+
+SpecFile parse_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read spec file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec(buffer.str());
+}
+
+}  // namespace netqos::spec

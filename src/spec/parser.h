@@ -1,0 +1,69 @@
+// Recursive-descent parser for the specification language.
+//
+// Grammar (EBNF; atoms classified in context):
+//
+//   file        := network-block [qos-block]
+//   network     := "network" name "{" node* connect* "}"
+//                  (node and connect statements may interleave)
+//   node        := ("host" | "switch" | "hub") name "{" node-attr* "}"
+//   node-attr   := "os" (atom | string) ";"
+//                | "snmp" ("on" | "off") ["community" (atom|string)] ";"
+//                | "management" "address" ipv4 ";"
+//                | "speed" bandwidth ";"                 (node default)
+//                | "interface" name [ "{" if-attr* "}" ] ";"?
+//   if-attr     := "speed" bandwidth ";" | "address" ipv4 ";"
+//   connect     := "connect" endpoint "<->" endpoint ";"
+//   endpoint    := node "." interface      (one atom containing a dot)
+//   qos-block   := "qos" "{" qos-req* "}"
+//   qos-req     := "path" name "<->" name "{" "min_available" bandwidth ";" "}"
+//   bandwidth   := NUMBER ("bps"|"Kbps"|"Mbps"|"Gbps"|"KBps"|"MBps")
+//
+// Example:
+//
+//   network lirtss {
+//     host L { os "Linux"; snmp on;
+//       interface eth0 { speed 100Mbps; address 10.0.0.1; } }
+//     switch sw0 { snmp on; management address 10.0.0.100; speed 100Mbps;
+//       interface p1; interface p2; }
+//     connect L.eth0 <-> sw0.p1;
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "spec/lexer.h"
+#include "topology/model.h"
+
+namespace netqos::spec {
+
+/// A network QoS requirement from the qos block: the path between two
+/// hosts must keep at least this much available bandwidth.
+struct QosRequirement {
+  std::string from;
+  std::string to;
+  BitsPerSecond min_available_bps = 0;
+};
+
+/// Everything a spec file declares.
+struct SpecFile {
+  std::string network_name;
+  topo::NetworkTopology topology;
+  std::vector<QosRequirement> qos;
+};
+
+/// Parses spec source text. Throws ParseError on syntax errors and on
+/// structural problems reported by NetworkTopology::validate().
+SpecFile parse_spec(const std::string& source);
+
+/// Reads and parses a spec file from disk. Throws std::runtime_error if
+/// the file cannot be read, ParseError on bad content.
+SpecFile parse_spec_file(const std::string& path);
+
+/// Parses a bandwidth atom like "100Mbps", "64Kbps", "500KBps" (bytes),
+/// or a bare bit/s count. Throws ParseError on malformed input.
+BitsPerSecond parse_bandwidth(const std::string& text, std::size_t line,
+                              std::size_t column);
+
+}  // namespace netqos::spec

@@ -1,0 +1,71 @@
+#include "spec/testbed.h"
+
+namespace netqos::spec {
+
+std::string lirtss_spec_text() {
+  return R"(# LIRTSS laboratory testbed, paper Figure 3.
+network lirtss {
+  host L {
+    os "Linux";
+    snmp on;
+    interface eth0 { speed 100Mbps; address 10.0.0.1; }
+  }
+  host S1 {
+    os "Solaris 7";
+    snmp on;
+    interface hme0 { speed 100Mbps; address 10.0.0.11; }
+  }
+  host S2 {
+    os "Solaris 7";
+    snmp on;
+    interface hme0 { speed 100Mbps; address 10.0.0.12; }
+  }
+  host S3 { os "Solaris"; interface hme0 { speed 100Mbps; address 10.0.0.13; } }
+  host S4 { os "Solaris"; interface hme0 { speed 100Mbps; address 10.0.0.14; } }
+  host S5 { os "Solaris"; interface hme0 { speed 100Mbps; address 10.0.0.15; } }
+  host S6 { os "Solaris"; interface hme0 { speed 100Mbps; address 10.0.0.16; } }
+  host N1 {
+    os "Windows NT";
+    snmp on;
+    interface e0 { speed 10Mbps; address 10.0.0.21; }
+  }
+  host N2 {
+    os "Windows NT";
+    snmp on;
+    interface e0 { speed 10Mbps; address 10.0.0.22; }
+  }
+
+  switch sw0 {
+    snmp on;
+    management address 10.0.0.100;
+    speed 100Mbps;
+    interface p1; interface p2; interface p3; interface p4;
+    interface p5; interface p6; interface p7;
+    interface p8 { speed 10Mbps; }   # uplink to the hub
+  }
+  hub hub0 {
+    speed 10Mbps;
+    interface h1; interface h2; interface h3;
+  }
+
+  connect L.eth0  <-> sw0.p1;
+  connect S1.hme0 <-> sw0.p2;
+  connect S2.hme0 <-> sw0.p3;
+  connect S3.hme0 <-> sw0.p4;
+  connect S4.hme0 <-> sw0.p5;
+  connect S5.hme0 <-> sw0.p6;
+  connect S6.hme0 <-> sw0.p7;
+  connect hub0.h1 <-> sw0.p8;
+  connect N1.e0   <-> hub0.h2;
+  connect N2.e0   <-> hub0.h3;
+}
+qos {
+  path S1 <-> N1 { min_available 4Mbps; }
+  path S1 <-> S2 { min_available 50Mbps; }
+}
+)";
+}
+
+SpecFile lirtss_testbed() { return parse_spec(lirtss_spec_text()); }
+
+}  // namespace netqos::spec

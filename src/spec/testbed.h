@@ -1,0 +1,21 @@
+// The paper's LIRTSS testbed (Figure 3) as a specification file.
+//
+// One 100 Mbps switch and one 10 Mbps hub. Linux monitor host L, Solaris
+// hosts S1/S2 (SNMP) and S3-S6 (no SNMP) on the switch; Windows NT hosts
+// N1/N2 (SNMP) on the hub, which uplinks to the switch. SNMP daemons run
+// on L, N1, N2, S1, S2, and the switch — exactly the §4.1 arrangement.
+#pragma once
+
+#include <string>
+
+#include "spec/parser.h"
+
+namespace netqos::spec {
+
+/// The spec-language source describing the Figure 3 testbed.
+std::string lirtss_spec_text();
+
+/// Parsed form of lirtss_spec_text().
+SpecFile lirtss_testbed();
+
+}  // namespace netqos::spec

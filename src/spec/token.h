@@ -1,0 +1,34 @@
+// Tokens for the network-resource specification language.
+//
+// The language (an extension of the DeSiDeRaTa specification language in
+// the paper's reference [12]) describes hosts, network devices,
+// interfaces, and connections. The lexer is deliberately permissive about
+// "atoms": identifiers, IPv4 literals, and unit-suffixed numbers all lex
+// as kAtom and are classified by the parser in context.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace netqos::spec {
+
+enum class TokenKind {
+  kAtom,      // lirtss, eth0, 10.0.0.1, 100Mbps, connect, ...
+  kString,    // "Solaris 7"
+  kLBrace,    // {
+  kRBrace,    // }
+  kSemicolon, // ;
+  kArrow,     // <->
+  kEnd,       // end of input
+};
+
+const char* token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< atom/string content (strings without quotes)
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+}  // namespace netqos::spec

@@ -1,0 +1,76 @@
+#include "spec/writer.h"
+
+#include <sstream>
+
+namespace netqos::spec {
+
+std::string write_bandwidth(BitsPerSecond bps) {
+  if (bps != 0 && bps % 1'000'000'000 == 0) {
+    return std::to_string(bps / 1'000'000'000) + "Gbps";
+  }
+  if (bps != 0 && bps % 1'000'000 == 0) {
+    return std::to_string(bps / 1'000'000) + "Mbps";
+  }
+  if (bps != 0 && bps % 1'000 == 0) {
+    return std::to_string(bps / 1'000) + "Kbps";
+  }
+  return std::to_string(bps) + "bps";
+}
+
+std::string write_spec(const SpecFile& file) {
+  std::ostringstream out;
+  out << "network " << file.network_name << " {\n";
+
+  for (const auto& node : file.topology.nodes()) {
+    out << "  " << topo::node_kind_name(node.kind) << " " << node.name
+        << " {\n";
+    if (!node.os.empty()) out << "    os \"" << node.os << "\";\n";
+    if (node.snmp_enabled) {
+      out << "    snmp on";
+      if (node.snmp_community != "public") {
+        out << " community \"" << node.snmp_community << "\"";
+      }
+      out << ";\n";
+    }
+    if (!node.management_ipv4.empty()) {
+      out << "    management address " << node.management_ipv4 << ";\n";
+    }
+    if (node.default_speed != 0) {
+      out << "    speed " << write_bandwidth(node.default_speed) << ";\n";
+    }
+    for (const auto& itf : node.interfaces) {
+      out << "    interface " << itf.local_name;
+      const bool has_block = itf.speed != 0 || !itf.ipv4.empty();
+      if (has_block) {
+        out << " {";
+        if (itf.speed != 0) {
+          out << " speed " << write_bandwidth(itf.speed) << ";";
+        }
+        if (!itf.ipv4.empty()) out << " address " << itf.ipv4 << ";";
+        out << " }\n";
+      } else {
+        out << ";\n";
+      }
+    }
+    out << "  }\n";
+  }
+
+  for (const auto& conn : file.topology.connections()) {
+    out << "  connect " << conn.a.to_string() << " <-> "
+        << conn.b.to_string() << ";\n";
+  }
+  out << "}\n";
+
+  if (!file.qos.empty()) {
+    out << "qos {\n";
+    for (const auto& req : file.qos) {
+      out << "  path " << req.from << " <-> " << req.to
+          << " { min_available " << write_bandwidth(req.min_available_bps)
+          << "; }\n";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace netqos::spec

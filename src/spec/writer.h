@@ -1,0 +1,20 @@
+// Serializes a topology back to specification-language text.
+//
+// Used by the dynamic-discovery extension (paper §5 future work) to emit
+// a spec for what it found, and by round-trip tests on the parser.
+#pragma once
+
+#include <string>
+
+#include "spec/parser.h"
+
+namespace netqos::spec {
+
+/// Renders a SpecFile as parseable spec source. parse_spec(write_spec(f))
+/// reproduces the same topology.
+std::string write_spec(const SpecFile& file);
+
+/// Renders a bandwidth with the largest exact unit (e.g. "100Mbps").
+std::string write_bandwidth(BitsPerSecond bps);
+
+}  // namespace netqos::spec

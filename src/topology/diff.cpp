@@ -1,0 +1,132 @@
+#include "topology/diff.h"
+
+#include <algorithm>
+#include <set>
+
+namespace netqos::topo {
+
+const char* difference_kind_name(TopologyDifference::Kind kind) {
+  using Kind = TopologyDifference::Kind;
+  switch (kind) {
+    case Kind::kMissingNode: return "missing-node";
+    case Kind::kUnexpectedNode: return "unexpected-node";
+    case Kind::kKindMismatch: return "kind-mismatch";
+    case Kind::kMissingInterface: return "missing-interface";
+    case Kind::kUnexpectedInterface: return "unexpected-interface";
+    case Kind::kSpeedMismatch: return "speed-mismatch";
+    case Kind::kMissingConnection: return "missing-connection";
+    case Kind::kUnexpectedConnection: return "unexpected-connection";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Canonical key for an unordered connection.
+std::pair<std::string, std::string> connection_key(const Connection& conn) {
+  std::string a = conn.a.node + "." + conn.a.interface;
+  std::string b = conn.b.node + "." + conn.b.interface;
+  if (b < a) std::swap(a, b);
+  return {a, b};
+}
+
+bool is_placeholder(const std::string& name) {
+  return name.rfind("host-", 0) == 0 || name.rfind("hub-", 0) == 0;
+}
+
+}  // namespace
+
+std::vector<TopologyDifference> diff_topologies(
+    const NetworkTopology& expected, const NetworkTopology& discovered,
+    bool report_placeholders) {
+  using Kind = TopologyDifference::Kind;
+  std::vector<TopologyDifference> diffs;
+  auto report = [&diffs](Kind kind, std::string description) {
+    diffs.push_back({kind, std::move(description)});
+  };
+
+  // Nodes present in expected: compare attributes.
+  for (const auto& exp_node : expected.nodes()) {
+    const NodeSpec* disc_node = discovered.find_node(exp_node.name);
+    if (disc_node == nullptr) {
+      report(Kind::kMissingNode,
+             "node '" + exp_node.name + "' (" +
+                 node_kind_name(exp_node.kind) + ") was not discovered");
+      continue;
+    }
+    if (disc_node->kind != exp_node.kind) {
+      report(Kind::kKindMismatch,
+             "node '" + exp_node.name + "': expected " +
+                 node_kind_name(exp_node.kind) + ", discovered " +
+                 node_kind_name(disc_node->kind));
+    }
+    for (const auto& itf : exp_node.interfaces) {
+      const InterfaceSpec* disc_itf =
+          disc_node->find_interface(itf.local_name);
+      if (disc_itf == nullptr) {
+        report(Kind::kMissingInterface,
+               "interface '" + exp_node.name + "." + itf.local_name +
+                   "' was not discovered");
+        continue;
+      }
+      const BitsPerSecond expected_speed = exp_node.interface_speed(itf);
+      const BitsPerSecond discovered_speed =
+          disc_node->interface_speed(*disc_itf);
+      if (expected_speed != 0 && discovered_speed != 0 &&
+          expected_speed != discovered_speed) {
+        report(Kind::kSpeedMismatch,
+               "interface '" + exp_node.name + "." + itf.local_name +
+                   "': expected " + std::to_string(expected_speed) +
+                   " bps, discovered " + std::to_string(discovered_speed) +
+                   " bps");
+      }
+    }
+    for (const auto& itf : disc_node->interfaces) {
+      if (exp_node.find_interface(itf.local_name) == nullptr) {
+        report(Kind::kUnexpectedInterface,
+               "interface '" + exp_node.name + "." + itf.local_name +
+                   "' discovered but not in the specification");
+      }
+    }
+  }
+
+  // Nodes only in discovered.
+  for (const auto& disc_node : discovered.nodes()) {
+    if (expected.find_node(disc_node.name) != nullptr) continue;
+    if (!report_placeholders && is_placeholder(disc_node.name)) continue;
+    report(Kind::kUnexpectedNode,
+           "node '" + disc_node.name + "' (" +
+               node_kind_name(disc_node.kind) +
+               ") discovered but not in the specification");
+  }
+
+  // Connections, matched on canonical endpoint pairs. Connections that
+  // touch placeholder nodes are skipped unless requested.
+  std::set<std::pair<std::string, std::string>> expected_keys;
+  for (const auto& conn : expected.connections()) {
+    expected_keys.insert(connection_key(conn));
+  }
+  std::set<std::pair<std::string, std::string>> discovered_keys;
+  for (const auto& conn : discovered.connections()) {
+    discovered_keys.insert(connection_key(conn));
+  }
+  for (const auto& conn : expected.connections()) {
+    if (!discovered_keys.contains(connection_key(conn))) {
+      report(Kind::kMissingConnection,
+             "connection " + conn.to_string() + " was not discovered");
+    }
+  }
+  for (const auto& conn : discovered.connections()) {
+    if (expected_keys.contains(connection_key(conn))) continue;
+    if (!report_placeholders &&
+        (is_placeholder(conn.a.node) || is_placeholder(conn.b.node))) {
+      continue;
+    }
+    report(Kind::kUnexpectedConnection,
+           "connection " + conn.to_string() +
+               " discovered but not in the specification");
+  }
+  return diffs;
+}
+
+}  // namespace netqos::topo

@@ -1,0 +1,47 @@
+// Topology comparison — the paper's "hybrid approach" (§3.2).
+//
+// The paper obtains topology from specification files and notes that pure
+// discovery is infeasible because the RM middleware "has to know exactly
+// what resources are under its control", suggesting a hybrid as future
+// work. The hybrid: run discovery, then diff the discovered topology
+// against the configured specification; differences are either
+// configuration drift or spec errors, and each is reported as a typed,
+// human-readable finding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/model.h"
+
+namespace netqos::topo {
+
+struct TopologyDifference {
+  enum class Kind {
+    kMissingNode,        ///< in expected, not discovered
+    kUnexpectedNode,     ///< discovered, not in expected
+    kKindMismatch,       ///< host vs switch vs hub disagreement
+    kMissingInterface,
+    kUnexpectedInterface,
+    kSpeedMismatch,
+    kMissingConnection,  ///< expected link not discovered
+    kUnexpectedConnection,
+  };
+
+  Kind kind;
+  std::string description;
+};
+
+const char* difference_kind_name(TopologyDifference::Kind kind);
+
+/// Compares `discovered` against `expected`. Nodes are matched by name;
+/// connections by unordered endpoint pairs. Nodes present only in the
+/// discovered topology whose names begin with "host-" (discovery's
+/// placeholders for agentless MACs) are reported as unexpected only if
+/// `report_placeholders` is set — by default they are understood to be
+/// the expected-but-unidentifiable hosts.
+std::vector<TopologyDifference> diff_topologies(
+    const NetworkTopology& expected, const NetworkTopology& discovered,
+    bool report_placeholders = false);
+
+}  // namespace netqos::topo

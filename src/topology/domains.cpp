@@ -1,0 +1,71 @@
+#include "topology/domains.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace netqos::topo {
+
+std::vector<CollisionDomain> collision_domains(const NetworkTopology& topo) {
+  std::vector<CollisionDomain> domains;
+  std::set<std::string> assigned;
+
+  for (const auto& node : topo.nodes()) {
+    if (node.kind != NodeKind::kHub || assigned.contains(node.name)) continue;
+
+    // Flood-fill across hub-to-hub connections.
+    CollisionDomain dom;
+    std::vector<std::string> frontier{node.name};
+    assigned.insert(node.name);
+    while (!frontier.empty()) {
+      const std::string hub = frontier.back();
+      frontier.pop_back();
+      dom.hubs.push_back(hub);
+      for (std::size_t ci : topo.connections_of(hub)) {
+        const Connection& conn = topo.connections()[ci];
+        const std::string& peer = conn.peer_of(hub).node;
+        const NodeSpec* peer_node = topo.find_node(peer);
+        if (peer_node != nullptr && peer_node->kind == NodeKind::kHub) {
+          dom.internal_connections.push_back(ci);
+          if (assigned.insert(peer).second) frontier.push_back(peer);
+        } else {
+          dom.member_connections.push_back(ci);
+        }
+      }
+    }
+
+    // Deduplicate internal links (seen once from each side).
+    std::sort(dom.internal_connections.begin(), dom.internal_connections.end());
+    dom.internal_connections.erase(
+        std::unique(dom.internal_connections.begin(),
+                    dom.internal_connections.end()),
+        dom.internal_connections.end());
+    std::sort(dom.member_connections.begin(), dom.member_connections.end());
+
+    // Domain speed: slowest connection in the domain (the medium's rate).
+    BitsPerSecond speed = std::numeric_limits<BitsPerSecond>::max();
+    auto consider = [&](std::size_t ci) {
+      speed = std::min(speed, connection_speed(topo, topo.connections()[ci]));
+    };
+    for (std::size_t ci : dom.member_connections) consider(ci);
+    for (std::size_t ci : dom.internal_connections) consider(ci);
+    dom.speed = (speed == std::numeric_limits<BitsPerSecond>::max()) ? 0 : speed;
+
+    domains.push_back(std::move(dom));
+  }
+  return domains;
+}
+
+std::vector<std::optional<std::size_t>> connection_domains(
+    const NetworkTopology& topo,
+    const std::vector<CollisionDomain>& domains) {
+  std::vector<std::optional<std::size_t>> map(topo.connections().size());
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    for (std::size_t ci : domains[d].member_connections) map[ci] = d;
+    for (std::size_t ci : domains[d].internal_connections) map[ci] = d;
+  }
+  return map;
+}
+
+}  // namespace netqos::topo

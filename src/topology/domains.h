@@ -1,0 +1,37 @@
+// Hub collision domains (paper §3.3, hub rule).
+//
+// A hub repeats every frame out of every port, so all endpoints attached
+// to a hub — or to a chain of hubs — share one collision domain: the used
+// bandwidth seen by any member is the sum of the traffic of all members.
+// This module computes, for a topology, the set of collision domains and
+// the membership of each connection.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/model.h"
+
+namespace netqos::topo {
+
+/// One shared-medium domain: the hubs forming it and the connections that
+/// attach non-hub endpoints (hosts or switch ports) to it. Hub-to-hub
+/// connections are internal and listed separately.
+struct CollisionDomain {
+  std::vector<std::string> hubs;              ///< hub node names
+  std::vector<std::size_t> member_connections;  ///< non-hub attachments
+  std::vector<std::size_t> internal_connections;  ///< hub<->hub links
+  BitsPerSecond speed = 0;  ///< slowest hub/interface speed in the domain
+};
+
+/// Computes all collision domains (one per connected component of hubs).
+std::vector<CollisionDomain> collision_domains(const NetworkTopology& topo);
+
+/// Maps each connection index to the collision domain containing it, or
+/// nullopt if the connection is switched/point-to-point. Internal hub-hub
+/// links map to their domain too.
+std::vector<std::optional<std::size_t>> connection_domains(
+    const NetworkTopology& topo, const std::vector<CollisionDomain>& domains);
+
+}  // namespace netqos::topo

@@ -1,0 +1,148 @@
+#include "topology/model.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace netqos::topo {
+
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kHost: return "host";
+    case NodeKind::kSwitch: return "switch";
+    case NodeKind::kHub: return "hub";
+  }
+  return "?";
+}
+
+const InterfaceSpec* NodeSpec::find_interface(
+    const std::string& local_name) const {
+  for (const auto& itf : interfaces) {
+    if (itf.local_name == local_name) return &itf;
+  }
+  return nullptr;
+}
+
+BitsPerSecond NodeSpec::interface_speed(const InterfaceSpec& itf) const {
+  return itf.speed != 0 ? itf.speed : default_speed;
+}
+
+const Endpoint& Connection::end_at(const std::string& node) const {
+  if (a.node == node) return a;
+  if (b.node == node) return b;
+  throw std::out_of_range("connection " + to_string() + " does not touch " +
+                          node);
+}
+
+const Endpoint& Connection::peer_of(const std::string& node) const {
+  if (a.node == node) return b;
+  if (b.node == node) return a;
+  throw std::out_of_range("connection " + to_string() + " does not touch " +
+                          node);
+}
+
+std::size_t NetworkTopology::add_node(NodeSpec node) {
+  if (index_.contains(node.name)) {
+    throw std::invalid_argument("duplicate node name: " + node.name);
+  }
+  index_.emplace(node.name, nodes_.size());
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+std::size_t NetworkTopology::add_connection(Connection conn) {
+  connections_.push_back(std::move(conn));
+  return connections_.size() - 1;
+}
+
+const NodeSpec* NetworkTopology::find_node(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+std::optional<std::size_t> NetworkTopology::node_index(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::size_t> NetworkTopology::connections_of(
+    const std::string& node) const {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i].touches(node)) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<std::string> NetworkTopology::validate() const {
+  std::vector<std::string> problems;
+  auto check_endpoint = [&](const Endpoint& ep, const Connection& conn) {
+    const NodeSpec* node = find_node(ep.node);
+    if (node == nullptr) {
+      problems.push_back("connection " + conn.to_string() +
+                         " references unknown node '" + ep.node + "'");
+      return;
+    }
+    const InterfaceSpec* itf = node->find_interface(ep.interface);
+    if (itf == nullptr) {
+      problems.push_back("connection " + conn.to_string() +
+                         " references unknown interface '" + ep.to_string() +
+                         "'");
+      return;
+    }
+    if (node->interface_speed(*itf) == 0) {
+      problems.push_back("interface " + ep.to_string() +
+                         " has no resolvable speed");
+    }
+  };
+
+  std::set<std::pair<std::string, std::string>> used;
+  for (const auto& conn : connections_) {
+    check_endpoint(conn.a, conn);
+    check_endpoint(conn.b, conn);
+    if (conn.a.node == conn.b.node) {
+      problems.push_back("self-connection on node '" + conn.a.node + "'");
+    }
+    for (const Endpoint* ep : {&conn.a, &conn.b}) {
+      auto key = std::make_pair(ep->node, ep->interface);
+      if (!used.insert(key).second) {
+        problems.push_back("interface " + ep->to_string() +
+                           " used by more than one connection "
+                           "(connections must be 1-to-1)");
+      }
+    }
+  }
+
+  for (const auto& node : nodes_) {
+    std::set<std::string> names;
+    for (const auto& itf : node.interfaces) {
+      if (!names.insert(itf.local_name).second) {
+        problems.push_back("node '" + node.name +
+                           "' has duplicate interface '" + itf.local_name +
+                           "'");
+      }
+    }
+  }
+  return problems;
+}
+
+BitsPerSecond connection_speed(const NetworkTopology& topo,
+                               const Connection& conn) {
+  auto speed_of = [&topo](const Endpoint& ep) {
+    const NodeSpec* node = topo.find_node(ep.node);
+    if (node == nullptr) {
+      throw std::out_of_range("unknown node: " + ep.node);
+    }
+    const InterfaceSpec* itf = node->find_interface(ep.interface);
+    if (itf == nullptr) {
+      throw std::out_of_range("unknown interface: " + ep.to_string());
+    }
+    return node->interface_speed(*itf);
+  };
+  const BitsPerSecond sa = speed_of(conn.a);
+  const BitsPerSecond sb = speed_of(conn.b);
+  return sa < sb ? sa : sb;
+}
+
+}  // namespace netqos::topo

@@ -1,0 +1,114 @@
+// Network topology data model.
+//
+// This is the C++ rendering of the paper's Figure 2 data structures:
+// hosts/devices with named interfaces, and 1-to-1 host-pair connections.
+// The model is pure data — the spec parser produces it, the simulator
+// builder consumes it, and the monitor traverses it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace netqos::topo {
+
+/// What a node is determines the bandwidth-accounting rule the monitor
+/// applies to connections incident to it (paper §3.3).
+enum class NodeKind { kHost, kSwitch, kHub };
+
+const char* node_kind_name(NodeKind kind);
+
+/// One network interface on a host or device (paper: "Interface").
+/// Interfaces are identified by a local name unique within their node.
+struct InterfaceSpec {
+  std::string local_name;
+  BitsPerSecond speed = 0;  ///< MIB-II ifSpeed; 0 = inherit node default
+  std::string ipv4;         ///< dotted quad; empty for switch/hub ports
+};
+
+/// A host or network device (paper: "Host").
+struct NodeSpec {
+  std::string name;
+  NodeKind kind = NodeKind::kHost;
+  bool snmp_enabled = false;      ///< an SNMP daemon runs here
+  std::string snmp_community = "public";
+  /// Management-plane IPv4 for switches/hubs with an SNMP daemon (ports
+  /// themselves carry no IP). Empty for hosts (they use interface IPs).
+  std::string management_ipv4;
+  std::string os;                 ///< informational (paper Fig. 3 labels)
+  BitsPerSecond default_speed = 0;
+  std::vector<InterfaceSpec> interfaces;
+
+  const InterfaceSpec* find_interface(const std::string& local_name) const;
+  /// Effective ifSpeed for an interface (its own, else the node default).
+  BitsPerSecond interface_speed(const InterfaceSpec& itf) const;
+};
+
+/// One end of a connection: (node name, interface local name).
+struct Endpoint {
+  std::string node;
+  std::string interface;
+
+  bool operator==(const Endpoint& o) const = default;
+  std::string to_string() const { return node + "." + interface; }
+};
+
+/// A physical 1-to-1 connection (paper: "HostPairConnection").
+struct Connection {
+  Endpoint a;
+  Endpoint b;
+
+  bool touches(const std::string& node) const {
+    return a.node == node || b.node == node;
+  }
+  /// The endpoint on `node` (requires touches(node)).
+  const Endpoint& end_at(const std::string& node) const;
+  /// The endpoint NOT on `node` (requires touches(node)).
+  const Endpoint& peer_of(const std::string& node) const;
+  std::string to_string() const {
+    return a.to_string() + " <-> " + b.to_string();
+  }
+};
+
+/// The full topology (paper: "NetworkTopology").
+class NetworkTopology {
+ public:
+  /// Adds a node; returns its index. Throws std::invalid_argument on a
+  /// duplicate name.
+  std::size_t add_node(NodeSpec node);
+
+  /// Adds a connection; endpoints are validated lazily by validate().
+  std::size_t add_connection(Connection conn);
+
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  const std::vector<Connection>& connections() const { return connections_; }
+
+  const NodeSpec* find_node(const std::string& name) const;
+  std::optional<std::size_t> node_index(const std::string& name) const;
+
+  /// Indices of connections incident to `node`.
+  std::vector<std::size_t> connections_of(const std::string& node) const;
+
+  /// Checks structural invariants and returns human-readable problems:
+  ///  - every endpoint references an existing node + interface,
+  ///  - connections are 1-to-1 (no interface used by two connections),
+  ///  - no self-connections,
+  ///  - every interface has a resolvable speed.
+  std::vector<std::string> validate() const;
+
+ private:
+  std::vector<NodeSpec> nodes_;
+  std::vector<Connection> connections_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// Effective speed of a connection: min of its two interface speeds.
+/// Throws std::out_of_range if an endpoint is unresolvable.
+BitsPerSecond connection_speed(const NetworkTopology& topo,
+                               const Connection& conn);
+
+}  // namespace netqos::topo

@@ -1,0 +1,129 @@
+#include "topology/path.h"
+
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace netqos::topo {
+namespace {
+
+/// DFS helper shared by traverse_recursive and all_simple_paths.
+/// Returns true when `collect_all` is false and a path has been found.
+bool dfs(const NetworkTopology& topo, const std::string& here,
+         const std::string& to, std::set<std::string>& visited, Path& stack,
+         std::vector<Path>& out, bool collect_all, std::size_t max_paths) {
+  if (here == to) {
+    out.push_back(stack);
+    return !collect_all || out.size() >= max_paths;
+  }
+  visited.insert(here);
+  for (std::size_t ci : topo.connections_of(here)) {
+    const Connection& conn = topo.connections()[ci];
+    const std::string& next = conn.peer_of(here).node;
+    if (visited.contains(next)) continue;  // infinite-loop detection
+    stack.push_back(ci);
+    if (dfs(topo, next, to, visited, stack, out, collect_all, max_paths)) {
+      return true;
+    }
+    stack.pop_back();
+  }
+  visited.erase(here);
+  return false;
+}
+
+}  // namespace
+
+std::optional<Path> traverse_recursive(const NetworkTopology& topo,
+                                       const std::string& from,
+                                       const std::string& to) {
+  if (topo.find_node(from) == nullptr || topo.find_node(to) == nullptr) {
+    return std::nullopt;
+  }
+  std::set<std::string> visited;
+  Path stack;
+  std::vector<Path> out;
+  dfs(topo, from, to, visited, stack, out, /*collect_all=*/false, 1);
+  if (out.empty()) return std::nullopt;
+  return out.front();
+}
+
+std::optional<Path> shortest_path(const NetworkTopology& topo,
+                                  const std::string& from,
+                                  const std::string& to) {
+  if (topo.find_node(from) == nullptr || topo.find_node(to) == nullptr) {
+    return std::nullopt;
+  }
+  if (from == to) return Path{};
+
+  // parent[node] = connection index that first reached it.
+  std::unordered_map<std::string, std::size_t> parent;
+  std::set<std::string> seen{from};
+  std::deque<std::string> queue{from};
+  while (!queue.empty()) {
+    const std::string here = queue.front();
+    queue.pop_front();
+    for (std::size_t ci : topo.connections_of(here)) {
+      const std::string& next = topo.connections()[ci].peer_of(here).node;
+      if (!seen.insert(next).second) continue;
+      parent[next] = ci;
+      if (next == to) {
+        // Reconstruct backwards.
+        Path rev;
+        std::string walk = to;
+        while (walk != from) {
+          const std::size_t pc = parent.at(walk);
+          rev.push_back(pc);
+          walk = topo.connections()[pc].peer_of(walk).node;
+        }
+        return Path(rev.rbegin(), rev.rend());
+      }
+      queue.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Path> all_simple_paths(const NetworkTopology& topo,
+                                   const std::string& from,
+                                   const std::string& to,
+                                   std::size_t max_paths) {
+  std::vector<Path> out;
+  if (topo.find_node(from) == nullptr || topo.find_node(to) == nullptr) {
+    return out;
+  }
+  std::set<std::string> visited;
+  Path stack;
+  dfs(topo, from, to, visited, stack, out, /*collect_all=*/true, max_paths);
+  return out;
+}
+
+std::string path_to_string(const NetworkTopology& topo, const Path& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out += " | ";
+    out += topo.connections()[path[i]].to_string();
+  }
+  return out;
+}
+
+std::vector<std::string> path_nodes(const NetworkTopology& topo,
+                                    const Path& path,
+                                    const std::string& from) {
+  std::vector<std::string> nodes{from};
+  std::string here = from;
+  for (std::size_t ci : path) {
+    if (ci >= topo.connections().size()) {
+      throw std::invalid_argument("path references invalid connection index");
+    }
+    const Connection& conn = topo.connections()[ci];
+    if (!conn.touches(here)) {
+      throw std::invalid_argument("path is not a chain at node '" + here +
+                                  "'");
+    }
+    here = conn.peer_of(here).node;
+    nodes.push_back(here);
+  }
+  return nodes;
+}
+
+}  // namespace netqos::topo

@@ -1,0 +1,54 @@
+// Communication-path traversal (paper §3.3).
+//
+// The paper traverses the path between two hosts with "a simple recursive
+// algorithm ... with a necessary infinite-loop detecting function" and
+// describes the result as a series of network connections. We implement
+// that algorithm faithfully (traverse_recursive) plus a BFS variant
+// (shortest_path) that is guaranteed minimal in hop count, and an
+// exhaustive all_simple_paths for diagnostics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/model.h"
+
+namespace netqos::topo {
+
+/// A path is an ordered list of connection indices into
+/// NetworkTopology::connections(), from source towards destination.
+using Path = std::vector<std::size_t>;
+
+/// The paper's recursive depth-first traversal with a visited set (the
+/// "infinite-loop detecting function"). Returns the first path found, or
+/// nullopt if the hosts are not connected. Deterministic: neighbours are
+/// explored in connection-index order.
+std::optional<Path> traverse_recursive(const NetworkTopology& topo,
+                                       const std::string& from,
+                                       const std::string& to);
+
+/// Breadth-first shortest path in hop count (ties broken by connection
+/// index order). Returns nullopt if unreachable.
+std::optional<Path> shortest_path(const NetworkTopology& topo,
+                                  const std::string& from,
+                                  const std::string& to);
+
+/// All simple (loop-free) paths between two nodes, in DFS order. Intended
+/// for diagnostics and tests; exponential in the worst case.
+std::vector<Path> all_simple_paths(const NetworkTopology& topo,
+                                   const std::string& from,
+                                   const std::string& to,
+                                   std::size_t max_paths = 64);
+
+/// Renders a path as "A.eth0 <-> sw.p1 | sw.p2 <-> B.eth0".
+std::string path_to_string(const NetworkTopology& topo, const Path& path);
+
+/// The sequence of node names visited by a path starting at `from`
+/// (inclusive of both ends). Throws std::invalid_argument if the path is
+/// not a valid chain from `from`.
+std::vector<std::string> path_nodes(const NetworkTopology& topo,
+                                    const Path& path,
+                                    const std::string& from);
+
+}  // namespace netqos::topo

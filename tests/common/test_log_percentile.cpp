@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/stats.h"
+
+namespace netqos {
+namespace {
+
+class LogCapture {
+ public:
+  LogCapture() {
+    Log::set_sink([this](LogLevel level, const std::string& message) {
+      lines.push_back({level, message});
+    });
+    previous_level_ = Log::level();
+  }
+  ~LogCapture() {
+    Log::set_sink(nullptr);
+    Log::set_level(previous_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> lines;
+
+ private:
+  LogLevel previous_level_;
+};
+
+TEST(Log, LevelFiltering) {
+  LogCapture capture;
+  Log::set_level(LogLevel::kWarn);
+  NETQOS_DEBUG() << "hidden";
+  NETQOS_INFO() << "also hidden";
+  NETQOS_WARN() << "visible " << 42;
+  NETQOS_ERROR() << "error";
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.lines[0].first, LogLevel::kWarn);
+  EXPECT_EQ(capture.lines[0].second, "visible 42");
+  EXPECT_EQ(capture.lines[1].first, LogLevel::kError);
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogCapture capture;
+  Log::set_level(LogLevel::kOff);
+  NETQOS_ERROR() << "nope";
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST(Log, TraceLevelPassesAll) {
+  LogCapture capture;
+  Log::set_level(LogLevel::kTrace);
+  NETQOS_TRACE() << "t";
+  NETQOS_DEBUG() << "d";
+  EXPECT_EQ(capture.lines.size(), 2u);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST(Percentile, EmptySeriesIsZero) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.percentile(0.5), 0.0);
+}
+
+TEST(Percentile, SingleValue) {
+  TimeSeries ts;
+  ts.add(seconds(1), 7.0);
+  EXPECT_EQ(ts.percentile(0.0), 7.0);
+  EXPECT_EQ(ts.percentile(0.5), 7.0);
+  EXPECT_EQ(ts.percentile(1.0), 7.0);
+}
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  TimeSeries ts;
+  // Unsorted insertion: percentile must sort.
+  for (double v : {30.0, 10.0, 20.0, 40.0, 50.0}) ts.add(seconds(1), v);
+  EXPECT_DOUBLE_EQ(ts.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.percentile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(ts.percentile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(ts.percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(ts.percentile(0.125), 15.0);  // halfway 10..20
+}
+
+TEST(Percentile, WindowRespected) {
+  TimeSeries ts;
+  ts.add(seconds(1), 100.0);
+  ts.add(seconds(10), 1.0);
+  ts.add(seconds(11), 2.0);
+  EXPECT_DOUBLE_EQ(ts.percentile_between(seconds(10), seconds(20), 1.0),
+                   2.0);
+}
+
+TEST(Percentile, QuantileClamped) {
+  TimeSeries ts;
+  ts.add(seconds(1), 5.0);
+  ts.add(seconds(2), 6.0);
+  EXPECT_DOUBLE_EQ(ts.percentile(-1.0), 5.0);
+  EXPECT_DOUBLE_EQ(ts.percentile(2.0), 6.0);
+}
+
+}  // namespace
+}  // namespace netqos

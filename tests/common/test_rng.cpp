@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace netqos {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformIntRespectsBounds) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Xoshiro256, UniformIntSingleValue) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42u);
+}
+
+TEST(Xoshiro256, ExponentialMeanMatches) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Xoshiro256, ExponentialIsNonNegative) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Xoshiro256, ForkedStreamsAreDecorrelated) {
+  Xoshiro256 base(21);
+  Xoshiro256 s1 = base.fork(1);
+  Xoshiro256 s2 = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (s1.next() == s2.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, ForkIsDeterministic) {
+  Xoshiro256 a(33), b(33);
+  Xoshiro256 fa = a.fork(5), fb = b.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Xoshiro256, UniformRangeRespected) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace netqos

@@ -1,0 +1,95 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netqos {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, HandlesNegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(TimeSeries, AddAndSize) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.add(seconds(1), 10.0);
+  ts.add(seconds(2), 20.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.points()[1].value, 20.0);
+}
+
+TEST(TimeSeries, StatsBetweenIsHalfOpen) {
+  TimeSeries ts;
+  ts.add(seconds(0), 1.0);
+  ts.add(seconds(1), 2.0);
+  ts.add(seconds(2), 3.0);
+  const RunningStats s = ts.stats_between(seconds(0), seconds(2));
+  EXPECT_EQ(s.count(), 2u);  // t=2 excluded
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+}
+
+TEST(TimeSeries, MeanBetweenEmptyWindowIsZero) {
+  TimeSeries ts;
+  ts.add(seconds(10), 5.0);
+  EXPECT_EQ(ts.mean_between(seconds(0), seconds(5)), 0.0);
+}
+
+TEST(TimeSeries, MaxRelativeError) {
+  TimeSeries ts;
+  ts.add(seconds(1), 110.0);  // +10%
+  ts.add(seconds(2), 95.0);   // -5%
+  EXPECT_NEAR(ts.max_relative_error(seconds(0), seconds(3), 100.0), 0.10,
+              1e-12);
+}
+
+TEST(TimeSeries, MaxRelativeErrorZeroReference) {
+  TimeSeries ts;
+  ts.add(seconds(1), 50.0);
+  EXPECT_EQ(ts.max_relative_error(seconds(0), seconds(2), 0.0), 0.0);
+}
+
+TEST(TimeSeries, WindowOutsideDataIsEmpty) {
+  TimeSeries ts;
+  ts.add(seconds(5), 1.0);
+  EXPECT_EQ(ts.stats_between(seconds(6), seconds(10)).count(), 0u);
+}
+
+}  // namespace
+}  // namespace netqos

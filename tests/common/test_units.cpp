@@ -1,0 +1,69 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+
+namespace netqos {
+namespace {
+
+TEST(SimTimeConversions, SecondsRoundTrip) {
+  EXPECT_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_EQ(from_seconds(2.5), 2 * kSecond + 500 * kMillisecond);
+  EXPECT_EQ(from_seconds(0.0), 0);
+}
+
+TEST(SimTimeConversions, TimeTicksAreCentiseconds) {
+  EXPECT_EQ(to_timeticks(seconds(1)), 100u);
+  EXPECT_EQ(to_timeticks(milliseconds(10)), 1u);
+  EXPECT_EQ(to_timeticks(milliseconds(9)), 0u);  // truncation
+  EXPECT_EQ(from_timeticks(100), seconds(1));
+}
+
+TEST(SimTimeConversions, DurationHelpers) {
+  EXPECT_EQ(microseconds(1000), milliseconds(1));
+  EXPECT_EQ(milliseconds(1000), seconds(1));
+  EXPECT_EQ(nanoseconds(5), 5);
+}
+
+TEST(Units, BandwidthConstructors) {
+  EXPECT_EQ(mbps(100), 100'000'000u);
+  EXPECT_EQ(kbps(64), 64'000u);
+  EXPECT_EQ(kilobytes_per_second(200), 200'000.0);
+}
+
+TEST(Units, ByteBitConversion) {
+  EXPECT_EQ(to_bytes_per_second(mbps(10)), 1'250'000.0);
+  EXPECT_EQ(to_bits_per_second(1'250'000.0), mbps(10));
+}
+
+TEST(Units, TransmissionDelay) {
+  // 1250 bytes at 10 Mbps = 1 ms.
+  EXPECT_EQ(transmission_delay(1250, mbps(10)), milliseconds(1));
+  // 1 byte at 1 Gbps = 8 ns.
+  EXPECT_EQ(transmission_delay(1, kGbps), 8);
+  // Zero bytes take zero time.
+  EXPECT_EQ(transmission_delay(0, mbps(10)), 0);
+}
+
+TEST(Units, TransmissionDelayNoOverflowOnLargeFrames) {
+  // A full-size frame at the slowest plausible speed stays sane.
+  const SimDuration d = transmission_delay(1518, kbps(1));
+  EXPECT_EQ(d, static_cast<SimDuration>(1518) * 8 * kSecond / 1000);
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(mbps(100)), "100Mbps");
+  EXPECT_EQ(format_bandwidth(mbps(10)), "10Mbps");
+  EXPECT_EQ(format_bandwidth(kbps(64)), "64Kbps");
+  EXPECT_EQ(format_bandwidth(kGbps), "1Gbps");
+  EXPECT_EQ(format_bandwidth(999), "999bps");
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(seconds(2)), "2.000s");
+  EXPECT_EQ(format_time(milliseconds(1500)), "1.500s");
+}
+
+}  // namespace
+}  // namespace netqos

@@ -1,0 +1,208 @@
+// Assertion-backed versions of the paper's three experiments (§4.3).
+// The bench binaries print the figures; these tests pin the shapes so a
+// regression that breaks an experiment fails CI, not just eyeballs.
+#include <gtest/gtest.h>
+
+#include "experiments/lirtss.h"
+#include "monitor/report.h"
+
+namespace netqos::exp {
+namespace {
+
+/// Shared fixture for the §4.3.1 staircase (it is the longest run, so the
+/// result is computed once).
+class Fig4Experiment : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bed = new LirtssTestbed();
+    profile = new load::RateProfile(load::RateProfile::staircase(
+        kilobytes_per_second(100), seconds(120), kilobytes_per_second(100),
+        seconds(60), 5, seconds(420)));
+    bed->add_load("L", "N1", *profile);
+    bed->watch("S1", "N1");
+    bed->run_until(seconds(480));
+  }
+  static void TearDownTestSuite() {
+    delete bed;
+    bed = nullptr;
+    delete profile;
+    profile = nullptr;
+  }
+
+  static LirtssTestbed* bed;
+  static load::RateProfile* profile;
+};
+
+LirtssTestbed* Fig4Experiment::bed = nullptr;
+load::RateProfile* Fig4Experiment::profile = nullptr;
+
+TEST_F(Fig4Experiment, MeasuredTracksStaircase) {
+  const TimeSeries& used = bed->monitor().used_series("S1", "N1");
+  const BytesPerSecond bg =
+      mon::estimate_background(used, seconds(430), seconds(480));
+
+  struct Level {
+    double kb;
+    SimTime begin, end;
+  };
+  const Level levels[] = {
+      {100, seconds(0), seconds(120)},  {200, seconds(120), seconds(180)},
+      {300, seconds(180), seconds(240)}, {400, seconds(240), seconds(300)},
+      {500, seconds(300), seconds(420)},
+  };
+  for (const Level& level : levels) {
+    const auto row = mon::analyze_window(
+        used, level.begin, level.end, kilobytes_per_second(level.kb), bg,
+        seconds(6));
+    // Paper Table 2: measured-less-background runs ~4% high; accept 0-8%.
+    EXPECT_GT(row.percent_error, 0.0) << level.kb << " KB/s";
+    EXPECT_LT(row.percent_error, 8.0) << level.kb << " KB/s";
+    // Max individual error bounded (paper saw up to 16%).
+    EXPECT_LT(row.max_percent_error, 16.0) << level.kb << " KB/s";
+  }
+}
+
+TEST_F(Fig4Experiment, BackgroundNearPaperLevel) {
+  const TimeSeries& used = bed->monitor().used_series("S1", "N1");
+  const BytesPerSecond bg =
+      mon::estimate_background(used, seconds(430), seconds(480));
+  // Paper: 10.824 KB/s ambient. Our generator is tuned to the same
+  // regime; accept 5-20 KB/s.
+  EXPECT_GT(bg, 5'000.0);
+  EXPECT_LT(bg, 20'000.0);
+}
+
+TEST_F(Fig4Experiment, LoadEliminationVisible) {
+  const TimeSeries& used = bed->monitor().used_series("S1", "N1");
+  const double during = used.mean_between(seconds(360), seconds(418));
+  const double after = used.mean_between(seconds(430), seconds(480));
+  EXPECT_GT(during, 500'000.0);
+  EXPECT_LT(after, 25'000.0);
+}
+
+TEST_F(Fig4Experiment, OverheadDecomposition) {
+  // ~3.1% of the gap is L2/L3/L4 framing; headers alone cannot explain
+  // more than ~3.5%, the rest is SNMP + residual background. Guard that
+  // the total gap stays in the paper's regime (<8%).
+  const TimeSeries& used = bed->monitor().used_series("S1", "N1");
+  const BytesPerSecond bg =
+      mon::estimate_background(used, seconds(430), seconds(480));
+  const auto row = mon::analyze_window(used, seconds(300), seconds(420),
+                                       kilobytes_per_second(500), bg,
+                                       seconds(6));
+  EXPECT_GT(row.percent_error, 2.0);
+  EXPECT_LT(row.percent_error, 8.0);
+}
+
+TEST(Fig5Experiment, HubPathsReportSummedLoad) {
+  LirtssTestbed bed;
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(20), seconds(60),
+                                        kilobytes_per_second(200)));
+  bed.add_load("L", "N2",
+               load::RateProfile::pulse(seconds(40), seconds(80),
+                                        kilobytes_per_second(200)));
+  bed.watch("S1", "N1").watch("S1", "N2");
+  bed.run_until(seconds(100));
+
+  const TimeSeries& p1 = bed.monitor().used_series("S1", "N1");
+  const TimeSeries& p2 = bed.monitor().used_series("S1", "N2");
+  const BytesPerSecond bg =
+      mon::estimate_background(p1, seconds(2), seconds(18));
+
+  struct Window {
+    SimTime begin, end;
+    double expected_kb;
+  };
+  const Window windows[] = {
+      {seconds(26), seconds(40), 200},   // only N1 load
+      {seconds(46), seconds(60), 400},   // both: the hub sums
+      {seconds(66), seconds(80), 200},   // only N2 load
+      {seconds(86), seconds(100), 0},    // silence
+  };
+  for (const TimeSeries* series : {&p1, &p2}) {
+    for (const Window& w : windows) {
+      const double level =
+          series->mean_between(w.begin, w.end) - bg;
+      if (w.expected_kb == 0) {
+        EXPECT_NEAR(level, 0.0, 8'000.0);
+      } else {
+        const double expected = w.expected_kb * 1000.0;
+        EXPECT_NEAR(level, expected * 1.031, expected * 0.05)
+            << "window " << to_seconds(w.begin) << "s";
+      }
+    }
+  }
+}
+
+TEST(Fig6Experiment, SwitchIsolatesPerDestination) {
+  LirtssTestbed bed;
+  bed.add_load("L", "S2",
+               load::RateProfile::pulse(seconds(20), seconds(60),
+                                        kilobytes_per_second(2000)));
+  bed.add_load("L", "S3",
+               load::RateProfile::pulse(seconds(40), seconds(80),
+                                        kilobytes_per_second(2000)));
+  bed.add_load("L", "S1",
+               load::RateProfile::pulse(seconds(100), seconds(120),
+                                        kilobytes_per_second(2000)));
+  bed.watch("S1", "S2").watch("S1", "S3");
+  bed.run_until(seconds(140));
+
+  const TimeSeries& s2 = bed.monitor().used_series("S1", "S2");
+  const TimeSeries& s3 = bed.monitor().used_series("S1", "S3");
+  const BytesPerSecond bg =
+      mon::estimate_background(s2, seconds(2), seconds(18));
+  const double full = 2'000'000.0 * 1.031;  // + wire framing
+
+  // S2 load appears only on S1<->S2.
+  EXPECT_NEAR(s2.mean_between(seconds(26), seconds(40)) - bg, full,
+              full * 0.04);
+  EXPECT_NEAR(s3.mean_between(seconds(26), seconds(40)) - bg, 0.0,
+              10'000.0);
+  // S3 load appears only on S1<->S3.
+  EXPECT_NEAR(s3.mean_between(seconds(66), seconds(80)) - bg, full,
+              full * 0.04);
+  EXPECT_NEAR(s2.mean_between(seconds(66), seconds(80)) - bg, 0.0,
+              10'000.0);
+  // S1 load appears on BOTH (S1 has a single connection to the switch).
+  EXPECT_NEAR(s2.mean_between(seconds(106), seconds(120)) - bg, full,
+              full * 0.04);
+  EXPECT_NEAR(s3.mean_between(seconds(106), seconds(120)) - bg, full,
+              full * 0.04);
+}
+
+TEST(ExperimentHarness, HostLookupThrowsOnUnknown) {
+  LirtssTestbed bed;
+  EXPECT_THROW(bed.host("nope"), std::out_of_range);
+  EXPECT_NO_THROW(bed.host("S6"));
+}
+
+TEST(ExperimentHarness, AgentCacheArtifactRaisesWorstCaseError) {
+  // Ablation guard (paper §4.3.1 polling-delay spikes): the agent-side
+  // cache's jittered refresh must be what produces the worst-case
+  // individual errors — disabling it must shrink them.
+  auto worst_error = [](bool cached) {
+    TestbedOptions options;
+    options.agent_cache = cached;
+    LirtssTestbed bed(options);
+    bed.add_load("L", "N1",
+                 load::RateProfile::pulse(seconds(4), seconds(64),
+                                          kilobytes_per_second(300)));
+    bed.watch("S1", "N1");
+    bed.run_until(seconds(64));
+    const auto& used = bed.monitor().used_series("S1", "N1");
+    return used.max_relative_error(seconds(10), seconds(62),
+                                   300'000.0 * 1.031 + 11'000.0);
+  };
+  const double with_cache = worst_error(true);
+  const double without_cache = worst_error(false);
+  EXPECT_LT(without_cache, with_cache);
+  EXPECT_LT(without_cache, 0.03);
+  // Paper band: spikes of several percent up to ~16%.
+  EXPECT_GT(with_cache, 0.03);
+  EXPECT_LT(with_cache, 0.20);
+}
+
+}  // namespace
+}  // namespace netqos::exp

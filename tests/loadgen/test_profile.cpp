@@ -1,0 +1,64 @@
+#include "loadgen/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace netqos::load {
+namespace {
+
+TEST(RateProfile, EmptyIsSilent) {
+  RateProfile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.rate_at(seconds(10)), 0.0);
+  EXPECT_EQ(p.next_change_after(0), -1);
+}
+
+TEST(RateProfile, PulseShape) {
+  const auto p = RateProfile::pulse(seconds(10), seconds(20), 500.0);
+  EXPECT_EQ(p.rate_at(seconds(9)), 0.0);
+  EXPECT_EQ(p.rate_at(seconds(10)), 500.0);
+  EXPECT_EQ(p.rate_at(seconds(19)), 500.0);
+  EXPECT_EQ(p.rate_at(seconds(20)), 0.0);
+  EXPECT_EQ(p.rate_at(seconds(100)), 0.0);
+}
+
+TEST(RateProfile, NextChangeAfter) {
+  const auto p = RateProfile::pulse(seconds(10), seconds(20), 500.0);
+  EXPECT_EQ(p.next_change_after(0), seconds(10));
+  EXPECT_EQ(p.next_change_after(seconds(10)), seconds(20));
+  EXPECT_EQ(p.next_change_after(seconds(20)), -1);
+}
+
+TEST(RateProfile, StaircaseMatchesPaperSchedule) {
+  // §4.3.1: 100 KB/s for 120 s, +100 each 60 s to 500, off at 420 s.
+  const auto p = RateProfile::staircase(100'000.0, seconds(120), 100'000.0,
+                                        seconds(60), 5, seconds(420));
+  EXPECT_EQ(p.rate_at(seconds(0)), 100'000.0);
+  EXPECT_EQ(p.rate_at(seconds(119)), 100'000.0);
+  EXPECT_EQ(p.rate_at(seconds(120)), 200'000.0);
+  EXPECT_EQ(p.rate_at(seconds(180)), 300'000.0);
+  EXPECT_EQ(p.rate_at(seconds(240)), 400'000.0);
+  EXPECT_EQ(p.rate_at(seconds(300)), 500'000.0);
+  EXPECT_EQ(p.rate_at(seconds(360)), 500'000.0);  // "after 360 s ... 500"
+  EXPECT_EQ(p.rate_at(seconds(419)), 500'000.0);
+  EXPECT_EQ(p.rate_at(seconds(420)), 0.0);
+}
+
+TEST(RateProfile, AddStepValidation) {
+  RateProfile p;
+  p.add_step(seconds(10), 100.0);
+  EXPECT_THROW(p.add_step(seconds(5), 200.0), std::invalid_argument);
+  EXPECT_THROW(p.add_step(seconds(20), -1.0), std::invalid_argument);
+  // Same start time is allowed (the later one wins).
+  p.add_step(seconds(10), 300.0);
+  EXPECT_EQ(p.rate_at(seconds(10)), 300.0);
+}
+
+TEST(RateProfile, ChainedAddSteps) {
+  RateProfile p;
+  p.add_step(0, 1.0).add_step(seconds(1), 2.0).add_step(seconds(2), 0.0);
+  EXPECT_EQ(p.steps().size(), 3u);
+  EXPECT_EQ(p.rate_at(milliseconds(1500)), 2.0);
+}
+
+}  // namespace
+}  // namespace netqos::load

@@ -1,0 +1,96 @@
+#include "monitor/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "experiments/lirtss.h"
+#include "netsim/services.h"
+
+namespace netqos::mon {
+namespace {
+
+TEST(LatencyProbe, MeasuresRoundTripOnQuietNetwork) {
+  exp::LirtssTestbed bed;
+  sim::EchoService echo(bed.host("S1"));
+  LatencyProbe probe(bed.simulator(), bed.host("L"), bed.host("S1").ip());
+  probe.start();
+  bed.run_until(seconds(20));
+  probe.stop();
+
+  EXPECT_GE(probe.probes_sent(), 19u);
+  EXPECT_EQ(probe.probes_lost(), 0u);
+  const RunningStats stats = probe.rtt_stats();
+  ASSERT_GT(stats.count(), 0u);
+  // L -> switch -> S1 and back: two 100 Mbps hops each way, ~tens of us.
+  EXPECT_GT(stats.mean(), 0.0);
+  EXPECT_LT(stats.mean(), 0.002);
+}
+
+TEST(LatencyProbe, HubPathSlowerThanSwitchPath) {
+  exp::LirtssTestbed bed;
+  sim::EchoService echo_s1(bed.host("S1"));
+  sim::EchoService echo_n1(bed.host("N1"));
+  LatencyProbe fast(bed.simulator(), bed.host("L"), bed.host("S1").ip());
+  LatencyProbe slow(bed.simulator(), bed.host("L"), bed.host("N1").ip());
+  fast.start();
+  slow.start();
+  bed.run_until(seconds(20));
+  // The N1 path crosses the 10 Mbps hub: serialization is 10x slower.
+  EXPECT_GT(slow.rtt_stats().mean(), fast.rtt_stats().mean() * 2);
+}
+
+TEST(LatencyProbe, LatencyGrowsUnderLoad) {
+  exp::LirtssTestbed bed;
+  sim::EchoService echo(bed.host("N1"));
+  LatencyProbe probe(bed.simulator(), bed.host("L"), bed.host("N1").ip());
+  probe.start();
+  // Saturating load on the hub path queues the echo packets.
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(30), seconds(60),
+                                        kilobytes_per_second(1100)));
+  bed.run_until(seconds(60));
+
+  const auto& rtts = probe.rtt_series();
+  RunningStats quiet, loaded;
+  for (const auto& p : rtts.points()) {
+    if (p.time < seconds(30)) quiet.add(p.value);
+    else loaded.add(p.value);
+  }
+  ASSERT_GT(quiet.count(), 0u);
+  ASSERT_GT(loaded.count(), 0u);
+  EXPECT_GT(loaded.mean(), quiet.mean() * 1.5);
+}
+
+TEST(LatencyProbe, UnreachableTargetCountsLost) {
+  exp::LirtssTestbed bed;
+  LatencyProbe probe(bed.simulator(), bed.host("L"),
+                     sim::Ipv4Address::parse("10.9.9.9"));
+  probe.start();
+  bed.run_until(seconds(5));
+  EXPECT_EQ(probe.rtt_series().size(), 0u);
+  EXPECT_GT(probe.probes_lost(), 0u);
+}
+
+TEST(LatencyProbe, NoEchoServiceMeansTimeouts) {
+  exp::LirtssTestbed bed;  // S1 runs no echo service here
+  LatencyProbe probe(bed.simulator(), bed.host("L"), bed.host("S1").ip());
+  probe.start();
+  bed.run_until(seconds(10));
+  EXPECT_EQ(probe.rtt_series().size(), 0u);
+  EXPECT_GT(probe.probes_lost(), 0u);
+  EXPECT_GT(probe.probes_sent(), 0u);
+}
+
+TEST(LatencyProbe, StopCeasesProbing) {
+  exp::LirtssTestbed bed;
+  sim::EchoService echo(bed.host("S1"));
+  LatencyProbe probe(bed.simulator(), bed.host("L"), bed.host("S1").ip());
+  probe.start();
+  bed.run_until(seconds(5));
+  probe.stop();
+  const auto sent = probe.probes_sent();
+  bed.run_until(seconds(10));
+  EXPECT_EQ(probe.probes_sent(), sent);
+}
+
+}  // namespace
+}  // namespace netqos::mon

@@ -1,0 +1,193 @@
+// Newer monitor surface: failure-aware path evaluation, per-connection
+// series, SNMPv1 compatibility, and report analysis helpers.
+#include <gtest/gtest.h>
+
+#include "experiments/lirtss.h"
+#include "monitor/failure.h"
+#include "monitor/qos.h"
+#include "monitor/report.h"
+#include "netsim/link.h"
+
+namespace netqos::mon {
+namespace {
+
+TEST(FailureAwarePaths, DownLinkZeroesAvailability) {
+  exp::LirtssTestbed bed;
+  FailureDetector detector(bed.simulator(), bed.topology(), bed.host("L"));
+  bed.monitor().set_failure_detector(&detector);
+  bed.watch("S1", "N1");
+  bed.run_until(seconds(10));
+
+  std::optional<PathUsage> last;
+  bed.monitor().add_sample_callback(
+      [&](const PathKey&, SimTime, const PathUsage& usage) {
+        last = usage;
+      });
+
+  // Kill the hub uplink: the switch agent observes its p8 port and still
+  // has a working path to the monitor, so its linkDown trap arrives.
+  // (Downing N1's own cable instead would be invisible: N1's trap dies on
+  // the dead link and hubs run no agent — a genuine blind spot.)
+  sim::Link* uplink =
+      bed.network().find_switch("sw0")->find_interface("p8")->link();
+  uplink->set_up(false);
+  bed.run_until(seconds(16));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_TRUE(last->link_down);
+  EXPECT_DOUBLE_EQ(last->available, 0.0);
+  const auto& conn = bed.topology().connections()[last->bottleneck];
+  EXPECT_TRUE(conn.touches("hub0"));
+
+  // Repair: availability returns.
+  uplink->set_up(true);
+  bed.run_until(seconds(30));
+  EXPECT_FALSE(last->link_down);
+  EXPECT_GT(last->available, 1'000'000.0);
+}
+
+TEST(FailureAwarePaths, QosViolationFiresOnLinkDown) {
+  exp::LirtssTestbed bed;
+  FailureDetector detector(bed.simulator(), bed.topology(), bed.host("L"));
+  bed.monitor().set_failure_detector(&detector);
+  ViolationDetector qos(bed.monitor());
+  qos.add_requirement("S1", "N1", kilobytes_per_second(100));
+  bed.run_until(seconds(10));
+  EXPECT_FALSE(qos.in_violation("S1", "N1"));
+
+  bed.network().find_switch("sw0")->find_interface("p8")->link()->set_up(
+      false);
+  bed.run_until(seconds(16));
+  EXPECT_TRUE(qos.in_violation("S1", "N1"));
+}
+
+TEST(ConnectionSeries, RecordedForMonitoredPathConnections) {
+  exp::LirtssTestbed bed;
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(4), seconds(30),
+                                        kilobytes_per_second(200)));
+  bed.watch("S1", "N1");
+  bed.run_until(seconds(30));
+
+  const auto& path = bed.monitor().path_of("S1", "N1");
+  ASSERT_EQ(path.size(), 3u);
+  for (std::size_t ci : path) {
+    const TimeSeries* series = bed.monitor().connection_used_series(ci);
+    ASSERT_NE(series, nullptr);
+    EXPECT_GT(series->size(), 5u);
+  }
+  // The hub-domain connections all carry the load; the S1 leg is idle.
+  const TimeSeries* hub_leg = bed.monitor().connection_used_series(path[2]);
+  const TimeSeries* s1_leg = bed.monitor().connection_used_series(path[0]);
+  EXPECT_GT(hub_leg->mean_between(seconds(10), seconds(28)), 180'000.0);
+  EXPECT_LT(s1_leg->mean_between(seconds(10), seconds(28)), 30'000.0);
+}
+
+TEST(ConnectionSeries, AbsentForUnmonitoredConnections) {
+  exp::LirtssTestbed bed;
+  bed.watch("S1", "S2");
+  bed.run_until(seconds(10));
+  // The N2 connection is not on the monitored path.
+  const auto conns = bed.topology().connections_of("N2");
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_EQ(bed.monitor().connection_used_series(conns[0]), nullptr);
+}
+
+TEST(SnmpV1Compat, MonitorWorksOverV1) {
+  exp::TestbedOptions options;
+  exp::LirtssTestbed bed(options);
+  // A second, v1-only monitor runs on S2 alongside the default v2c one.
+  MonitorConfig config;
+  config.client.version = snmp::SnmpVersion::kV1;
+  NetworkMonitor v1_monitor(bed.simulator(), bed.topology(),
+                            bed.host("S2"), config);
+  v1_monitor.add_path("S1", "N1");
+  v1_monitor.start();
+
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(4), seconds(30),
+                                        kilobytes_per_second(200)));
+  bed.run_until(seconds(30));
+
+  EXPECT_EQ(v1_monitor.stats().resolve_failures, 0u);
+  EXPECT_GT(v1_monitor.stats().rounds_completed, 5u);
+  const double level =
+      v1_monitor.used_series("S1", "N1").mean_between(seconds(10),
+                                                      seconds(28));
+  EXPECT_NEAR(level, 206'000.0 + 11'000.0, 20'000.0);
+}
+
+TEST(ReportAnalysis, AnalyzeWindowComputesTable2Row) {
+  TimeSeries series;
+  // 10 samples at 105 KB/s against generated 100 KB/s + background 2.
+  for (int i = 0; i < 10; ++i) {
+    series.add(seconds(i), 105'000.0);
+  }
+  series.add(seconds(4), 120'000.0);  // one spike
+  const auto row = analyze_window(series, seconds(0), seconds(10),
+                                  100'000.0, 2'000.0, seconds(0));
+  EXPECT_NEAR(row.generated_kbps, 100.0, 1e-9);
+  EXPECT_NEAR(row.measured_kbps, (105.0 * 10 + 120.0) / 11.0, 0.01);
+  EXPECT_NEAR(row.less_background_kbps, row.measured_kbps - 2.0, 1e-9);
+  // Max individual error vs (generated + background): 120 vs 102.
+  EXPECT_NEAR(row.max_percent_error, 100.0 * (120.0 - 102.0) / 102.0, 0.01);
+}
+
+TEST(ReportAnalysis, SettleTrimsWindowStart) {
+  TimeSeries series;
+  series.add(seconds(0), 500'000.0);  // transition garbage
+  series.add(seconds(5), 100'000.0);
+  series.add(seconds(6), 100'000.0);
+  const auto row = analyze_window(series, seconds(0), seconds(10),
+                                  100'000.0, 0.0, seconds(3));
+  EXPECT_NEAR(row.measured_kbps, 100.0, 1e-9);
+}
+
+TEST(DiscardMonitoring, SaturatedHubShowsDropRate) {
+  exp::LirtssTestbed bed;
+  // 1500 KB/s into a 1250 KB/s hub: the switch's hub-facing port queue
+  // overflows and ifOutDiscards climbs.
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(4), seconds(40),
+                                        kilobytes_per_second(1500)));
+  bed.watch("S1", "N1");
+
+  double worst_discards = 0.0;
+  bed.monitor().add_sample_callback(
+      [&](const PathKey&, SimTime, const PathUsage& usage) {
+        for (const auto& conn : usage.connections) {
+          worst_discards = std::max(worst_discards, conn.discard_rate);
+        }
+      });
+  bed.run_until(seconds(40));
+  // Overload is ~250 KB/s of 1472-byte payloads: ~170 datagrams/s lost.
+  EXPECT_GT(worst_discards, 100.0);
+  EXPECT_LT(worst_discards, 400.0);
+}
+
+TEST(DiscardMonitoring, QuietNetworkShowsNoDrops) {
+  exp::LirtssTestbed bed;
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(4), seconds(20),
+                                        kilobytes_per_second(200)));
+  bed.watch("S1", "N1");
+  double worst_discards = 0.0;
+  bed.monitor().add_sample_callback(
+      [&](const PathKey&, SimTime, const PathUsage& usage) {
+        for (const auto& conn : usage.connections) {
+          worst_discards = std::max(worst_discards, conn.discard_rate);
+        }
+      });
+  bed.run_until(seconds(20));
+  EXPECT_DOUBLE_EQ(worst_discards, 0.0);
+}
+
+TEST(ReportAnalysis, EstimateBackground) {
+  TimeSeries series;
+  series.add(seconds(1), 10'000.0);
+  series.add(seconds(2), 14'000.0);
+  EXPECT_NEAR(estimate_background(series, seconds(0), seconds(3)), 12'000.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace netqos::mon

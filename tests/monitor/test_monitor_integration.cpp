@@ -1,0 +1,205 @@
+// End-to-end monitor behaviour on the LIRTSS testbed: real SNMP over the
+// simulated wire, real load generators, §3.3 rules evaluated per round.
+#include <gtest/gtest.h>
+
+#include "experiments/lirtss.h"
+#include "monitor/report.h"
+
+namespace netqos::mon {
+namespace {
+
+TEST(MonitorIntegration, MeasuresConstantLoadWithinPaperTolerance) {
+  exp::LirtssTestbed bed;
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(10), seconds(60),
+                                        kilobytes_per_second(200)));
+  bed.watch("S1", "N1");
+  bed.run_until(seconds(70));
+
+  const TimeSeries& used = bed.monitor().used_series("S1", "N1");
+  ASSERT_GE(used.size(), 25u);
+
+  const BytesPerSecond background =
+      estimate_background(used, seconds(2), seconds(10));
+  const double measured =
+      used.mean_between(seconds(16), seconds(58)) - background;
+  // Paper: measured-less-background ~4% above generated (headers + SNMP).
+  EXPECT_GT(measured, 200'000.0 * 1.0);
+  EXPECT_LT(measured, 200'000.0 * 1.08);
+}
+
+TEST(MonitorIntegration, HubPathsSeeSummedLoad) {
+  exp::LirtssTestbed bed;
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(5), seconds(40),
+                                        kilobytes_per_second(150)));
+  bed.add_load("L", "N2",
+               load::RateProfile::pulse(seconds(5), seconds(40),
+                                        kilobytes_per_second(150)));
+  bed.watch("S1", "N1").watch("S1", "N2");
+  bed.run_until(seconds(40));
+
+  // Both hub paths see ~300 KB/s (the sum).
+  for (const char* peer : {"N1", "N2"}) {
+    const double level =
+        bed.monitor().used_series("S1", peer).mean_between(seconds(12),
+                                                           seconds(38));
+    EXPECT_NEAR(level, 310'000.0, 25'000.0) << "path S1<->" << peer;
+  }
+}
+
+TEST(MonitorIntegration, SwitchPathsIsolated) {
+  exp::LirtssTestbed bed;
+  bed.add_load("L", "S2",
+               load::RateProfile::pulse(seconds(5), seconds(40),
+                                        kilobytes_per_second(1000)));
+  bed.watch("S1", "S2").watch("S1", "S3");
+  bed.run_until(seconds(40));
+
+  const double on_s2 =
+      bed.monitor().used_series("S1", "S2").mean_between(seconds(12),
+                                                         seconds(38));
+  const double on_s3 =
+      bed.monitor().used_series("S1", "S3").mean_between(seconds(12),
+                                                         seconds(38));
+  EXPECT_GT(on_s2, 1'000'000.0);  // load + headers visible
+  EXPECT_LT(on_s3, 30'000.0);     // only background
+}
+
+TEST(MonitorIntegration, AgentlessHostsMonitoredViaSwitchPorts) {
+  // Paper §4.1: the S4 <-> S5 path is monitorable although neither runs
+  // an SNMP daemon.
+  exp::LirtssTestbed bed;
+  bed.add_load("L", "S4",
+               load::RateProfile::pulse(seconds(5), seconds(30),
+                                        kilobytes_per_second(500)));
+  bed.watch("S4", "S5");
+  bed.run_until(seconds(30));
+
+  const double level =
+      bed.monitor().used_series("S4", "S5").mean_between(seconds(12),
+                                                         seconds(28));
+  // The S4 leg carries the load; measured at the switch port.
+  EXPECT_NEAR(level, 515'000.0, 20'000.0);
+}
+
+TEST(MonitorIntegration, AvailableBandwidthTracksBottleneck) {
+  exp::LirtssTestbed bed;
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(5), seconds(30),
+                                        kilobytes_per_second(400)));
+  bed.watch("S1", "N1");
+  bed.run_until(seconds(30));
+
+  const double available =
+      bed.monitor().available_series("S1", "N1").mean_between(seconds(12),
+                                                              seconds(28));
+  // Hub: 1.25 MB/s capacity minus ~415 KB/s used.
+  EXPECT_NEAR(available, 1'250'000.0 - 415'000.0, 25'000.0);
+}
+
+TEST(MonitorIntegration, SampleCallbacksCarryDiagnosis) {
+  exp::LirtssTestbed bed;
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(2), seconds(20),
+                                        kilobytes_per_second(300)));
+  bed.watch("S1", "N1");
+  std::size_t callbacks = 0;
+  std::size_t hub_bottlenecks = 0;
+  bed.monitor().add_sample_callback([&](const PathKey& key, SimTime,
+                                        const PathUsage& usage) {
+    ++callbacks;
+    EXPECT_EQ(key.first, "S1");
+    const auto& conn =
+        bed.topology().connections()[usage.bottleneck];
+    if (conn.touches("hub0")) ++hub_bottlenecks;
+    EXPECT_EQ(usage.connections.size(), 3u);  // S1-sw, sw-hub, hub-N1
+  });
+  bed.run_until(seconds(20));
+  EXPECT_GT(callbacks, 5u);
+  // With hub load, the bottleneck diagnosis lands on the hub domain.
+  EXPECT_GT(hub_bottlenecks, callbacks / 2);
+}
+
+TEST(MonitorIntegration, MonitorStatsAccumulate) {
+  exp::LirtssTestbed bed;
+  bed.watch("S1", "N1");
+  bed.run_until(seconds(21));
+  const MonitorStats& stats = bed.monitor().stats();
+  EXPECT_GE(stats.rounds_completed, 9u);
+  EXPECT_EQ(stats.agent_poll_failures, 0u);
+  EXPECT_EQ(stats.resolve_failures, 0u);
+  // 6 agents per round.
+  EXPECT_EQ(stats.agent_polls, stats.rounds_started * 6);
+}
+
+TEST(MonitorIntegration, StopHaltsPolling) {
+  exp::LirtssTestbed bed;
+  bed.watch("S1", "N1");
+  bed.run_until(seconds(10));
+  bed.monitor().stop();
+  const auto rounds = bed.monitor().stats().rounds_started;
+  bed.simulator().run_until(seconds(20));
+  EXPECT_EQ(bed.monitor().stats().rounds_started, rounds);
+  EXPECT_FALSE(bed.monitor().running());
+}
+
+TEST(MonitorIntegration, UnknownPathThrows) {
+  exp::LirtssTestbed bed;
+  EXPECT_THROW(bed.monitor().add_path("S1", "ghost"),
+               std::invalid_argument);
+  bed.watch("S1", "N1");
+  EXPECT_THROW(bed.monitor().used_series("S1", "S2"), std::out_of_range);
+}
+
+TEST(MonitorIntegration, PathOfMatchesPaperRoute) {
+  exp::LirtssTestbed bed;
+  bed.watch("S1", "N1");
+  // Paper §4.3.1: "The path that data followed was: S - switch - hub - N".
+  const auto nodes =
+      topo::path_nodes(bed.topology(), bed.monitor().path_of("S1", "N1"),
+                       "S1");
+  const std::vector<std::string> expected{"S1", "sw0", "hub0", "N1"};
+  EXPECT_EQ(nodes, expected);
+}
+
+TEST(MonitorIntegration, ReverseLookupFindsSamePath) {
+  exp::LirtssTestbed bed;
+  bed.watch("S1", "N1");
+  EXPECT_NO_THROW(bed.monitor().used_series("N1", "S1"));
+}
+
+TEST(MonitorIntegration, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    exp::LirtssTestbed bed;
+    bed.add_load("L", "N1",
+                 load::RateProfile::pulse(seconds(5), seconds(25),
+                                          kilobytes_per_second(250)));
+    bed.watch("S1", "N1");
+    bed.run_until(seconds(30));
+    return bed.monitor().used_series("S1", "N1").points();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+}
+
+TEST(MonitorIntegration, CsvSinkWritesRows) {
+  exp::LirtssTestbed bed;
+  bed.watch("S1", "N1");
+  std::ostringstream out;
+  CsvSink sink(bed.monitor(), out);
+  bed.run_until(seconds(10));
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("time_s,from,to"), std::string::npos);
+  EXPECT_NE(csv.find("S1,N1"), std::string::npos);
+  // Header + at least 3 data rows.
+  EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace netqos::mon

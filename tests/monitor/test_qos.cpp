@@ -1,0 +1,109 @@
+#include "monitor/qos.h"
+
+#include <gtest/gtest.h>
+
+#include "experiments/lirtss.h"
+
+namespace netqos::mon {
+namespace {
+
+TEST(QosDetector, ViolationAndRecoveryLifecycle) {
+  exp::LirtssTestbed bed;
+  // Hub capacity 1.25 MB/s; require 900 KB/s available on S1<->N1. A
+  // 600 KB/s load leaves ~650 KB/s available -> violation; load stops ->
+  // recovery.
+  ViolationDetector detector(bed.monitor());
+  detector.add_requirement("S1", "N1", kilobytes_per_second(900));
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(20), seconds(60),
+                                        kilobytes_per_second(600)));
+  bed.run_until(seconds(90));
+
+  const auto& events = detector.events();
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, QosEvent::Kind::kViolation);
+  EXPECT_GT(events[0].time, seconds(19));
+  EXPECT_LT(events[0].time, seconds(30));
+  EXPECT_LT(events[0].available, kilobytes_per_second(900));
+  EXPECT_EQ(events[0].required, kilobytes_per_second(900));
+  // Diagnosis points into the hub domain.
+  const auto& conn =
+      bed.topology().connections()[events[0].bottleneck];
+  EXPECT_TRUE(conn.touches("hub0"));
+  EXPECT_FALSE(events[0].bottleneck_description.empty());
+
+  EXPECT_EQ(events.back().kind, QosEvent::Kind::kRecovery);
+  EXPECT_GT(events.back().time, seconds(60));
+  EXPECT_FALSE(detector.in_violation("S1", "N1"));
+}
+
+TEST(QosDetector, NoFalsePositivesUnderLightLoad) {
+  exp::LirtssTestbed bed;
+  ViolationDetector detector(bed.monitor());
+  detector.add_requirement("S1", "N1", kilobytes_per_second(500));
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(5), seconds(40),
+                                        kilobytes_per_second(100)));
+  bed.run_until(seconds(40));
+  EXPECT_TRUE(detector.events().empty());
+}
+
+TEST(QosDetector, InViolationWhileLoadPersists) {
+  exp::LirtssTestbed bed;
+  ViolationDetector detector(bed.monitor());
+  detector.add_requirement("S1", "N1", kilobytes_per_second(1000));
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(5), seconds(100),
+                                        kilobytes_per_second(500)));
+  bed.run_until(seconds(60));
+  EXPECT_TRUE(detector.in_violation("S1", "N1"));
+  // Exactly one violation event: no flapping while load is steady.
+  std::size_t violations = 0;
+  for (const auto& e : detector.events()) {
+    violations += e.kind == QosEvent::Kind::kViolation;
+  }
+  EXPECT_EQ(violations, 1u);
+}
+
+TEST(QosDetector, AddRequirementRegistersPathIfMissing) {
+  exp::LirtssTestbed bed;
+  ViolationDetector detector(bed.monitor());
+  detector.add_requirement("S2", "N2", kilobytes_per_second(100));
+  EXPECT_NO_THROW(bed.monitor().path_of("S2", "N2"));
+}
+
+TEST(QosDetector, CallbackFires) {
+  exp::LirtssTestbed bed;
+  ViolationDetector detector(bed.monitor());
+  detector.add_requirement("S1", "N1", kilobytes_per_second(1200));
+  int callbacks = 0;
+  detector.add_event_callback([&](const QosEvent& e) {
+    ++callbacks;
+    EXPECT_EQ(e.kind, QosEvent::Kind::kViolation);
+  });
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(5), seconds(30),
+                                        kilobytes_per_second(400)));
+  bed.run_until(seconds(20));
+  EXPECT_EQ(callbacks, 1);
+}
+
+TEST(QosDetector, HonoursSpecFileRequirements) {
+  // The testbed spec declares: S1<->N1 min 4 Mbps (500 KB/s).
+  exp::LirtssTestbed bed;
+  ViolationDetector detector(bed.monitor());
+  for (const auto& req : bed.specfile().qos) {
+    detector.add_requirement(req.from, req.to,
+                             to_bytes_per_second(req.min_available_bps));
+  }
+  // 900 KB/s leaves ~350 KB/s < 500 KB/s required -> violation.
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(10), seconds(40),
+                                        kilobytes_per_second(900)));
+  bed.run_until(seconds(40));
+  EXPECT_TRUE(detector.in_violation("S1", "N1"));
+  EXPECT_FALSE(detector.in_violation("S1", "S2"));
+}
+
+}  // namespace
+}  // namespace netqos::mon

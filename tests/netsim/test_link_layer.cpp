@@ -1,0 +1,221 @@
+// NIC + link level behaviour: serialization delay, counters, MAC
+// filtering, queue overflow.
+#include <gtest/gtest.h>
+
+#include "netsim/host.h"
+#include "netsim/link.h"
+#include "netsim/network.h"
+#include "netsim/packet.h"
+#include "netsim/simulator.h"
+
+namespace netqos::sim {
+namespace {
+
+TEST(Packet, WireSizesIncludeAllHeaders) {
+  EthernetFrame frame;
+  frame.ip.udp.padding = 1472;
+  // 1472 + 8 (UDP) + 20 (IP) + 14 + 4 (Eth) = 1518.
+  EXPECT_EQ(frame.wire_size(), 1518u);
+}
+
+TEST(Packet, MinimumFrameSizeEnforced) {
+  EthernetFrame frame;  // empty payload: 18 + 28 = 46 < 64
+  EXPECT_EQ(frame.wire_size(), kMinEthernetFrameBytes);
+}
+
+TEST(Packet, PayloadPlusPaddingCounted) {
+  UdpDatagram dgram;
+  dgram.payload = {1, 2, 3};
+  dgram.padding = 100;
+  EXPECT_EQ(dgram.payload_size(), 103u);
+  EXPECT_EQ(dgram.wire_size(), 111u);
+}
+
+TEST(Packet, MaxUdpPayloadMatchesMtu) {
+  EXPECT_EQ(kMaxUdpPayloadBytes, 1472u);
+  Ipv4Packet packet;
+  packet.udp.padding = kMaxUdpPayloadBytes;
+  EXPECT_EQ(packet.wire_size(), kIpMtuBytes);
+}
+
+/// Two hosts on a direct cable.
+class TwoHostFixture : public ::testing::Test {
+ protected:
+  TwoHostFixture() : net(sim) {
+    a = &net.add_host("A");
+    b = &net.add_host("B");
+    net.add_host_interface(*a, "eth0", mbps(10),
+                           Ipv4Address::parse("10.0.0.1"));
+    net.add_host_interface(*b, "eth0", mbps(10),
+                           Ipv4Address::parse("10.0.0.2"));
+    net.connect(*a, "eth0", *b, "eth0");
+  }
+
+  Simulator sim;
+  Network net;
+  Host* a = nullptr;
+  Host* b = nullptr;
+};
+
+TEST_F(TwoHostFixture, DatagramArrivesAndCountersMatch) {
+  int received = 0;
+  b->udp().bind(1234, [&](const Ipv4Packet& p) {
+    ++received;
+    EXPECT_EQ(p.src, Ipv4Address::parse("10.0.0.1"));
+    EXPECT_EQ(p.udp.payload_size(), 100u);
+  });
+  ASSERT_TRUE(a->udp().send(b->ip(), 1234, 5555, {}, 100));
+  sim.run_until(seconds(1));
+  EXPECT_EQ(received, 1);
+
+  const Nic* na = a->find_interface("eth0");
+  const Nic* nb = b->find_interface("eth0");
+  // 100 payload + 8 + 20 + 18 = 146 octets on the wire.
+  EXPECT_EQ(na->counters().if_out_octets, 146u);
+  EXPECT_EQ(na->counters().if_out_ucast_pkts, 1u);
+  EXPECT_EQ(nb->counters().if_in_octets, 146u);
+  EXPECT_EQ(nb->counters().if_in_ucast_pkts, 1u);
+}
+
+TEST_F(TwoHostFixture, SerializationDelayIsExact) {
+  SimTime arrival = -1;
+  b->udp().bind(1234, [&](const Ipv4Packet&) { arrival = sim.now(); });
+  a->udp().send(b->ip(), 1234, 5555, {}, 1472);
+  sim.run_all();
+  // 1518 bytes at 10 Mbps = 1214.4 us serialization + 500 ns propagation.
+  const SimTime expected = transmission_delay(1518, mbps(10)) + 500;
+  EXPECT_EQ(arrival, expected);
+}
+
+TEST_F(TwoHostFixture, BackToBackFramesQueue) {
+  std::vector<SimTime> arrivals;
+  b->udp().bind(1234, [&](const Ipv4Packet&) {
+    arrivals.push_back(sim.now());
+  });
+  a->udp().send(b->ip(), 1234, 5555, {}, 1472);
+  a->udp().send(b->ip(), 1234, 5555, {}, 1472);
+  sim.run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Second frame serializes after the first: exactly one frame time apart.
+  EXPECT_EQ(arrivals[1] - arrivals[0], transmission_delay(1518, mbps(10)));
+}
+
+TEST_F(TwoHostFixture, SendToUnknownAddressFails) {
+  EXPECT_FALSE(
+      a->udp().send(Ipv4Address::parse("10.9.9.9"), 1, 2, {}, 10));
+  EXPECT_EQ(a->udp().stats().send_failures, 1u);
+}
+
+TEST_F(TwoHostFixture, UnboundPortCountsDrop) {
+  a->udp().send(b->ip(), 4242, 5555, {}, 10);
+  sim.run_all();
+  EXPECT_EQ(b->udp().stats().no_handler_drops, 1u);
+}
+
+TEST_F(TwoHostFixture, LoopbackDeliversWithoutWireTraffic) {
+  int received = 0;
+  a->udp().bind(99, [&](const Ipv4Packet&) { ++received; });
+  ASSERT_TRUE(a->udp().send(a->ip(), 99, 5555, {}, 10));
+  sim.run_all();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(a->find_interface("eth0")->counters().if_out_octets, 0u);
+}
+
+TEST_F(TwoHostFixture, QueueOverflowDropsTail) {
+  Nic* na = a->find_interface("eth0");
+  na->set_queue_limit(4);
+  int ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    ok += a->udp().send(b->ip(), 1, 2, {}, 1000);
+  }
+  // One frame transmitting + 4 queued = 5 accepted.
+  EXPECT_EQ(ok, 5);
+  EXPECT_EQ(na->counters().if_out_discards, 5u);
+}
+
+TEST_F(TwoHostFixture, EphemeralPortsSkipBoundPorts) {
+  const std::uint16_t p1 = a->udp().allocate_ephemeral_port();
+  a->udp().bind(p1, [](const Ipv4Packet&) {});
+  const std::uint16_t p2 = a->udp().allocate_ephemeral_port();
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(p1, 49152);
+  EXPECT_GE(p2, 49152);
+}
+
+TEST(LinkRules, DoubleConnectThrows) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("A");
+  Host& b = net.add_host("B");
+  Host& c = net.add_host("C");
+  net.add_host_interface(a, "eth0", mbps(10), Ipv4Address::parse("10.0.0.1"));
+  net.add_host_interface(b, "eth0", mbps(10), Ipv4Address::parse("10.0.0.2"));
+  net.add_host_interface(c, "eth0", mbps(10), Ipv4Address::parse("10.0.0.3"));
+  net.connect(a, "eth0", b, "eth0");
+  EXPECT_THROW(net.connect(a, "eth0", c, "eth0"), std::invalid_argument);
+}
+
+TEST(LinkRules, UnknownInterfaceThrows) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("A");
+  Host& b = net.add_host("B");
+  net.add_host_interface(a, "eth0", mbps(10), Ipv4Address::parse("10.0.0.1"));
+  net.add_host_interface(b, "eth0", mbps(10), Ipv4Address::parse("10.0.0.2"));
+  EXPECT_THROW(net.connect(a, "nope", b, "eth0"), std::invalid_argument);
+}
+
+TEST(NicFiltering, NonPromiscuousDropsForeignFramesUncounted) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("A");
+  Host& b = net.add_host("B");
+  net.add_host_interface(a, "eth0", mbps(10), Ipv4Address::parse("10.0.0.1"));
+  net.add_host_interface(b, "eth0", mbps(10), Ipv4Address::parse("10.0.0.2"));
+  net.connect(a, "eth0", b, "eth0");
+
+  // Hand-craft a frame addressed to a MAC that is NOT B's.
+  EthernetFrame frame;
+  frame.src = a.find_interface("eth0")->mac();
+  frame.dst = MacAddress::from_id(0xdead);
+  frame.ip.src = a.ip();
+  frame.ip.dst = Ipv4Address::parse("10.0.0.9");
+  frame.ip.udp.padding = 100;
+  a.find_interface("eth0")->transmit(make_frame(frame));
+  sim.run_all();
+
+  const Nic* nb = b.find_interface("eth0");
+  EXPECT_EQ(nb->counters().if_in_octets, 0u);  // hardware filter
+  EXPECT_GT(nb->filtered_octets(), 0u);        // but it crossed the wire
+}
+
+TEST(NicFiltering, BroadcastAccepted) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("A");
+  Host& b = net.add_host("B");
+  net.add_host_interface(a, "eth0", mbps(10), Ipv4Address::parse("10.0.0.1"));
+  net.add_host_interface(b, "eth0", mbps(10), Ipv4Address::parse("10.0.0.2"));
+  net.connect(a, "eth0", b, "eth0");
+
+  EthernetFrame frame;
+  frame.src = a.find_interface("eth0")->mac();
+  frame.dst = MacAddress::broadcast();
+  frame.ip.src = a.ip();
+  frame.ip.dst = b.ip();
+  frame.ip.udp.padding = 50;
+  a.find_interface("eth0")->transmit(make_frame(frame));
+  sim.run_all();
+  EXPECT_GT(b.find_interface("eth0")->counters().if_in_octets, 0u);
+}
+
+TEST(Counters, Counter32WrapsAt32Bits) {
+  InterfaceCounters counters;
+  counters.if_in_octets = 0xffffff00u;
+  counters.count_in(0x200);
+  EXPECT_EQ(counters.if_in_octets, 0x100u);  // wrapped
+  EXPECT_EQ(counters.if_in_ucast_pkts, 1u);
+}
+
+}  // namespace
+}  // namespace netqos::sim

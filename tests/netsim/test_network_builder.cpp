@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "netsim/background.h"
+#include "netsim/simulator.h"
+#include "netsim/network.h"
+#include "netsim/services.h"
+#include "spec/testbed.h"
+
+namespace netqos::sim {
+namespace {
+
+TEST(NetworkBuilder, BuildsLirtssTestbed) {
+  const auto specfile = spec::lirtss_testbed();
+  Simulator sim;
+  auto net = build_network(sim, specfile.topology);
+
+  EXPECT_NE(net->find_host("L"), nullptr);
+  EXPECT_NE(net->find_host("S6"), nullptr);
+  EXPECT_NE(net->find_switch("sw0"), nullptr);
+  EXPECT_NE(dynamic_cast<Hub*>(net->find_node("hub0")), nullptr);
+  EXPECT_EQ(net->find_host("nothere"), nullptr);
+
+  // Switch management is enabled because the spec says snmp on.
+  EXPECT_NE(net->find_switch("sw0")->management(), nullptr);
+  // ARP registry resolves hosts and the management address.
+  EXPECT_TRUE(net->resolve(Ipv4Address::parse("10.0.0.1")).has_value());
+  EXPECT_TRUE(net->resolve(Ipv4Address::parse("10.0.0.100")).has_value());
+  EXPECT_FALSE(net->resolve(Ipv4Address::parse("10.0.0.99")).has_value());
+}
+
+TEST(NetworkBuilder, EndToEndTrafficAcrossTestbed) {
+  const auto specfile = spec::lirtss_testbed();
+  Simulator sim;
+  auto net = build_network(sim, specfile.topology);
+
+  Host* l = net->find_host("L");
+  Host* n1 = net->find_host("N1");
+  DiscardService discard(*n1);
+  const std::uint16_t sport = l->udp().allocate_ephemeral_port();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(l->udp().send(n1->ip(), kDiscardPort, sport, {}, 1000));
+  }
+  sim.run_all();
+  EXPECT_EQ(discard.datagrams(), 10u);
+  EXPECT_EQ(discard.payload_bytes(), 10'000u);
+}
+
+TEST(NetworkBuilder, RejectsInvalidTopology) {
+  topo::NetworkTopology bad;
+  topo::NodeSpec host;
+  host.name = "A";
+  host.kind = topo::NodeKind::kHost;
+  host.interfaces.push_back({"eth0", mbps(100), "10.0.0.1"});
+  bad.add_node(host);
+  bad.add_connection({{"A", "eth0"}, {"ghost", "p1"}});
+  Simulator sim;
+  EXPECT_THROW(build_network(sim, bad), std::invalid_argument);
+}
+
+TEST(NetworkBuilder, RejectsHostInterfaceWithoutIp) {
+  topo::NetworkTopology topo;
+  topo::NodeSpec host;
+  host.name = "A";
+  host.kind = topo::NodeKind::kHost;
+  host.interfaces.push_back({"eth0", mbps(100), ""});
+  topo.add_node(host);
+  Simulator sim;
+  EXPECT_THROW(build_network(sim, topo), std::invalid_argument);
+}
+
+TEST(NetworkBuilder, RejectsSnmpSwitchWithoutManagementIp) {
+  topo::NetworkTopology topo;
+  topo::NodeSpec sw;
+  sw.name = "sw0";
+  sw.kind = topo::NodeKind::kSwitch;
+  sw.snmp_enabled = true;
+  sw.default_speed = mbps(100);
+  sw.interfaces.push_back({"p1", 0, ""});
+  topo.add_node(sw);
+  Simulator sim;
+  EXPECT_THROW(build_network(sim, topo), std::invalid_argument);
+}
+
+TEST(NetworkBuilder, DuplicateIpRejected) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("A");
+  Host& b = net.add_host("B");
+  net.add_host_interface(a, "eth0", mbps(10), Ipv4Address::parse("10.0.0.1"));
+  EXPECT_THROW(net.add_host_interface(b, "eth0", mbps(10),
+                                      Ipv4Address::parse("10.0.0.1")),
+               std::invalid_argument);
+}
+
+TEST(NetworkBuilder, DuplicateNodeNameRejected) {
+  Simulator sim;
+  Network net(sim);
+  net.add_host("A");
+  EXPECT_THROW(net.add_host("A"), std::invalid_argument);
+}
+
+TEST(Services, EchoServiceRoundTrips) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("A");
+  Host& b = net.add_host("B");
+  net.add_host_interface(a, "eth0", mbps(10), Ipv4Address::parse("10.0.0.1"));
+  net.add_host_interface(b, "eth0", mbps(10), Ipv4Address::parse("10.0.0.2"));
+  net.connect(a, "eth0", b, "eth0");
+
+  EchoService echo(b);
+  int replies = 0;
+  a.udp().bind(3000, [&](const Ipv4Packet& p) {
+    ++replies;
+    EXPECT_EQ(p.udp.payload_size(), 64u);
+  });
+  a.udp().send(b.ip(), kEchoPort, 3000, {}, 64);
+  sim.run_all();
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(echo.datagrams(), 1u);
+}
+
+TEST(Services, BackgroundTrafficApproximatesRate) {
+  const auto specfile = spec::lirtss_testbed();
+  Simulator sim;
+  auto net = build_network(sim, specfile.topology);
+  std::vector<Host*> hosts;
+  std::vector<std::unique_ptr<DiscardService>> discards;
+  for (const auto& node : specfile.topology.nodes()) {
+    if (auto* h = net->find_host(node.name)) {
+      hosts.push_back(h);
+      discards.push_back(std::make_unique<DiscardService>(*h));
+    }
+  }
+  BackgroundConfig config;
+  config.mean_rate = 20'000.0;
+  BackgroundTraffic bg(sim, hosts, config);
+  bg.start();
+  sim.run_until(seconds(100));
+  bg.stop();
+  const double rate =
+      static_cast<double>(bg.payload_bytes_sent()) / 100.0;
+  EXPECT_NEAR(rate, 20'000.0, 2'000.0);  // within 10%
+}
+
+TEST(Services, BackgroundTrafficIsDeterministic) {
+  auto run_once = [] {
+    const auto specfile = spec::lirtss_testbed();
+    Simulator sim;
+    auto net = build_network(sim, specfile.topology);
+    std::vector<Host*> hosts;
+    for (const auto& node : specfile.topology.nodes()) {
+      if (auto* h = net->find_host(node.name)) hosts.push_back(h);
+    }
+    BackgroundTraffic bg(sim, hosts, {});
+    bg.start();
+    sim.run_until(seconds(10));
+    return bg.datagrams_sent();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Services, BackgroundNeedsTwoHosts) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("A");
+  net.add_host_interface(a, "eth0", mbps(10), Ipv4Address::parse("10.0.0.1"));
+  EXPECT_THROW(BackgroundTraffic(sim, {&a}, {}), std::invalid_argument);
+}
+
+TEST(Services, DoubleBindDiscardThrows) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("A");
+  net.add_host_interface(a, "eth0", mbps(10), Ipv4Address::parse("10.0.0.1"));
+  DiscardService first(a);
+  EXPECT_THROW(DiscardService second(a), std::logic_error);
+}
+
+}  // namespace
+}  // namespace netqos::sim

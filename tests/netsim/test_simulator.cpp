@@ -1,0 +1,118 @@
+#include "netsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace netqos::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(seconds(2), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), seconds(3));
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(seconds(1), [&, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, RunUntilStopsAtLimitInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1), [&] { ++fired; });
+  sim.schedule_at(seconds(2), [&] { ++fired; });
+  sim.schedule_at(seconds(3), [&] { ++fired; });
+  sim.run_until(seconds(2));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), seconds(2));
+  sim.run_until(seconds(5));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), seconds(5));  // clock advances to the limit
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(seconds(5), [&] {
+    sim.schedule_after(seconds(2), [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, seconds(7));
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(seconds(5), [] {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule_at(seconds(1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(seconds(1), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterRunReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(seconds(1), [] {});
+  sim.run_all();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.schedule_after(milliseconds(1), chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_all();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), milliseconds(99));
+}
+
+TEST(Simulator, RunUntilLeavesFutureEventsPending) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(seconds(10), [&] { ran = true; });
+  sim.run_until(seconds(5));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, ExecutedCountTracks) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(seconds(i + 1), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace netqos::sim

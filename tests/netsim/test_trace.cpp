@@ -1,0 +1,104 @@
+#include "netsim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+#include "netsim/services.h"
+#include "netsim/simulator.h"
+
+namespace netqos::sim {
+namespace {
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  TraceFixture() : net(sim), tracer(sim) {
+    a = &net.add_host("A");
+    b = &net.add_host("B");
+    net.add_host_interface(*a, "eth0", mbps(100),
+                           Ipv4Address::parse("10.0.0.1"));
+    net.add_host_interface(*b, "eth0", mbps(100),
+                           Ipv4Address::parse("10.0.0.2"));
+    link = &net.connect(*a, "eth0", *b, "eth0");
+    discard = std::make_unique<DiscardService>(*b);
+  }
+
+  void send(std::uint16_t dst_port, std::size_t payload) {
+    const auto sport = a->udp().allocate_ephemeral_port();
+    a->udp().send(b->ip(), dst_port, sport, {}, payload);
+  }
+
+  Simulator sim;
+  Network net;
+  Host *a = nullptr, *b = nullptr;
+  Link* link = nullptr;
+  std::unique_ptr<DiscardService> discard;
+  FrameTracer tracer;
+};
+
+TEST_F(TraceFixture, RecordsCarriedFrames) {
+  tracer.attach(*link, "a-b");
+  send(kDiscardPort, 100);
+  sim.run_all();
+  ASSERT_EQ(tracer.records().size(), 1u);
+  const TraceRecord& rec = tracer.records()[0];
+  EXPECT_EQ(rec.link, "a-b");
+  EXPECT_EQ(rec.from, "A.eth0");
+  EXPECT_EQ(rec.src_ip, a->ip());
+  EXPECT_EQ(rec.dst_ip, b->ip());
+  EXPECT_EQ(rec.dst_port, kDiscardPort);
+  EXPECT_EQ(rec.wire_bytes, 146u);
+  EXPECT_EQ(tracer.total_seen(), 1u);
+}
+
+TEST_F(TraceFixture, FilterSelectsPort) {
+  tracer.attach(*link, "a-b");
+  tracer.set_filter(FrameTracer::port_filter(9));
+  b->udp().bind(7777, [](const Ipv4Packet&) {});
+  send(kDiscardPort, 10);
+  send(7777, 10);
+  sim.run_all();
+  EXPECT_EQ(tracer.total_seen(), 2u);
+  ASSERT_EQ(tracer.records().size(), 1u);
+  EXPECT_EQ(tracer.records()[0].dst_port, 9);
+}
+
+TEST_F(TraceFixture, RingBufferEvictsOldest) {
+  FrameTracer small(sim, 3);
+  small.attach(*link, "a-b");
+  for (int i = 0; i < 5; ++i) send(kDiscardPort, 10 + i);
+  sim.run_all();
+  EXPECT_EQ(small.records().size(), 3u);
+  EXPECT_EQ(small.evicted(), 2u);
+  EXPECT_EQ(small.total_seen(), 5u);
+}
+
+TEST_F(TraceFixture, DroppedFramesNotTraced) {
+  tracer.attach(*link, "a-b");
+  link->set_up(false);
+  send(kDiscardPort, 10);
+  sim.run_all();
+  EXPECT_EQ(tracer.total_seen(), 0u);
+}
+
+TEST_F(TraceFixture, FormatIsReadable) {
+  tracer.attach(*link, "a-b");
+  send(kDiscardPort, 100);
+  sim.run_all();
+  const std::string line = FrameTracer::format(tracer.records()[0]);
+  EXPECT_NE(line.find("[a-b]"), std::string::npos);
+  EXPECT_NE(line.find("10.0.0.1"), std::string::npos);
+  EXPECT_NE(line.find("> 10.0.0.2:9"), std::string::npos);
+  EXPECT_NE(line.find("(146B)"), std::string::npos);
+}
+
+TEST_F(TraceFixture, ClearEmptiesBuffer) {
+  tracer.attach(*link, "a-b");
+  send(kDiscardPort, 10);
+  sim.run_all();
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_EQ(tracer.total_seen(), 1u);  // counters survive
+}
+
+}  // namespace
+}  // namespace netqos::sim

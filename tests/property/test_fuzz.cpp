@@ -1,0 +1,131 @@
+// Robustness fuzzing: malformed inputs must raise typed errors, never
+// crash or hang. Parameterized over seeds.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spec/lexer.h"
+#include "spec/parser.h"
+#include "snmp/ber.h"
+#include "snmp/pdu.h"
+
+namespace netqos {
+namespace {
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, BerDecoderNeverCrashesOnRandomBytes) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes junk(rng.uniform_int(0, 64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      (void)snmp::decode_message(junk);
+    } catch (const snmp::BerError&) {
+    } catch (const BufferUnderflow&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, BerDecoderSurvivesTruncatedValidMessages) {
+  Xoshiro256 rng(GetParam());
+  snmp::Message msg;
+  msg.pdu.type = snmp::PduType::kGetResponse;
+  msg.pdu.varbinds = {
+      {snmp::Oid({1, 3, 6, 1, 2, 1, 1, 3, 0}),
+       snmp::SnmpValue(snmp::TimeTicks{123})},
+      {snmp::Oid({1, 3, 6, 1, 2, 1, 2, 2, 1, 10, 1}),
+       snmp::SnmpValue(snmp::Counter32{456})},
+  };
+  const Bytes wire = snmp::encode_message(msg);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + cut);
+    try {
+      (void)snmp::decode_message(truncated);
+      // Decoding a strict prefix to success is impossible: the outer
+      // sequence length would overrun.
+      FAIL() << "truncated message decoded at cut " << cut;
+    } catch (const snmp::BerError&) {
+    } catch (const BufferUnderflow&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, BerDecoderSurvivesBitFlips) {
+  Xoshiro256 rng(GetParam() ^ 0xf11b);
+  snmp::Message msg;
+  msg.pdu.type = snmp::PduType::kGetRequest;
+  msg.pdu.varbinds = {{snmp::Oid({1, 3, 6, 1, 2, 1, 1, 1, 0}),
+                       snmp::SnmpValue(snmp::Null{})}};
+  const Bytes wire = snmp::encode_message(msg);
+  for (int iter = 0; iter < 500; ++iter) {
+    Bytes mutated = wire;
+    const std::size_t byte = rng.uniform_int(0, mutated.size() - 1);
+    mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    try {
+      (void)snmp::decode_message(mutated);  // may succeed with new values
+    } catch (const snmp::BerError&) {
+    } catch (const BufferUnderflow&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, LexerNeverCrashesOnRandomText) {
+  Xoshiro256 rng(GetParam() ^ 0x1e4);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text;
+    const std::size_t length = rng.uniform_int(0, 200);
+    for (std::size_t i = 0; i < length; ++i) {
+      text += static_cast<char>(rng.uniform_int(32, 126));
+    }
+    try {
+      (void)spec::lex(text);
+    } catch (const spec::ParseError&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, ParserNeverCrashesOnTokenSoup) {
+  Xoshiro256 rng(GetParam() ^ 0x9a9a);
+  const char* words[] = {"network", "host",    "switch", "hub",
+                         "interface", "connect", "snmp",   "on",
+                         "off",       "speed",   "address", "os",
+                         "qos",       "path",    "min_available",
+                         "{",         "}",       ";",       "<->",
+                         "n1",        "10.0.0.1", "100Mbps", "\"x\""};
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string source;
+    const std::size_t count = rng.uniform_int(0, 40);
+    for (std::size_t i = 0; i < count; ++i) {
+      source += words[rng.uniform_int(0, std::size(words) - 1)];
+      source += ' ';
+    }
+    try {
+      (void)spec::parse_spec(source);
+    } catch (const spec::ParseError&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, OidParseRobust) {
+  Xoshiro256 rng(GetParam() ^ 0x01d);
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::string text;
+    const std::size_t length = rng.uniform_int(0, 24);
+    for (std::size_t i = 0; i < length; ++i) {
+      const char chars[] = "0123456789..x";
+      text += chars[rng.uniform_int(0, sizeof(chars) - 2)];
+    }
+    try {
+      const auto oid = snmp::Oid::parse(text);
+      // If parsing succeeded, to_string must round-trip.
+      EXPECT_EQ(snmp::Oid::parse(oid.to_string()), oid);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(11u, 222u, 3333u, 44444u));
+
+}  // namespace
+}  // namespace netqos

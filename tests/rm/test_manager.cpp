@@ -1,0 +1,73 @@
+#include "rm/manager.h"
+
+#include <gtest/gtest.h>
+
+#include "experiments/lirtss.h"
+
+namespace netqos::rm {
+namespace {
+
+TEST(ResourceManager, RecommendsOnViolation) {
+  exp::LirtssTestbed bed;
+  mon::ViolationDetector detector(bed.monitor());
+  detector.add_requirement("S1", "N1", kilobytes_per_second(1000));
+  ResourceManager manager(bed.monitor(), detector);
+
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(10), seconds(60),
+                                        kilobytes_per_second(600)));
+  bed.run_until(seconds(40));
+
+  ASSERT_EQ(manager.recommendations().size(), 1u);
+  const Recommendation& rec = manager.recommendations()[0];
+  EXPECT_EQ(rec.path.first, "S1");
+  EXPECT_EQ(rec.path.second, "N1");
+  EXPECT_NE(rec.congested_connection.find("hub0"), std::string::npos);
+  // The LIRTSS testbed is a tree: no alternate path exists.
+  EXPECT_NE(rec.action.find("no alternate path"), std::string::npos);
+  EXPECT_EQ(manager.active_violations(), 1u);
+}
+
+TEST(ResourceManager, ViolationClearsOnRecovery) {
+  exp::LirtssTestbed bed;
+  mon::ViolationDetector detector(bed.monitor());
+  detector.add_requirement("S1", "N1", kilobytes_per_second(1000));
+  ResourceManager manager(bed.monitor(), detector);
+
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(10), seconds(30),
+                                        kilobytes_per_second(600)));
+  bed.run_until(seconds(60));
+  EXPECT_EQ(manager.active_violations(), 0u);
+  EXPECT_EQ(manager.recommendations().size(), 1u);  // one violation episode
+}
+
+TEST(ResourceManager, CallbackDelivered) {
+  exp::LirtssTestbed bed;
+  mon::ViolationDetector detector(bed.monitor());
+  detector.add_requirement("S1", "N1", kilobytes_per_second(1200));
+  ResourceManager manager(bed.monitor(), detector);
+  int fired = 0;
+  manager.set_recommendation_callback(
+      [&](const Recommendation& rec) {
+        ++fired;
+        EXPECT_FALSE(rec.action.empty());
+      });
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(5), seconds(30),
+                                        kilobytes_per_second(500)));
+  bed.run_until(seconds(30));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ResourceManager, QuietNetworkNoRecommendations) {
+  exp::LirtssTestbed bed;
+  mon::ViolationDetector detector(bed.monitor());
+  detector.add_requirement("S1", "S2", kilobytes_per_second(1000));
+  ResourceManager manager(bed.monitor(), detector);
+  bed.run_until(seconds(30));
+  EXPECT_TRUE(manager.recommendations().empty());
+}
+
+}  // namespace
+}  // namespace netqos::rm

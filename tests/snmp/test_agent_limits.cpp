@@ -1,0 +1,126 @@
+// Agent resource guards and remaining odd paths.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+#include "netsim/simulator.h"
+#include "snmp/agent.h"
+#include "snmp/client.h"
+#include "snmp/mib2.h"
+#include "snmp/walker.h"
+#include "spec/parser.h"
+#include "spec/testbed.h"
+
+namespace netqos::snmp {
+namespace {
+
+class LimitsFixture : public ::testing::Test {
+ protected:
+  LimitsFixture() : net(sim) {
+    manager = &net.add_host("manager");
+    target = &net.add_host("target");
+    net.add_host_interface(*manager, "eth0", mbps(100),
+                           sim::Ipv4Address::parse("10.0.0.1"));
+    net.add_host_interface(*target, "eth0", mbps(100),
+                           sim::Ipv4Address::parse("10.0.0.2"));
+    net.connect(*manager, "eth0", *target, "eth0");
+
+    AgentConfig config;
+    config.hiccup_probability = 0.0;
+    config.max_response_varbinds = 8;
+    agent = std::make_unique<SnmpAgent>(sim, target->udp(), config);
+    register_system_group(agent->mib(), sim, "target");
+    // 30 scalars under a private subtree so bulk walks have material.
+    for (std::uint32_t i = 1; i <= 30; ++i) {
+      agent->mib().register_constant(Oid({1, 3, 6, 1, 4, 1, 7, i}),
+                                     static_cast<std::int64_t>(i));
+    }
+    client = std::make_unique<SnmpClient>(sim, manager->udp());
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  sim::Host* manager = nullptr;
+  sim::Host* target = nullptr;
+  std::unique_ptr<SnmpAgent> agent;
+  std::unique_ptr<SnmpClient> client;
+};
+
+TEST_F(LimitsFixture, GetBulkTruncatedAtResponseLimit) {
+  std::optional<SnmpResult> got;
+  client->get_bulk(target->ip(), "public", {Oid({1, 3, 6, 1, 4, 1, 7})}, 0,
+                   25, [&](SnmpResult r) { got = std::move(r); });
+  sim.run_until(seconds(1));
+  ASSERT_TRUE(got.has_value() && got->ok());
+  // The agent caps at 8 varbinds instead of the requested 25.
+  EXPECT_EQ(got->varbinds.size(), 8u);
+}
+
+TEST_F(LimitsFixture, GetBulkNegativeFieldsTolerated) {
+  std::optional<SnmpResult> got;
+  client->get_bulk(target->ip(), "public", {Oid({1, 3, 6, 1, 4, 1, 7})},
+                   -3, -7, [&](SnmpResult r) { got = std::move(r); });
+  sim.run_until(seconds(1));
+  ASSERT_TRUE(got.has_value() && got->ok());
+  EXPECT_TRUE(got->varbinds.empty());  // zero repetitions requested
+}
+
+TEST_F(LimitsFixture, GetBulkOnV1AgentAnswersGenErr) {
+  // Our agent rejects GETBULK inside a v1 message (it is v2c-only).
+  ClientConfig config;
+  config.version = SnmpVersion::kV1;
+  SnmpClient v1(sim, manager->udp(), config);
+  std::optional<SnmpResult> got;
+  v1.get_bulk(target->ip(), "public", {Oid({1, 3, 6, 1, 4, 1, 7})}, 0, 5,
+              [&](SnmpResult r) { got = std::move(r); });
+  sim.run_until(seconds(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, SnmpResult::Status::kErrorResponse);
+  EXPECT_EQ(got->error_status, ErrorStatus::kGenErr);
+}
+
+TEST_F(LimitsFixture, WalkOverV1ClientUsesGetNext) {
+  ClientConfig config;
+  config.version = SnmpVersion::kV1;
+  SnmpClient v1(sim, manager->udp(), config);
+  SubtreeWalker walker(v1);
+  std::optional<WalkResult> got;
+  walker.walk(target->ip(), "public", Oid({1, 3, 6, 1, 4, 1, 7}),
+              [&](WalkResult r) { got = std::move(r); });
+  sim.run_until(seconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->ok);
+  EXPECT_EQ(got->varbinds.size(), 30u);
+}
+
+TEST_F(LimitsFixture, WalkPastEndOfMibOverV1EndsCleanly) {
+  ClientConfig config;
+  config.version = SnmpVersion::kV1;
+  SnmpClient v1(sim, manager->udp(), config);
+  SubtreeWalker walker(v1);
+  std::optional<WalkResult> got;
+  // The private subtree is the LAST thing in the MIB: the walk must end
+  // on v1's noSuchName instead of failing.
+  walker.walk(target->ip(), "public", Oid({1, 3, 6, 1, 4}),
+              [&](WalkResult r) { got = std::move(r); });
+  sim.run_until(seconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->ok);
+}
+
+TEST(SpecFileIo, ParseSpecFileFromDisk) {
+  const std::string path = "/tmp/netqos_test_spec.txt";
+  {
+    std::ofstream out(path);
+    out << spec::lirtss_spec_text();
+  }
+  const spec::SpecFile file = spec::parse_spec_file(path);
+  EXPECT_EQ(file.network_name, "lirtss");
+  EXPECT_EQ(file.topology.nodes().size(), 11u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netqos::snmp

@@ -1,0 +1,74 @@
+#include "snmp/oid.h"
+
+#include <gtest/gtest.h>
+
+namespace netqos::snmp {
+namespace {
+
+TEST(Oid, ParseAndToString) {
+  const Oid oid = Oid::parse("1.3.6.1.2.1.1.3.0");
+  EXPECT_EQ(oid.size(), 9u);
+  EXPECT_EQ(oid[0], 1u);
+  EXPECT_EQ(oid[8], 0u);
+  EXPECT_EQ(oid.to_string(), "1.3.6.1.2.1.1.3.0");
+}
+
+TEST(Oid, ParseRejectsMalformed) {
+  EXPECT_THROW(Oid::parse(""), std::invalid_argument);
+  EXPECT_THROW(Oid::parse("1..3"), std::invalid_argument);
+  EXPECT_THROW(Oid::parse("1.3."), std::invalid_argument);
+  EXPECT_THROW(Oid::parse("1.x.3"), std::invalid_argument);
+  EXPECT_THROW(Oid::parse("1.3.99999999999"), std::invalid_argument);
+}
+
+TEST(Oid, ParseSingleArc) {
+  const Oid oid = Oid::parse("5");
+  EXPECT_EQ(oid.size(), 1u);
+  EXPECT_EQ(oid[0], 5u);
+}
+
+TEST(Oid, LexicographicOrdering) {
+  EXPECT_LT(Oid({1, 3, 6}), Oid({1, 3, 7}));
+  EXPECT_LT(Oid({1, 3}), Oid({1, 3, 0}));  // prefix sorts first
+  EXPECT_EQ(Oid({1, 3, 6}), Oid({1, 3, 6}));
+  EXPECT_LT(Oid({1, 3, 6, 1}), Oid({1, 4}));
+}
+
+TEST(Oid, ChildAndConcat) {
+  const Oid base({1, 3, 6});
+  EXPECT_EQ(base.child(1), Oid({1, 3, 6, 1}));
+  EXPECT_EQ(base.concat(Oid({2, 1})), Oid({1, 3, 6, 2, 1}));
+  EXPECT_EQ(base.size(), 3u);  // originals untouched
+}
+
+TEST(Oid, StartsWith) {
+  const Oid oid({1, 3, 6, 1, 2, 1});
+  EXPECT_TRUE(oid.starts_with(Oid({1, 3, 6})));
+  EXPECT_TRUE(oid.starts_with(oid));
+  EXPECT_FALSE(oid.starts_with(Oid({1, 3, 7})));
+  EXPECT_FALSE(Oid({1, 3}).starts_with(oid));  // prefix longer than oid
+  EXPECT_TRUE(oid.starts_with(Oid{}));         // empty prefix
+}
+
+TEST(Mib2Oids, MatchPaperTable1) {
+  // Table 1 of the paper gives these numeric OIDs.
+  EXPECT_EQ(mib2::kSysUpTime.to_string(), "1.3.6.1.2.1.1.3");
+  EXPECT_EQ(mib2::if_column(mib2::kIfSpeedColumn, 1).to_string(),
+            "1.3.6.1.2.1.2.2.1.5.1");
+  EXPECT_EQ(mib2::if_column(mib2::kIfInOctetsColumn, 2).to_string(),
+            "1.3.6.1.2.1.2.2.1.10.2");
+  EXPECT_EQ(mib2::if_column(mib2::kIfInUcastPktsColumn, 1).to_string(),
+            "1.3.6.1.2.1.2.2.1.11.1");
+  EXPECT_EQ(mib2::if_column(mib2::kIfOutOctetsColumn, 1).to_string(),
+            "1.3.6.1.2.1.2.2.1.16.1");
+  EXPECT_EQ(mib2::if_column(mib2::kIfOutUcastPktsColumn, 1).to_string(),
+            "1.3.6.1.2.1.2.2.1.17.1");
+}
+
+TEST(Oid, RoundTripThroughString) {
+  const Oid original({1, 3, 6, 1, 4, 1, 9999, 42, 0});
+  EXPECT_EQ(Oid::parse(original.to_string()), original);
+}
+
+}  // namespace
+}  // namespace netqos::snmp

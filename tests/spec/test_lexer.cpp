@@ -1,0 +1,86 @@
+#include "spec/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace netqos::spec {
+namespace {
+
+TEST(Lexer, EmptyInputGivesEnd) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, TokenKinds) {
+  const auto tokens = lex("network foo { } ; <->");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kAtom);
+  EXPECT_EQ(tokens[0].text, "network");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kRBrace);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kSemicolon);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kArrow);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, AtomsIncludeDotsAndDashes) {
+  const auto tokens = lex("L.eth0 10.0.0.1 100Mbps my-host_x");
+  EXPECT_EQ(tokens[0].text, "L.eth0");
+  EXPECT_EQ(tokens[1].text, "10.0.0.1");
+  EXPECT_EQ(tokens[2].text, "100Mbps");
+  EXPECT_EQ(tokens[3].text, "my-host_x");
+}
+
+TEST(Lexer, StringsKeepSpaces) {
+  const auto tokens = lex("os \"Solaris 7\";");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "Solaris 7");
+}
+
+TEST(Lexer, HashCommentsSkipped) {
+  const auto tokens = lex("a # everything here is ignored\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, SlashSlashCommentsSkipped) {
+  const auto tokens = lex("a // also ignored\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, LineAndColumnTracked) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].column, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].column, 3u);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("os \"oops"), ParseError);
+  EXPECT_THROW(lex("os \"oops\nmore\""), ParseError);
+}
+
+TEST(Lexer, IllegalCharacterThrows) {
+  EXPECT_THROW(lex("a @ b"), ParseError);
+}
+
+TEST(Lexer, PartialArrowThrows) {
+  EXPECT_THROW(lex("a <- b"), ParseError);
+}
+
+TEST(Lexer, ParseErrorCarriesPosition) {
+  try {
+    lex("ok\n   @");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 4u);
+    EXPECT_NE(std::string(e.what()).find("spec:2:4"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace netqos::spec

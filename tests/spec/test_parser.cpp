@@ -1,0 +1,230 @@
+#include "spec/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/testbed.h"
+
+namespace netqos::spec {
+namespace {
+
+const char* kMinimal = R"(
+network tiny {
+  host A { snmp on; interface eth0 { speed 100Mbps; address 10.0.0.1; } }
+  host B { interface eth0 { speed 10Mbps; address 10.0.0.2; } }
+  connect A.eth0 <-> B.eth0;
+}
+)";
+
+TEST(Parser, ParsesMinimalNetwork) {
+  const SpecFile file = parse_spec(kMinimal);
+  EXPECT_EQ(file.network_name, "tiny");
+  ASSERT_EQ(file.topology.nodes().size(), 2u);
+  ASSERT_EQ(file.topology.connections().size(), 1u);
+  EXPECT_TRUE(file.qos.empty());
+
+  const auto* a = file.topology.find_node("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->snmp_enabled);
+  EXPECT_EQ(a->snmp_community, "public");
+  ASSERT_EQ(a->interfaces.size(), 1u);
+  EXPECT_EQ(a->interfaces[0].speed, mbps(100));
+  EXPECT_EQ(a->interfaces[0].ipv4, "10.0.0.1");
+
+  const auto* b = file.topology.find_node("B");
+  EXPECT_FALSE(b->snmp_enabled);
+}
+
+TEST(Parser, ParsesAllNodeKinds) {
+  const SpecFile file = parse_spec(R"(
+network kinds {
+  host h { interface e { speed 1Mbps; address 10.0.0.1; } }
+  switch s { speed 100Mbps; interface p1; interface p2; }
+  hub u { speed 10Mbps; interface x1; }
+  connect h.e <-> s.p1;
+  connect u.x1 <-> s.p2;
+}
+)");
+  EXPECT_EQ(file.topology.find_node("h")->kind, topo::NodeKind::kHost);
+  EXPECT_EQ(file.topology.find_node("s")->kind, topo::NodeKind::kSwitch);
+  EXPECT_EQ(file.topology.find_node("u")->kind, topo::NodeKind::kHub);
+}
+
+TEST(Parser, SwitchWithManagementAndDefaults) {
+  const SpecFile file = parse_spec(R"(
+network n {
+  switch sw { snmp on community "ops"; management address 10.0.0.100;
+              speed 100Mbps;
+              interface p1; interface p2 { speed 10Mbps; } }
+  host A { interface e0 { speed 100Mbps; address 10.0.0.1; } }
+  connect A.e0 <-> sw.p1;
+}
+)");
+  const auto* sw = file.topology.find_node("sw");
+  ASSERT_NE(sw, nullptr);
+  EXPECT_EQ(sw->kind, topo::NodeKind::kSwitch);
+  EXPECT_EQ(sw->snmp_community, "ops");
+  EXPECT_EQ(sw->management_ipv4, "10.0.0.100");
+  EXPECT_EQ(sw->default_speed, mbps(100));
+  EXPECT_EQ(sw->interface_speed(sw->interfaces[0]), mbps(100));
+  EXPECT_EQ(sw->interface_speed(sw->interfaces[1]), mbps(10));
+}
+
+TEST(Parser, QosBlockParsed) {
+  const SpecFile file = parse_spec(R"(
+network n {
+  host A { interface e { speed 100Mbps; address 10.0.0.1; } }
+  host B { interface e { speed 100Mbps; address 10.0.0.2; } }
+  connect A.e <-> B.e;
+}
+qos {
+  path A <-> B { min_available 4Mbps; }
+  path B <-> A { min_available 500KBps; }
+}
+)");
+  ASSERT_EQ(file.qos.size(), 2u);
+  EXPECT_EQ(file.qos[0].from, "A");
+  EXPECT_EQ(file.qos[0].min_available_bps, mbps(4));
+  EXPECT_EQ(file.qos[1].min_available_bps, 4'000'000u);  // 500 KB/s = 4 Mbps
+}
+
+TEST(Parser, QosUnknownHostRejected) {
+  EXPECT_THROW(parse_spec(R"(
+network n {
+  host A { interface e { speed 1Mbps; address 10.0.0.1; } }
+}
+qos { path A <-> ghost { min_available 1Mbps; } }
+)"),
+               ParseError);
+}
+
+TEST(Parser, OsStringsAndAtoms) {
+  const SpecFile file = parse_spec(R"(
+network n {
+  host A { os "Windows NT"; interface e { speed 1Mbps; address 10.0.0.1; } }
+  host B { os linux; interface e { speed 1Mbps; address 10.0.0.2; } }
+}
+)");
+  EXPECT_EQ(file.topology.find_node("A")->os, "Windows NT");
+  EXPECT_EQ(file.topology.find_node("B")->os, "linux");
+}
+
+TEST(Parser, SnmpOffAccepted) {
+  const SpecFile file = parse_spec(R"(
+network n { host A { snmp off; interface e { speed 1Mbps; address 10.0.0.1; } } }
+)");
+  EXPECT_FALSE(file.topology.find_node("A")->snmp_enabled);
+}
+
+TEST(Parser, RejectsBadSnmpMode) {
+  EXPECT_THROW(parse_spec("network n { host A { snmp maybe; } }"),
+               ParseError);
+}
+
+TEST(Parser, RejectsUnknownAttribute) {
+  EXPECT_THROW(parse_spec("network n { host A { color red; } }"),
+               ParseError);
+}
+
+TEST(Parser, RejectsBadEndpoint) {
+  EXPECT_THROW(parse_spec(R"(
+network n {
+  host A { interface e { speed 1Mbps; address 10.0.0.1; } }
+  connect A <-> A.e;
+}
+)"),
+               ParseError);
+  EXPECT_THROW(parse_spec(R"(
+network n {
+  host A { interface e { speed 1Mbps; address 10.0.0.1; } }
+  connect A.e.x <-> A.e;
+}
+)"),
+               ParseError);
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  EXPECT_THROW(parse_spec("network n { host A { os linux } }"), ParseError);
+}
+
+TEST(Parser, RejectsBadIpAddress) {
+  EXPECT_THROW(parse_spec(
+                   "network n { host A { interface e { address 10.0.1; } } }"),
+               ParseError);
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_spec("network n { } extra"), ParseError);
+}
+
+TEST(Parser, RejectsDuplicateNode) {
+  EXPECT_THROW(parse_spec(R"(
+network n {
+  host A { interface e { speed 1Mbps; address 10.0.0.1; } }
+  host A { interface e { speed 1Mbps; address 10.0.0.2; } }
+}
+)"),
+               ParseError);
+}
+
+TEST(Parser, ValidationFailureSurfacesAsParseError) {
+  // Connection references an interface that does not exist.
+  EXPECT_THROW(parse_spec(R"(
+network n {
+  host A { interface e { speed 1Mbps; address 10.0.0.1; } }
+  host B { interface e { speed 1Mbps; address 10.0.0.2; } }
+  connect A.ghost <-> B.e;
+}
+)"),
+               ParseError);
+}
+
+TEST(ParseBandwidth, AllUnits) {
+  EXPECT_EQ(parse_bandwidth("100Mbps", 1, 1), mbps(100));
+  EXPECT_EQ(parse_bandwidth("10mbps", 1, 1), mbps(10));
+  EXPECT_EQ(parse_bandwidth("64Kbps", 1, 1), kbps(64));
+  EXPECT_EQ(parse_bandwidth("1Gbps", 1, 1), kGbps);
+  EXPECT_EQ(parse_bandwidth("9600", 1, 1), 9600u);
+  EXPECT_EQ(parse_bandwidth("9600bps", 1, 1), 9600u);
+  EXPECT_EQ(parse_bandwidth("1000Bps", 1, 1), 8000u);
+  EXPECT_EQ(parse_bandwidth("200KBps", 1, 1), 1'600'000u);
+  EXPECT_EQ(parse_bandwidth("1.5Mbps", 1, 1), 1'500'000u);
+}
+
+TEST(ParseBandwidth, RejectsJunk) {
+  EXPECT_THROW(parse_bandwidth("fast", 1, 1), ParseError);
+  EXPECT_THROW(parse_bandwidth("10Xbps", 1, 1), ParseError);
+  EXPECT_THROW(parse_bandwidth("", 1, 1), ParseError);
+}
+
+TEST(ParserFiles, MissingFileThrows) {
+  EXPECT_THROW(parse_spec_file("/nonexistent/nowhere.spec"),
+               std::runtime_error);
+}
+
+TEST(LirtssTestbedSpec, MatchesPaperFigure3) {
+  const SpecFile file = lirtss_testbed();
+  EXPECT_EQ(file.network_name, "lirtss");
+  // 9 hosts + switch + hub.
+  EXPECT_EQ(file.topology.nodes().size(), 11u);
+  EXPECT_EQ(file.topology.connections().size(), 10u);
+  EXPECT_TRUE(file.topology.validate().empty());
+
+  // SNMP demons exactly where §4.1 says: L, N1, N2, S1, S2, switch.
+  int snmp_count = 0;
+  for (const auto& node : file.topology.nodes()) {
+    snmp_count += node.snmp_enabled;
+  }
+  EXPECT_EQ(snmp_count, 6);
+  EXPECT_FALSE(file.topology.find_node("S3")->snmp_enabled);
+  EXPECT_FALSE(file.topology.find_node("hub0")->snmp_enabled);
+
+  // Speeds per Figure 3: 100 Mbps switch, 10 Mbps hub and NT hosts.
+  const auto* n1 = file.topology.find_node("N1");
+  EXPECT_EQ(n1->interface_speed(n1->interfaces[0]), mbps(10));
+  const auto* hub = file.topology.find_node("hub0");
+  EXPECT_EQ(hub->default_speed, mbps(10));
+  EXPECT_EQ(file.qos.size(), 2u);
+}
+
+}  // namespace
+}  // namespace netqos::spec

@@ -1,0 +1,87 @@
+#include "spec/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/testbed.h"
+
+namespace netqos::spec {
+namespace {
+
+/// Compares the parts of topologies the writer promises to preserve.
+void expect_equivalent(const topo::NetworkTopology& a,
+                       const topo::NetworkTopology& b) {
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    const auto& na = a.nodes()[i];
+    const auto& nb = b.nodes()[i];
+    EXPECT_EQ(na.name, nb.name);
+    EXPECT_EQ(na.kind, nb.kind);
+    EXPECT_EQ(na.snmp_enabled, nb.snmp_enabled);
+    EXPECT_EQ(na.snmp_community, nb.snmp_community);
+    EXPECT_EQ(na.management_ipv4, nb.management_ipv4);
+    EXPECT_EQ(na.default_speed, nb.default_speed);
+    EXPECT_EQ(na.os, nb.os);
+    ASSERT_EQ(na.interfaces.size(), nb.interfaces.size());
+    for (std::size_t k = 0; k < na.interfaces.size(); ++k) {
+      EXPECT_EQ(na.interfaces[k].local_name, nb.interfaces[k].local_name);
+      EXPECT_EQ(na.interfaces[k].speed, nb.interfaces[k].speed);
+      EXPECT_EQ(na.interfaces[k].ipv4, nb.interfaces[k].ipv4);
+    }
+  }
+  ASSERT_EQ(a.connections().size(), b.connections().size());
+  for (std::size_t i = 0; i < a.connections().size(); ++i) {
+    EXPECT_EQ(a.connections()[i].a, b.connections()[i].a);
+    EXPECT_EQ(a.connections()[i].b, b.connections()[i].b);
+  }
+}
+
+TEST(Writer, LirtssRoundTripsExactly) {
+  const SpecFile original = lirtss_testbed();
+  const std::string text = write_spec(original);
+  const SpecFile reparsed = parse_spec(text);
+  EXPECT_EQ(reparsed.network_name, original.network_name);
+  expect_equivalent(original.topology, reparsed.topology);
+  ASSERT_EQ(reparsed.qos.size(), original.qos.size());
+  for (std::size_t i = 0; i < original.qos.size(); ++i) {
+    EXPECT_EQ(reparsed.qos[i].from, original.qos[i].from);
+    EXPECT_EQ(reparsed.qos[i].to, original.qos[i].to);
+    EXPECT_EQ(reparsed.qos[i].min_available_bps,
+              original.qos[i].min_available_bps);
+  }
+}
+
+TEST(Writer, DoubleRoundTripIsStable) {
+  const SpecFile original = lirtss_testbed();
+  const std::string once = write_spec(original);
+  const std::string twice = write_spec(parse_spec(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Writer, BandwidthUnitsPickLargestExact) {
+  EXPECT_EQ(write_bandwidth(mbps(100)), "100Mbps");
+  EXPECT_EQ(write_bandwidth(kGbps), "1Gbps");
+  EXPECT_EQ(write_bandwidth(kbps(64)), "64Kbps");
+  EXPECT_EQ(write_bandwidth(1'500'000), "1500Kbps");
+  EXPECT_EQ(write_bandwidth(9600), "9600bps");
+  EXPECT_EQ(write_bandwidth(0), "0bps");
+}
+
+TEST(Writer, NonDefaultCommunityQuoted) {
+  SpecFile file;
+  file.network_name = "n";
+  topo::NodeSpec node;
+  node.name = "A";
+  node.kind = topo::NodeKind::kHost;
+  node.snmp_enabled = true;
+  node.snmp_community = "secret";
+  node.interfaces.push_back({"e0", mbps(10), "10.0.0.1"});
+  file.topology.add_node(node);
+
+  const std::string text = write_spec(file);
+  EXPECT_NE(text.find("community \"secret\""), std::string::npos);
+  const SpecFile back = parse_spec(text);
+  EXPECT_EQ(back.topology.find_node("A")->snmp_community, "secret");
+}
+
+}  // namespace
+}  // namespace netqos::spec

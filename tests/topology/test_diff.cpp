@@ -1,0 +1,153 @@
+#include "topology/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/testbed.h"
+
+namespace netqos::topo {
+namespace {
+
+bool has_kind(const std::vector<TopologyDifference>& diffs,
+              TopologyDifference::Kind kind) {
+  for (const auto& d : diffs) {
+    if (d.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(TopologyDiff, IdenticalTopologiesAreClean) {
+  const auto topo = spec::lirtss_testbed().topology;
+  EXPECT_TRUE(diff_topologies(topo, topo).empty());
+}
+
+TEST(TopologyDiff, MissingNodeReported) {
+  const auto expected = spec::lirtss_testbed().topology;
+  NetworkTopology discovered;  // empty
+  const auto diffs = diff_topologies(expected, discovered);
+  EXPECT_TRUE(has_kind(diffs, TopologyDifference::Kind::kMissingNode));
+  // Every expected node missing, every connection missing.
+  EXPECT_EQ(diffs.size(),
+            expected.nodes().size() + expected.connections().size());
+}
+
+TEST(TopologyDiff, UnexpectedNodeReported) {
+  const auto expected = spec::lirtss_testbed().topology;
+  auto discovered = expected;
+  NodeSpec rogue;
+  rogue.name = "rogue";
+  rogue.kind = NodeKind::kHost;
+  rogue.interfaces.push_back({"eth0", mbps(100), "10.9.9.9"});
+  discovered.add_node(rogue);
+  const auto diffs = diff_topologies(expected, discovered);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].kind, TopologyDifference::Kind::kUnexpectedNode);
+  EXPECT_NE(diffs[0].description.find("rogue"), std::string::npos);
+}
+
+TEST(TopologyDiff, PlaceholdersIgnoredByDefault) {
+  const auto expected = spec::lirtss_testbed().topology;
+  auto discovered = expected;
+  NodeSpec ghost;
+  ghost.name = "host-02deadbeef00";
+  ghost.kind = NodeKind::kHost;
+  ghost.interfaces.push_back({"if0", mbps(100), ""});
+  discovered.add_node(ghost);
+  EXPECT_TRUE(diff_topologies(expected, discovered).empty());
+  EXPECT_FALSE(
+      diff_topologies(expected, discovered, /*report_placeholders=*/true)
+          .empty());
+}
+
+TEST(TopologyDiff, KindMismatchReported) {
+  const auto expected = spec::lirtss_testbed().topology;
+  NetworkTopology discovered;
+  for (auto node : expected.nodes()) {
+    if (node.name == "hub0") node.kind = NodeKind::kSwitch;
+    discovered.add_node(node);
+  }
+  for (const auto& conn : expected.connections()) {
+    discovered.add_connection(conn);
+  }
+  const auto diffs = diff_topologies(expected, discovered);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].kind, TopologyDifference::Kind::kKindMismatch);
+}
+
+TEST(TopologyDiff, SpeedMismatchReported) {
+  const auto expected = spec::lirtss_testbed().topology;
+  NetworkTopology discovered;
+  for (auto node : expected.nodes()) {
+    if (node.name == "N1") node.interfaces[0].speed = mbps(100);
+    discovered.add_node(node);
+  }
+  for (const auto& conn : expected.connections()) {
+    discovered.add_connection(conn);
+  }
+  const auto diffs = diff_topologies(expected, discovered);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].kind, TopologyDifference::Kind::kSpeedMismatch);
+}
+
+TEST(TopologyDiff, ConnectionDirectionIrrelevant) {
+  const auto expected = spec::lirtss_testbed().topology;
+  NetworkTopology discovered;
+  for (const auto& node : expected.nodes()) discovered.add_node(node);
+  for (const auto& conn : expected.connections()) {
+    discovered.add_connection({conn.b, conn.a});  // flipped endpoints
+  }
+  EXPECT_TRUE(diff_topologies(expected, discovered).empty());
+}
+
+TEST(TopologyDiff, MissingAndUnexpectedConnections) {
+  const auto expected = spec::lirtss_testbed().topology;
+  NetworkTopology discovered;
+  for (const auto& node : expected.nodes()) discovered.add_node(node);
+  // Drop the N2 connection; rewire N2 to a different hub port.
+  for (const auto& conn : expected.connections()) {
+    if (conn.touches("N2")) continue;
+    discovered.add_connection(conn);
+  }
+  discovered.add_connection({{"N2", "e0"}, {"hub0", "h3"}});
+  // Same ports as original? Original N2 was hub0.h3 — use h1? h1 is the
+  // uplink (already used). Rewire to a *new* interface name instead:
+  // discovery saw N2 on a port the spec calls something else.
+  const auto diffs = diff_topologies(expected, discovered);
+  // The rewired connection equals the original (N2.e0 <-> hub0.h3), so
+  // expect a clean diff here; rebuild with a real mismatch:
+  NetworkTopology rewired;
+  for (auto node : expected.nodes()) {
+    if (node.name == "hub0") {
+      node.interfaces.push_back({"h4", 0, ""});
+    }
+    rewired.add_node(node);
+  }
+  for (const auto& conn : expected.connections()) {
+    if (conn.touches("N2")) {
+      rewired.add_connection({{"N2", "e0"}, {"hub0", "h4"}});
+    } else {
+      rewired.add_connection(conn);
+    }
+  }
+  const auto diffs2 = diff_topologies(expected, rewired);
+  EXPECT_TRUE(
+      has_kind(diffs2, TopologyDifference::Kind::kMissingConnection));
+  EXPECT_TRUE(
+      has_kind(diffs2, TopologyDifference::Kind::kUnexpectedConnection));
+  EXPECT_TRUE(
+      has_kind(diffs2, TopologyDifference::Kind::kUnexpectedInterface));
+  EXPECT_TRUE(diffs.empty());
+}
+
+TEST(TopologyDiff, KindNamesComplete) {
+  using Kind = TopologyDifference::Kind;
+  for (Kind kind :
+       {Kind::kMissingNode, Kind::kUnexpectedNode, Kind::kKindMismatch,
+        Kind::kMissingInterface, Kind::kUnexpectedInterface,
+        Kind::kSpeedMismatch, Kind::kMissingConnection,
+        Kind::kUnexpectedConnection}) {
+    EXPECT_STRNE(difference_kind_name(kind), "?");
+  }
+}
+
+}  // namespace
+}  // namespace netqos::topo

@@ -1,0 +1,143 @@
+#include "topology/domains.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/testbed.h"
+
+namespace netqos::topo {
+namespace {
+
+NodeSpec host(const std::string& name, const std::string& ip,
+              BitsPerSecond speed = mbps(100)) {
+  NodeSpec node;
+  node.name = name;
+  node.kind = NodeKind::kHost;
+  node.interfaces.push_back({"eth0", speed, ip});
+  return node;
+}
+
+NodeSpec hub(const std::string& name, int ports,
+             BitsPerSecond speed = mbps(10)) {
+  NodeSpec node;
+  node.name = name;
+  node.kind = NodeKind::kHub;
+  node.default_speed = speed;
+  for (int i = 1; i <= ports; ++i) {
+    node.interfaces.push_back({"h" + std::to_string(i), 0, ""});
+  }
+  return node;
+}
+
+NodeSpec sw(const std::string& name, int ports) {
+  NodeSpec node;
+  node.name = name;
+  node.kind = NodeKind::kSwitch;
+  node.default_speed = mbps(100);
+  for (int i = 1; i <= ports; ++i) {
+    node.interfaces.push_back({"p" + std::to_string(i), 0, ""});
+  }
+  return node;
+}
+
+TEST(CollisionDomains, NoHubsNoDomains) {
+  NetworkTopology topo;
+  topo.add_node(host("A", "10.0.0.1"));
+  topo.add_node(sw("sw0", 2));
+  topo.add_connection({{"A", "eth0"}, {"sw0", "p1"}});
+  EXPECT_TRUE(collision_domains(topo).empty());
+}
+
+TEST(CollisionDomains, SingleHubGroupsMembers) {
+  NetworkTopology topo;
+  topo.add_node(host("A", "10.0.0.1", mbps(10)));
+  topo.add_node(host("B", "10.0.0.2", mbps(10)));
+  topo.add_node(hub("hub0", 2));
+  topo.add_connection({{"A", "eth0"}, {"hub0", "h1"}});
+  topo.add_connection({{"B", "eth0"}, {"hub0", "h2"}});
+
+  const auto domains = collision_domains(topo);
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0].hubs, std::vector<std::string>{"hub0"});
+  EXPECT_EQ(domains[0].member_connections.size(), 2u);
+  EXPECT_TRUE(domains[0].internal_connections.empty());
+  EXPECT_EQ(domains[0].speed, mbps(10));
+}
+
+TEST(CollisionDomains, ChainedHubsFormOneDomain) {
+  NetworkTopology topo;
+  topo.add_node(host("A", "10.0.0.1", mbps(10)));
+  topo.add_node(host("B", "10.0.0.2", mbps(10)));
+  topo.add_node(hub("hub0", 3));
+  topo.add_node(hub("hub1", 3));
+  topo.add_connection({{"hub0", "h1"}, {"hub1", "h1"}});
+  topo.add_connection({{"A", "eth0"}, {"hub0", "h2"}});
+  topo.add_connection({{"B", "eth0"}, {"hub1", "h2"}});
+
+  const auto domains = collision_domains(topo);
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0].hubs.size(), 2u);
+  EXPECT_EQ(domains[0].member_connections.size(), 2u);
+  EXPECT_EQ(domains[0].internal_connections.size(), 1u);
+}
+
+TEST(CollisionDomains, TwoSeparateHubsTwoDomains) {
+  NetworkTopology topo;
+  topo.add_node(host("A", "10.0.0.1", mbps(10)));
+  topo.add_node(host("B", "10.0.0.2", mbps(10)));
+  topo.add_node(hub("hub0", 1));
+  topo.add_node(hub("hub1", 1));
+  topo.add_connection({{"A", "eth0"}, {"hub0", "h1"}});
+  topo.add_connection({{"B", "eth0"}, {"hub1", "h1"}});
+  EXPECT_EQ(collision_domains(topo).size(), 2u);
+}
+
+TEST(CollisionDomains, DomainSpeedIsSlowestLink) {
+  NetworkTopology topo;
+  topo.add_node(host("A", "10.0.0.1", mbps(10)));
+  topo.add_node(host("B", "10.0.0.2", mbps(100)));  // faster NIC
+  NodeSpec h = hub("hub0", 2, mbps(10));
+  topo.add_node(h);
+  topo.add_connection({{"A", "eth0"}, {"hub0", "h1"}});
+  topo.add_connection({{"B", "eth0"}, {"hub0", "h2"}});
+  const auto domains = collision_domains(topo);
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0].speed, mbps(10));
+}
+
+TEST(ConnectionDomains, MapsMembersAndInternals) {
+  NetworkTopology topo;
+  topo.add_node(host("A", "10.0.0.1", mbps(10)));
+  topo.add_node(sw("sw0", 1));
+  topo.add_node(hub("hub0", 2));
+  const std::size_t c_up = topo.add_connection({{"hub0", "h1"}, {"sw0", "p1"}});
+  const std::size_t c_a = topo.add_connection({{"A", "eth0"}, {"hub0", "h2"}});
+
+  const auto domains = collision_domains(topo);
+  const auto map = connection_domains(topo, domains);
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map[c_up].has_value());
+  EXPECT_TRUE(map[c_a].has_value());
+  EXPECT_EQ(*map[c_up], *map[c_a]);
+}
+
+TEST(ConnectionDomains, SwitchedConnectionsUnmapped) {
+  NetworkTopology topo;
+  topo.add_node(host("A", "10.0.0.1"));
+  topo.add_node(sw("sw0", 1));
+  const std::size_t ci = topo.add_connection({{"A", "eth0"}, {"sw0", "p1"}});
+  const auto domains = collision_domains(topo);
+  const auto map = connection_domains(topo, domains);
+  EXPECT_FALSE(map[ci].has_value());
+}
+
+TEST(CollisionDomains, LirtssTestbedHasOneHubDomain) {
+  const auto specfile = spec::lirtss_testbed();
+  const auto domains = collision_domains(specfile.topology);
+  ASSERT_EQ(domains.size(), 1u);
+  // hub members: uplink to sw0, N1, N2.
+  EXPECT_EQ(domains[0].member_connections.size(), 3u);
+  EXPECT_EQ(domains[0].speed, mbps(10));
+}
+
+}  // namespace
+}  // namespace netqos::topo

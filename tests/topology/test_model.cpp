@@ -1,0 +1,191 @@
+#include "topology/model.h"
+
+#include <gtest/gtest.h>
+
+namespace netqos::topo {
+namespace {
+
+NodeSpec make_host(const std::string& name, const std::string& ip) {
+  NodeSpec node;
+  node.name = name;
+  node.kind = NodeKind::kHost;
+  node.interfaces.push_back({"eth0", mbps(100), ip});
+  return node;
+}
+
+NodeSpec make_switch(const std::string& name, int ports) {
+  NodeSpec node;
+  node.name = name;
+  node.kind = NodeKind::kSwitch;
+  node.default_speed = mbps(100);
+  for (int i = 1; i <= ports; ++i) {
+    node.interfaces.push_back({"p" + std::to_string(i), 0, ""});
+  }
+  return node;
+}
+
+TEST(NodeSpec, FindInterface) {
+  const NodeSpec node = make_switch("sw", 3);
+  EXPECT_NE(node.find_interface("p2"), nullptr);
+  EXPECT_EQ(node.find_interface("p9"), nullptr);
+}
+
+TEST(NodeSpec, InterfaceSpeedFallsBackToDefault) {
+  NodeSpec node = make_switch("sw", 1);
+  EXPECT_EQ(node.interface_speed(node.interfaces[0]), mbps(100));
+  node.interfaces[0].speed = mbps(10);
+  EXPECT_EQ(node.interface_speed(node.interfaces[0]), mbps(10));
+}
+
+TEST(Connection, EndAtAndPeerOf) {
+  const Connection conn{{"A", "eth0"}, {"B", "eth1"}};
+  EXPECT_EQ(conn.end_at("A").interface, "eth0");
+  EXPECT_EQ(conn.peer_of("A").node, "B");
+  EXPECT_EQ(conn.peer_of("B").node, "A");
+  EXPECT_THROW(conn.end_at("C"), std::out_of_range);
+  EXPECT_THROW(conn.peer_of("C"), std::out_of_range);
+}
+
+TEST(Connection, Touches) {
+  const Connection conn{{"A", "e"}, {"B", "e"}};
+  EXPECT_TRUE(conn.touches("A"));
+  EXPECT_TRUE(conn.touches("B"));
+  EXPECT_FALSE(conn.touches("C"));
+}
+
+TEST(NetworkTopology, DuplicateNodeThrows) {
+  NetworkTopology topo;
+  topo.add_node(make_host("A", "10.0.0.1"));
+  EXPECT_THROW(topo.add_node(make_host("A", "10.0.0.2")),
+               std::invalid_argument);
+}
+
+TEST(NetworkTopology, FindNodeAndIndex) {
+  NetworkTopology topo;
+  topo.add_node(make_host("A", "10.0.0.1"));
+  topo.add_node(make_host("B", "10.0.0.2"));
+  EXPECT_NE(topo.find_node("B"), nullptr);
+  EXPECT_EQ(topo.find_node("C"), nullptr);
+  EXPECT_EQ(topo.node_index("B"), 1u);
+  EXPECT_FALSE(topo.node_index("Z").has_value());
+}
+
+TEST(NetworkTopology, ConnectionsOf) {
+  NetworkTopology topo;
+  topo.add_node(make_host("A", "10.0.0.1"));
+  topo.add_node(make_host("B", "10.0.0.2"));
+  topo.add_node(make_switch("sw", 2));
+  topo.add_connection({{"A", "eth0"}, {"sw", "p1"}});
+  topo.add_connection({{"B", "eth0"}, {"sw", "p2"}});
+  EXPECT_EQ(topo.connections_of("sw").size(), 2u);
+  EXPECT_EQ(topo.connections_of("A").size(), 1u);
+  EXPECT_TRUE(topo.connections_of("nobody").empty());
+}
+
+TEST(NetworkTopologyValidate, CleanTopologyHasNoProblems) {
+  NetworkTopology topo;
+  topo.add_node(make_host("A", "10.0.0.1"));
+  topo.add_node(make_switch("sw", 1));
+  topo.add_connection({{"A", "eth0"}, {"sw", "p1"}});
+  EXPECT_TRUE(topo.validate().empty());
+}
+
+TEST(NetworkTopologyValidate, UnknownNodeReported) {
+  NetworkTopology topo;
+  topo.add_node(make_host("A", "10.0.0.1"));
+  topo.add_connection({{"A", "eth0"}, {"ghost", "p1"}});
+  const auto problems = topo.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("unknown node"), std::string::npos);
+}
+
+TEST(NetworkTopologyValidate, UnknownInterfaceReported) {
+  NetworkTopology topo;
+  topo.add_node(make_host("A", "10.0.0.1"));
+  topo.add_node(make_switch("sw", 1));
+  topo.add_connection({{"A", "eth9"}, {"sw", "p1"}});
+  const auto problems = topo.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("unknown interface"), std::string::npos);
+}
+
+TEST(NetworkTopologyValidate, OneToOneRuleEnforced) {
+  NetworkTopology topo;
+  topo.add_node(make_host("A", "10.0.0.1"));
+  topo.add_node(make_host("B", "10.0.0.2"));
+  topo.add_node(make_switch("sw", 1));
+  topo.add_connection({{"A", "eth0"}, {"sw", "p1"}});
+  topo.add_connection({{"B", "eth0"}, {"sw", "p1"}});  // p1 reused
+  bool found = false;
+  for (const auto& p : topo.validate()) {
+    if (p.find("1-to-1") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetworkTopologyValidate, SelfConnectionReported) {
+  NodeSpec node = make_switch("sw", 2);
+  NetworkTopology topo;
+  topo.add_node(node);
+  topo.add_connection({{"sw", "p1"}, {"sw", "p2"}});
+  bool found = false;
+  for (const auto& p : topo.validate()) {
+    if (p.find("self-connection") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetworkTopologyValidate, MissingSpeedReported) {
+  NetworkTopology topo;
+  NodeSpec node;
+  node.name = "A";
+  node.kind = NodeKind::kHost;
+  node.interfaces.push_back({"eth0", 0, "10.0.0.1"});  // no speed anywhere
+  topo.add_node(node);
+  topo.add_node(make_switch("sw", 1));
+  topo.add_connection({{"A", "eth0"}, {"sw", "p1"}});
+  bool found = false;
+  for (const auto& p : topo.validate()) {
+    if (p.find("speed") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetworkTopologyValidate, DuplicateInterfaceReported) {
+  NetworkTopology topo;
+  NodeSpec node = make_host("A", "10.0.0.1");
+  node.interfaces.push_back({"eth0", mbps(100), "10.0.0.2"});
+  topo.add_node(node);
+  bool found = false;
+  for (const auto& p : topo.validate()) {
+    if (p.find("duplicate interface") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ConnectionSpeed, IsMinimumOfEndpoints) {
+  NetworkTopology topo;
+  NodeSpec host = make_host("A", "10.0.0.1");
+  host.interfaces[0].speed = mbps(10);
+  topo.add_node(host);
+  topo.add_node(make_switch("sw", 1));
+  const Connection conn{{"A", "eth0"}, {"sw", "p1"}};
+  EXPECT_EQ(connection_speed(topo, conn), mbps(10));
+}
+
+TEST(ConnectionSpeed, UnknownEndpointThrows) {
+  NetworkTopology topo;
+  topo.add_node(make_host("A", "10.0.0.1"));
+  EXPECT_THROW(
+      connection_speed(topo, Connection{{"A", "eth0"}, {"X", "p"}}),
+      std::out_of_range);
+}
+
+TEST(NodeKindNames, AllNamed) {
+  EXPECT_STREQ(node_kind_name(NodeKind::kHost), "host");
+  EXPECT_STREQ(node_kind_name(NodeKind::kSwitch), "switch");
+  EXPECT_STREQ(node_kind_name(NodeKind::kHub), "hub");
+}
+
+}  // namespace
+}  // namespace netqos::topo

@@ -1,0 +1,181 @@
+#include "topology/path.h"
+
+#include <gtest/gtest.h>
+
+namespace netqos::topo {
+namespace {
+
+/// Builds a line A - sw1 - sw2 - B plus a redundant direct sw1 - sw2 link
+/// (a loop) to exercise the loop detection.
+class PathFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto host = [](const std::string& name, const std::string& ip) {
+      NodeSpec node;
+      node.name = name;
+      node.kind = NodeKind::kHost;
+      node.interfaces.push_back({"eth0", mbps(100), ip});
+      return node;
+    };
+    auto sw = [](const std::string& name, int ports) {
+      NodeSpec node;
+      node.name = name;
+      node.kind = NodeKind::kSwitch;
+      node.default_speed = mbps(100);
+      for (int i = 1; i <= ports; ++i) {
+        node.interfaces.push_back({"p" + std::to_string(i), 0, ""});
+      }
+      return node;
+    };
+    topo.add_node(host("A", "10.0.0.1"));
+    topo.add_node(host("B", "10.0.0.2"));
+    topo.add_node(sw("sw1", 4));
+    topo.add_node(sw("sw2", 4));
+    c_a_sw1 = topo.add_connection({{"A", "eth0"}, {"sw1", "p1"}});
+    c_sw1_sw2 = topo.add_connection({{"sw1", "p2"}, {"sw2", "p1"}});
+    c_sw2_b = topo.add_connection({{"sw2", "p2"}, {"B", "eth0"}});
+    // Redundant parallel link forming a cycle sw1 - sw2.
+    c_loop = topo.add_connection({{"sw1", "p3"}, {"sw2", "p3"}});
+  }
+
+  NetworkTopology topo;
+  std::size_t c_a_sw1 = 0, c_sw1_sw2 = 0, c_sw2_b = 0, c_loop = 0;
+};
+
+TEST_F(PathFixture, RecursiveTraversalFindsPath) {
+  const auto path = traverse_recursive(topo, "A", "B");
+  ASSERT_TRUE(path.has_value());
+  const Path expected{c_a_sw1, c_sw1_sw2, c_sw2_b};
+  EXPECT_EQ(*path, expected);
+}
+
+TEST_F(PathFixture, TraversalTerminatesDespiteLoop) {
+  // The cycle sw1-sw2 must not cause infinite recursion.
+  const auto path = traverse_recursive(topo, "A", "B");
+  EXPECT_TRUE(path.has_value());
+}
+
+TEST_F(PathFixture, ShortestPathMatchesRecursiveHere) {
+  const auto a = traverse_recursive(topo, "A", "B");
+  const auto b = shortest_path(topo, "A", "B");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->size(), b->size());
+}
+
+TEST_F(PathFixture, ReverseDirectionWorks) {
+  const auto path = traverse_recursive(topo, "B", "A");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);
+  EXPECT_EQ(path->front(), c_sw2_b);
+  EXPECT_EQ(path->back(), c_a_sw1);
+}
+
+TEST_F(PathFixture, UnknownNodesReturnNullopt) {
+  EXPECT_FALSE(traverse_recursive(topo, "A", "nope").has_value());
+  EXPECT_FALSE(traverse_recursive(topo, "nope", "B").has_value());
+  EXPECT_FALSE(shortest_path(topo, "X", "Y").has_value());
+}
+
+TEST_F(PathFixture, DisconnectedNodeUnreachable) {
+  NodeSpec lonely;
+  lonely.name = "island";
+  lonely.kind = NodeKind::kHost;
+  lonely.interfaces.push_back({"eth0", mbps(100), "10.0.0.9"});
+  topo.add_node(lonely);
+  EXPECT_FALSE(traverse_recursive(topo, "A", "island").has_value());
+  EXPECT_FALSE(shortest_path(topo, "A", "island").has_value());
+}
+
+TEST_F(PathFixture, AllSimplePathsFindsBoth) {
+  const auto paths = all_simple_paths(topo, "A", "B");
+  // Via c_sw1_sw2 and via c_loop.
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST_F(PathFixture, AllSimplePathsRespectsLimit) {
+  const auto paths = all_simple_paths(topo, "A", "B", 1);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST_F(PathFixture, PathNodesWalksChain) {
+  const auto path = traverse_recursive(topo, "A", "B");
+  const auto nodes = path_nodes(topo, *path, "A");
+  const std::vector<std::string> expected{"A", "sw1", "sw2", "B"};
+  EXPECT_EQ(nodes, expected);
+}
+
+TEST_F(PathFixture, PathNodesRejectsBrokenChain) {
+  const Path bogus{c_sw2_b, c_a_sw1};
+  EXPECT_THROW(path_nodes(topo, bogus, "A"), std::invalid_argument);
+}
+
+TEST_F(PathFixture, PathNodesRejectsBadIndex) {
+  const Path bogus{999};
+  EXPECT_THROW(path_nodes(topo, bogus, "A"), std::invalid_argument);
+}
+
+TEST_F(PathFixture, PathToStringListsConnections) {
+  const auto path = traverse_recursive(topo, "A", "B");
+  const std::string text = path_to_string(topo, *path);
+  EXPECT_NE(text.find("A.eth0"), std::string::npos);
+  EXPECT_NE(text.find("B.eth0"), std::string::npos);
+  EXPECT_NE(text.find(" | "), std::string::npos);
+}
+
+TEST(PathTrivia, SameNodeShortestPathIsEmpty) {
+  NetworkTopology topo;
+  NodeSpec node;
+  node.name = "A";
+  node.kind = NodeKind::kHost;
+  node.interfaces.push_back({"eth0", mbps(100), "10.0.0.1"});
+  topo.add_node(node);
+  const auto path = shortest_path(topo, "A", "A");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(PathTrivia, SameNodeRecursiveIsEmpty) {
+  NetworkTopology topo;
+  NodeSpec node;
+  node.name = "A";
+  node.kind = NodeKind::kHost;
+  node.interfaces.push_back({"eth0", mbps(100), "10.0.0.1"});
+  topo.add_node(node);
+  const auto path = traverse_recursive(topo, "A", "A");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+/// BFS guarantees minimality; DFS may take the long way. Build a triangle
+/// where DFS's connection-order walk goes the long way round.
+TEST(PathShortest, BfsBeatsDfsOnTriangle) {
+  NetworkTopology topo;
+  auto sw = [](const std::string& name) {
+    NodeSpec node;
+    node.name = name;
+    node.kind = NodeKind::kSwitch;
+    node.default_speed = mbps(100);
+    for (int i = 1; i <= 4; ++i) {
+      node.interfaces.push_back({"p" + std::to_string(i), 0, ""});
+    }
+    return node;
+  };
+  topo.add_node(sw("a"));
+  topo.add_node(sw("b"));
+  topo.add_node(sw("c"));
+  // Connection order: a-b first so DFS from a goes a->b->c.
+  topo.add_connection({{"a", "p1"}, {"b", "p1"}});
+  topo.add_connection({{"b", "p2"}, {"c", "p1"}});
+  topo.add_connection({{"a", "p2"}, {"c", "p2"}});  // direct edge
+
+  const auto dfs = traverse_recursive(topo, "a", "c");
+  const auto bfs = shortest_path(topo, "a", "c");
+  ASSERT_TRUE(dfs.has_value());
+  ASSERT_TRUE(bfs.has_value());
+  EXPECT_EQ(dfs->size(), 2u);  // the paper's simple DFS takes the detour
+  EXPECT_EQ(bfs->size(), 1u);  // BFS finds the direct link
+}
+
+}  // namespace
+}  // namespace netqos::topo
