@@ -8,6 +8,7 @@
 // + SNMP/background traffic), with occasional spikes from agent-side
 // counter caching.
 #include <cstdio>
+#include <fstream>
 
 #include "experiments/lirtss.h"
 #include "monitor/report.h"
@@ -15,7 +16,12 @@
 using namespace netqos;
 
 int main() {
-  exp::LirtssTestbed bed;
+  obs::MetricsRegistry registry;
+  obs::SpanRecorder spans;
+  exp::TestbedOptions options;
+  options.metrics = &registry;
+  options.spans = &spans;
+  exp::LirtssTestbed bed(options);
 
   const auto profile = load::RateProfile::staircase(
       /*initial=*/kilobytes_per_second(100), /*first_duration=*/seconds(120),
@@ -70,5 +76,17 @@ int main() {
   std::printf("\npaper reference: avg measured-less-background ~4%% above "
               "generated; max individual errors 5-8%% (16%% outlier from "
               "polling delay)\n");
+
+  // Telemetry artifacts (CI uploads these).
+  bed.monitor().stop();
+  registry.collect();
+  {
+    std::ofstream metrics("fig4_table2.metrics.prom");
+    registry.render_prometheus(metrics);
+    std::ofstream trace("fig4_table2.trace.jsonl");
+    spans.write_jsonl(trace);
+  }
+  std::printf("telemetry: fig4_table2.metrics.prom, "
+              "fig4_table2.trace.jsonl (%zu spans)\n", spans.spans().size());
   return 0;
 }

@@ -5,6 +5,7 @@
 // repeats every frame to every member, BOTH monitored paths (S1<->N1 and
 // S1<->N2) must report the SUM of hub traffic: 0 / 200 / 400 / 200 / 0.
 #include <cstdio>
+#include <fstream>
 
 #include "experiments/lirtss.h"
 #include "monitor/report.h"
@@ -12,7 +13,12 @@
 using namespace netqos;
 
 int main() {
-  exp::LirtssTestbed bed;
+  obs::MetricsRegistry registry;
+  obs::SpanRecorder spans;
+  exp::TestbedOptions options;
+  options.metrics = &registry;
+  options.spans = &spans;
+  exp::LirtssTestbed bed(options);
 
   bed.add_load("L", "N1",
                load::RateProfile::pulse(seconds(20), seconds(60),
@@ -72,5 +78,17 @@ int main() {
 
   std::printf("\npaper reference: both paths show the summed hub load; "
               "3.7%% error on averages, 7.8%% max individual\n");
+
+  // Telemetry artifacts (CI uploads these).
+  bed.monitor().stop();
+  registry.collect();
+  {
+    std::ofstream metrics("fig5_hub.metrics.prom");
+    registry.render_prometheus(metrics);
+    std::ofstream trace("fig5_hub.trace.jsonl");
+    spans.write_jsonl(trace);
+  }
+  std::printf("telemetry: fig5_hub.metrics.prom, fig5_hub.trace.jsonl "
+              "(%zu spans)\n", spans.spans().size());
   return 0;
 }

@@ -6,6 +6,7 @@
 // S1<->S3, and the load to S1 on BOTH paths (S1 has a single connection
 // to the switch).
 #include <cstdio>
+#include <fstream>
 
 #include "experiments/lirtss.h"
 #include "monitor/report.h"
@@ -13,7 +14,12 @@
 using namespace netqos;
 
 int main() {
-  exp::LirtssTestbed bed;
+  obs::MetricsRegistry registry;
+  obs::SpanRecorder spans;
+  exp::TestbedOptions options;
+  options.metrics = &registry;
+  options.spans = &spans;
+  exp::LirtssTestbed bed(options);
 
   bed.add_load("L", "S2",
                load::RateProfile::pulse(seconds(20), seconds(60),
@@ -85,5 +91,17 @@ int main() {
 
   std::printf("\npaper reference: switch isolates per-destination traffic; "
               "2.2%% error on averages, 7.8%% max individual\n");
+
+  // Telemetry artifacts (CI uploads these).
+  bed.monitor().stop();
+  registry.collect();
+  {
+    std::ofstream metrics("fig6_switch.metrics.prom");
+    registry.render_prometheus(metrics);
+    std::ofstream trace("fig6_switch.trace.jsonl");
+    spans.write_jsonl(trace);
+  }
+  std::printf("telemetry: fig6_switch.metrics.prom, fig6_switch.trace.jsonl "
+              "(%zu spans)\n", spans.spans().size());
   return 0;
 }

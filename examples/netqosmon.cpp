@@ -3,6 +3,7 @@
 // Usage:
 //   netqosmon [SPEC_FILE] [FROM TO]... [--seconds N] [--poll MS]
 //             [--load SRC DST KBPS START END]...
+//             [--metrics-out FILE] [--trace-out FILE]
 //
 // Reads a specification file (default: the built-in LIRTSS testbed),
 // builds the simulated network, deploys agents per the spec, registers
@@ -13,13 +14,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "experiments/lirtss.h"
 #include "monitor/qos.h"
 #include "monitor/report.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "spec/testbed.h"
 
 using namespace netqos;
@@ -38,12 +43,15 @@ struct Options {
   std::vector<LoadSpec> loads;
   double seconds_to_run = 60;
   double poll_ms = 2000;
+  std::string metrics_out;  // Prometheus text exposition, empty = off
+  std::string trace_out;    // Chrome trace-event JSONL, empty = off
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [SPEC_FILE] [FROM TO]... [--seconds N] "
-               "[--poll MS] [--load SRC DST KBPS START END]...\n",
+               "[--poll MS] [--load SRC DST KBPS START END]... "
+               "[--metrics-out FILE] [--trace-out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -72,6 +80,10 @@ Options parse_args(int argc, char** argv) {
       load.start_s = std::atof(next("--load START").c_str());
       load.end_s = std::atof(next("--load END").c_str());
       options.loads.push_back(std::move(load));
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = next("--metrics-out");
+    } else if (arg == "--trace-out") {
+      options.trace_out = next("--trace-out");
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -133,8 +145,17 @@ int main(int argc, char** argv) {
   }
   std::printf("# monitoring station: %s\n", station->name().c_str());
 
+  // One shared registry across every layer; spans capture poll rounds.
+  obs::MetricsRegistry registry;
+  obs::SpanRecorder spans;
+  simulator.attach_metrics(registry);
+  network->attach_metrics(registry);
+  Log::set_time_source([&simulator] { return simulator.now(); });
+
   mon::MonitorConfig config;
   config.poll_interval = from_seconds(options.poll_ms / 1000.0);
+  config.metrics = &registry;
+  if (!options.trace_out.empty()) config.spans = &spans;
   mon::NetworkMonitor monitor(simulator, specfile.topology, *station,
                               config);
 
@@ -208,6 +229,31 @@ int main(int argc, char** argv) {
   mon::CsvSink sink(monitor, std::cout);
   monitor.start();
   simulator.run_until(from_seconds(options.seconds_to_run));
+  monitor.stop();
+
+  if (!options.metrics_out.empty()) {
+    std::ofstream out(options.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.metrics_out.c_str());
+      return 1;
+    }
+    registry.collect();
+    registry.render_prometheus(out);
+    std::printf("# wrote %zu metric families to %s\n",
+                registry.family_count(), options.metrics_out.c_str());
+  }
+  if (!options.trace_out.empty()) {
+    std::ofstream out(options.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.trace_out.c_str());
+      return 1;
+    }
+    spans.write_jsonl(out);
+    std::printf("# wrote %zu spans to %s\n", spans.spans().size(),
+                options.trace_out.c_str());
+  }
 
   const auto& stats = monitor.stats();
   std::printf("# done: %llu rounds, %llu polls, %llu failures, "

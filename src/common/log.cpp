@@ -10,7 +10,8 @@ namespace netqos {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
-Log::Sink g_sink;  // empty => stderr
+Log::Sink g_sink;              // empty => stderr
+Log::TimeSource g_time_source;  // empty => no time prefix
 
 }  // namespace
 
@@ -29,13 +30,27 @@ const char* log_level_name(LogLevel level) {
 LogLevel Log::level() { return g_level; }
 void Log::set_level(LogLevel level) { g_level = level; }
 void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+void Log::set_time_source(TimeSource source) {
+  g_time_source = std::move(source);
+}
 
-void Log::write(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+void Log::write(LogLevel level, const char* component,
+                const std::string& message) {
+  // The NETQOS_LOG* macros already filtered on the level; no re-check.
+  std::string line;
+  if (g_time_source) {
+    line += "[" + format_time(g_time_source()) + "] ";
+  }
+  if (component != nullptr) {
+    line += "[";
+    line += component;
+    line += "] ";
+  }
+  line += message;
   if (g_sink) {
-    g_sink(level, message);
+    g_sink(level, line);
   } else {
-    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), line.c_str());
   }
 }
 

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/sim_time.h"
+
 namespace netqos {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
@@ -19,6 +21,7 @@ const char* log_level_name(LogLevel level);
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
+  using TimeSource = std::function<SimTime()>;
 
   static LogLevel level();
   static void set_level(LogLevel level);
@@ -26,8 +29,22 @@ class Log {
   /// Replaces the output sink; pass nullptr to restore stderr.
   static void set_sink(Sink sink);
 
+  /// When set, every line is prefixed with the simulated time
+  /// ("[12.345s] ..."), so log output correlates with trace spans.
+  /// Pass nullptr to remove the prefix again.
+  static void set_time_source(TimeSource source);
+
   static bool enabled(LogLevel level) { return level >= Log::level(); }
-  static void write(LogLevel level, const std::string& message);
+
+  /// Emits one line. The level filter has already been applied by the
+  /// NETQOS_LOG* macros; write() itself does not re-check it.
+  /// `component` tags the line's subsystem ("monitor", "snmp", ...);
+  /// nullptr omits the tag.
+  static void write(LogLevel level, const char* component,
+                    const std::string& message);
+  static void write(LogLevel level, const std::string& message) {
+    write(level, nullptr, message);
+  }
 };
 
 namespace detail {
@@ -35,8 +52,9 @@ namespace detail {
 /// Builds one log line and emits it on destruction.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { Log::write(level_, stream_.str()); }
+  explicit LogLine(LogLevel level, const char* component = nullptr)
+      : level_(level), component_(component) {}
+  ~LogLine() { Log::write(level_, component_, stream_.str()); }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
@@ -48,6 +66,7 @@ class LogLine {
 
  private:
   LogLevel level_;
+  const char* component_;
   std::ostringstream stream_;
 };
 
@@ -59,8 +78,25 @@ class LogLine {
   } else                                       \
     ::netqos::detail::LogLine(level)
 
+/// Component-tagged variant: NETQOS_LOG_C(level, "monitor") << ...;
+#define NETQOS_LOG_C(level, component)         \
+  if (!::netqos::Log::enabled(level)) {        \
+  } else                                       \
+    ::netqos::detail::LogLine(level, component)
+
 #define NETQOS_TRACE() NETQOS_LOG(::netqos::LogLevel::kTrace)
 #define NETQOS_DEBUG() NETQOS_LOG(::netqos::LogLevel::kDebug)
 #define NETQOS_INFO() NETQOS_LOG(::netqos::LogLevel::kInfo)
 #define NETQOS_WARN() NETQOS_LOG(::netqos::LogLevel::kWarn)
 #define NETQOS_ERROR() NETQOS_LOG(::netqos::LogLevel::kError)
+
+#define NETQOS_TRACE_C(component) \
+  NETQOS_LOG_C(::netqos::LogLevel::kTrace, component)
+#define NETQOS_DEBUG_C(component) \
+  NETQOS_LOG_C(::netqos::LogLevel::kDebug, component)
+#define NETQOS_INFO_C(component) \
+  NETQOS_LOG_C(::netqos::LogLevel::kInfo, component)
+#define NETQOS_WARN_C(component) \
+  NETQOS_LOG_C(::netqos::LogLevel::kWarn, component)
+#define NETQOS_ERROR_C(component) \
+  NETQOS_LOG_C(::netqos::LogLevel::kError, component)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace netqos {
 
@@ -19,6 +20,62 @@ double RunningStats::variance() const {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("histogram needs at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "histogram bounds must be strictly ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+Histogram Histogram::exponential(double start, double factor,
+                                 std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0 || count == 0) {
+    throw std::invalid_argument("bad exponential histogram parameters");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  std::size_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t next = cumulative + counts_[b];
+    if (static_cast<double>(next) >= rank && counts_[b] > 0) {
+      if (b == counts_.size() - 1) return bounds_.back();  // +Inf bucket
+      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      const double upper = bounds_[b];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[b]);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
 
 RunningStats TimeSeries::stats_between(SimTime begin, SimTime end) const {
   RunningStats s;

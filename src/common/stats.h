@@ -31,6 +31,48 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Fixed-bucket histogram: observations are sorted into buckets delimited
+/// by a fixed, ascending list of upper bounds, with an implicit +Inf
+/// overflow bucket. The bucket layout matches Prometheus histogram
+/// semantics (cumulative `le` buckets on export), and percentile(q)
+/// recovers approximate quantiles by linear interpolation inside the
+/// winning bucket — the classic fixed-cost alternative to storing every
+/// sample.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// `count` bounds starting at `start`, each `factor` times the last
+  /// (e.g. exponential(0.001, 2.0, 12) spans 1 ms .. 2 s).
+  static Histogram exponential(double start, double factor,
+                               std::size_t count);
+
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Finite bucket upper bounds (the +Inf bucket is implicit).
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last entry being the +Inf overflow bucket.
+  const std::vector<std::size_t>& bucket_counts() const { return counts_; }
+
+  /// Approximate value at quantile q in [0, 1] by linear interpolation
+  /// within the containing bucket. Returns 0 when empty. Values in the
+  /// overflow bucket clamp to the largest finite bound.
+  double percentile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::size_t> counts_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
 /// One observation in a time series.
 struct TimePoint {
   SimTime time = 0;

@@ -30,8 +30,15 @@ LirtssTestbed::LirtssTestbed(TestbedOptions options)
   background_ =
       std::make_unique<sim::BackgroundTraffic>(simulator_, hosts, bg);
 
+  if (options.metrics != nullptr) {
+    simulator_.attach_metrics(*options.metrics);
+    network_->attach_metrics(*options.metrics);
+  }
+
   mon::MonitorConfig mc;
   mc.poll_interval = options.poll_interval;
+  mc.metrics = options.metrics;
+  mc.spans = options.spans;
   monitor_ = std::make_unique<mon::NetworkMonitor>(
       simulator_, specfile_.topology, host(options.monitor_host), mc);
 }

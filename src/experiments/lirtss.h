@@ -35,6 +35,11 @@ struct TestbedOptions {
   SimDuration poll_interval = 2 * kSecond;
   /// Name of the host the monitor runs on (the paper uses L).
   std::string monitor_host = "L";
+  /// Optional shared telemetry. When `metrics` is set, the simulator,
+  /// every link, and the monitor export through it; when `spans` is set,
+  /// poll rounds are traced. Both must outlive the testbed.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::SpanRecorder* spans = nullptr;
 };
 
 class LirtssTestbed {

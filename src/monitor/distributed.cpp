@@ -25,6 +25,9 @@ DistributedMonitor::DistributedMonitor(sim::Simulator& sim,
     workers_.push_back(std::make_unique<NetworkMonitor>(
         sim, topo, *stations[s], db_, config));
   }
+  // The shared db exports through the coordinator's registry (worker
+  // series stay distinct via their station labels).
+  db_.attach_metrics(workers_.front()->metrics());
 }
 
 void DistributedMonitor::add_path(const std::string& from,
@@ -52,9 +55,10 @@ void DistributedMonitor::stop() {
 MonitorStats DistributedMonitor::aggregate_stats() const {
   MonitorStats total;
   for (const auto& worker : workers_) {
-    const MonitorStats& s = worker->stats();
+    const MonitorStats s = worker->stats();
     total.rounds_started += s.rounds_started;
     total.rounds_completed += s.rounds_completed;
+    total.rounds_failed += s.rounds_failed;
     total.agent_polls += s.agent_polls;
     total.agent_poll_failures += s.agent_poll_failures;
     total.resolve_failures += s.resolve_failures;

@@ -6,6 +6,27 @@
 #include "common/log.h"
 
 namespace netqos::mon {
+namespace {
+
+/// Round-duration buckets: 1 ms .. ~4 s doubling. A round lasts at least
+/// one RTT and at most timeout * (retries + 1).
+const std::vector<double> kRoundDurationBounds = {
+    0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064,
+    0.128, 0.256, 0.512, 1.024, 2.048, 4.096};
+
+/// Per-agent RTT buckets: 100 us .. ~1.6 s doubling, matching the
+/// client-level netqos_snmp_client_rtt_seconds layout.
+const std::vector<double> kRttBounds = {
+    0.0001, 0.0002, 0.0004, 0.0008, 0.0016, 0.0032, 0.0064, 0.0128,
+    0.0256, 0.0512, 0.1024, 0.2048, 0.4096, 0.8192, 1.6384};
+
+snmp::ClientConfig client_config_with_metrics(snmp::ClientConfig client,
+                                              obs::MetricsRegistry* metrics) {
+  if (client.metrics == nullptr) client.metrics = metrics;
+  return client;
+}
+
+}  // namespace
 
 NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
                                const topo::NetworkTopology& topo,
@@ -14,10 +35,19 @@ NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
       topo_(topo),
       config_(std::move(config)),
       plan_(PollPlan::build(topo)),
-      client_(sim, station.udp(), config_.client),
+      own_metrics_(config_.metrics != nullptr
+                       ? nullptr
+                       : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : own_metrics_.get()),
+      station_label_(station.name()),
+      client_(sim, station.udp(),
+              client_config_with_metrics(config_.client, metrics_)),
       walker_(client_),
       calculator_(topo, plan_),
       db_(&own_db_) {
+  init_metrics(station_label_);
+  own_db_.attach_metrics(*metrics_);
   select_agents();
 }
 
@@ -29,11 +59,71 @@ NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
       topo_(topo),
       config_(std::move(config)),
       plan_(PollPlan::build(topo)),
-      client_(sim, station.udp(), config_.client),
+      own_metrics_(config_.metrics != nullptr
+                       ? nullptr
+                       : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : own_metrics_.get()),
+      station_label_(station.name()),
+      client_(sim, station.udp(),
+              client_config_with_metrics(config_.client, metrics_)),
       walker_(client_),
       calculator_(topo, plan_),
       db_(&shared_db) {
+  // The shared db is not attached here: its owner (e.g. the distributed
+  // coordinator) decides which registry exports it.
+  init_metrics(station_label_);
   select_agents();
+}
+
+void NetworkMonitor::init_metrics(const std::string& station) {
+  const obs::Labels labels = {{"station", station}};
+  rounds_started_ =
+      &metrics_->counter("netqos_poll_rounds_started_total",
+                         "Poll rounds the monitor began", labels);
+  rounds_completed_ =
+      &metrics_->counter("netqos_poll_rounds_completed_total",
+                         "Poll rounds with every agent response accounted "
+                         "for (including failed polls)",
+                         labels);
+  rounds_failed_ = &metrics_->counter(
+      "netqos_poll_rounds_failed_total",
+      "Completed rounds in which at least one agent poll failed", labels);
+  agent_polls_ = &metrics_->counter("netqos_agent_polls_total",
+                                    "Per-agent GET requests issued", labels);
+  agent_poll_failures_ = &metrics_->counter(
+      "netqos_agent_poll_failures_total",
+      "Agent polls that timed out, errored, or failed to parse", labels);
+  resolve_failures_ = &metrics_->counter(
+      "netqos_resolve_failures_total",
+      "ifTable walks that failed during interface resolution", labels);
+  round_duration_ = &metrics_->histogram(
+      "netqos_poll_round_duration_seconds",
+      "Wall time (simulated) from round start to last agent response",
+      kRoundDurationBounds, labels);
+}
+
+obs::HistogramMetric& NetworkMonitor::rtt_histogram(const std::string& node) {
+  auto it = rtt_histograms_.find(node);
+  if (it == rtt_histograms_.end()) {
+    obs::HistogramMetric& h = metrics_->histogram(
+        "netqos_snmp_rtt_seconds",
+        "SNMP request round-trip time per polled agent", kRttBounds,
+        {{"agent", node}, {"station", station_label_}});
+    it = rtt_histograms_.emplace(node, &h).first;
+  }
+  return *it->second;
+}
+
+MonitorStats NetworkMonitor::stats() const {
+  MonitorStats stats;
+  stats.rounds_started = rounds_started_->value();
+  stats.rounds_completed = rounds_completed_->value();
+  stats.rounds_failed = rounds_failed_->value();
+  stats.agent_polls = agent_polls_->value();
+  stats.agent_poll_failures = agent_poll_failures_->value();
+  stats.resolve_failures = resolve_failures_->value();
+  return stats;
 }
 
 void NetworkMonitor::select_agents() {
@@ -74,11 +164,13 @@ void NetworkMonitor::start() {
 }
 
 void NetworkMonitor::stop() {
+  if (!running_) return;
   running_ = false;
   if (next_round_event_ != 0) {
     sim_.cancel(next_round_event_);
     next_round_event_ = 0;
   }
+  for (const auto& callback : stop_callbacks_) callback();
 }
 
 void NetworkMonitor::resolve_next_agent(std::size_t index) {
@@ -95,9 +187,9 @@ void NetworkMonitor::resolve_next_agent(std::size_t index) {
       task.address, task.community, descr_column,
       [this, index, &task](snmp::WalkResult result) {
         if (!result.ok) {
-          ++stats_.resolve_failures;
-          NETQOS_WARN() << "ifTable walk failed on " << task.node << ": "
-                        << result.error;
+          resolve_failures_->inc();
+          NETQOS_WARN_C("monitor") << "ifTable walk failed on " << task.node
+                                   << ": " << result.error;
         } else {
           for (const auto& vb : result.varbinds) {
             // Instance OID is ifDescr.<ifIndex>.
@@ -119,10 +211,15 @@ void NetworkMonitor::schedule_round(SimTime when) {
 }
 
 void NetworkMonitor::run_round() {
-  ++stats_.rounds_started;
+  rounds_started_->inc();
   auto round = std::make_shared<Round>();
   round->started = sim_.now();
   round->outstanding = polled_agents_.size();
+  if (config_.spans != nullptr) {
+    round->span = config_.spans->begin("poll_round", "monitor", sim_.now(),
+                                       {{"station", station_label_}});
+    round->has_span = true;
+  }
 
   for (const AgentTask* task : polled_agents_) {
     poll_agent(*task, round);
@@ -163,15 +260,25 @@ void NetworkMonitor::poll_agent(const AgentTask& task,
     return;
   }
 
-  ++stats_.agent_polls;
+  agent_polls_->inc();
+  obs::SpanRecorder::SpanId poll_span = 0;
+  const bool has_poll_span = config_.spans != nullptr;
+  if (has_poll_span) {
+    poll_span = config_.spans->begin("poll_agent", "monitor", sim_.now(),
+                                     {{"agent", task.node}});
+  }
   client_.get(
       task.address, task.community, std::move(oids),
-      [this, node = task.node, interfaces = std::move(interfaces),
-       round](snmp::SnmpResult result) {
+      [this, node = task.node, interfaces = std::move(interfaces), round,
+       poll_span, has_poll_span](snmp::SnmpResult result) {
+        if (has_poll_span) config_.spans->end(poll_span, sim_.now());
+        if (result.ok()) {
+          rtt_histogram(node).observe(to_seconds(result.rtt));
+        }
         const bool usable =
             result.ok() && result.varbinds.size() == 1 + 6 * interfaces.size();
         if (!usable) {
-          ++stats_.agent_poll_failures;
+          agent_poll_failures_->inc();
           round->failed_any = true;
         } else {
           bool parse_ok = true;
@@ -230,7 +337,7 @@ void NetworkMonitor::poll_agent(const AgentTask& task,
             db_->update({node, interfaces[i]}, round->started, sample);
           }
           if (!parse_ok) {
-            ++stats_.agent_poll_failures;
+            agent_poll_failures_->inc();
             round->failed_any = true;
           }
         }
@@ -239,7 +346,10 @@ void NetworkMonitor::poll_agent(const AgentTask& task,
 }
 
 void NetworkMonitor::finish_round(const std::shared_ptr<Round>& round) {
-  ++stats_.rounds_completed;
+  rounds_completed_->inc();
+  if (round->failed_any) rounds_failed_->inc();
+  round_duration_->observe(to_seconds(sim_.now() - round->started));
+  if (round->has_span) config_.spans->end(round->span, sim_.now());
 
   // Per-connection history: each connection on any monitored path gets
   // one point per round (paths may share connections).

@@ -20,6 +20,8 @@
 #include "monitor/plan.h"
 #include "monitor/stats_db.h"
 #include "netsim/host.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "snmp/client.h"
 #include "snmp/walker.h"
 #include "topology/path.h"
@@ -36,11 +38,23 @@ struct MonitorConfig {
   /// the paper's Counter32 ones — immune to the ~6-minute wrap at
   /// 100 Mbps. Requires agents that serve the ifXTable (ours do).
   bool use_hc_counters = false;
+  /// Registry all monitor telemetry (and, unless overridden via
+  /// client.metrics, the SNMP client's) lands in. Null means the monitor
+  /// owns a private registry; pass a shared one to export a process-wide
+  /// exposition. Monitor series carry a station="<host>" label so several
+  /// stations can share one registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set, every poll round records a span with nested per-agent poll
+  /// spans — the JSONL timeline of the monitor's own behavior.
+  obs::SpanRecorder* spans = nullptr;
 };
 
+/// Snapshot of the monitor's health counters, assembled from the metrics
+/// registry (the single source of truth).
 struct MonitorStats {
   std::uint64_t rounds_started = 0;
   std::uint64_t rounds_completed = 0;
+  std::uint64_t rounds_failed = 0;  ///< completed with >= 1 failed poll
   std::uint64_t agent_polls = 0;
   std::uint64_t agent_poll_failures = 0;
   std::uint64_t resolve_failures = 0;
@@ -73,6 +87,13 @@ class NetworkMonitor {
   void start();
   void stop();
   bool running() const { return running_; }
+
+  /// Invoked from stop(), once per registered callback. Reporting sinks
+  /// use this to flush buffered output.
+  using StopCallback = std::function<void()>;
+  void add_stop_callback(StopCallback callback) {
+    stop_callbacks_.push_back(std::move(callback));
+  }
 
   /// Invoked after every completed poll round, once per monitored path.
   /// Multiple consumers (reporting sinks, the QoS detector, the RM
@@ -118,8 +139,11 @@ class NetworkMonitor {
   const std::vector<const AgentTask*>& polled_agents() const {
     return polled_agents_;
   }
-  const MonitorStats& stats() const { return stats_; }
-  const snmp::ClientStats& client_stats() const { return client_.stats(); }
+  /// Health counters, read back from the metrics registry.
+  MonitorStats stats() const;
+  snmp::ClientStats client_stats() const { return client_.stats(); }
+  /// The registry the monitor's instruments live in (own or shared).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
   const topo::NetworkTopology& topology() const { return topo_; }
 
  private:
@@ -134,9 +158,13 @@ class NetworkMonitor {
     SimTime started = 0;
     std::size_t outstanding = 0;
     bool failed_any = false;
+    obs::SpanRecorder::SpanId span = 0;
+    bool has_span = false;
   };
 
   void select_agents();
+  void init_metrics(const std::string& station);
+  obs::HistogramMetric& rtt_histogram(const std::string& node);
   void resolve_next_agent(std::size_t index);
   void schedule_round(SimTime when);
   void run_round();
@@ -149,6 +177,21 @@ class NetworkMonitor {
   const topo::NetworkTopology& topo_;
   MonitorConfig config_;
   PollPlan plan_;
+  // Telemetry precedes client_: the client's config may point into the
+  // monitor's registry, so it must exist first.
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_;  ///< own_metrics_ or config-provided
+  std::string station_label_;
+  obs::Counter* rounds_started_ = nullptr;
+  obs::Counter* rounds_completed_ = nullptr;
+  obs::Counter* rounds_failed_ = nullptr;
+  obs::Counter* agent_polls_ = nullptr;
+  obs::Counter* agent_poll_failures_ = nullptr;
+  obs::Counter* resolve_failures_ = nullptr;
+  obs::HistogramMetric* round_duration_ = nullptr;
+  // Per-agent RTT histograms (netqos_snmp_rtt_seconds{agent=...}), cached
+  // so the hot path avoids a registry lookup per poll.
+  std::map<std::string, obs::HistogramMetric*> rtt_histograms_;
   snmp::SnmpClient client_;
   snmp::SubtreeWalker walker_;
   BandwidthCalculator calculator_;
@@ -162,8 +205,8 @@ class NetworkMonitor {
 
   bool running_ = false;
   sim::EventId next_round_event_ = 0;
-  MonitorStats stats_;
   std::vector<SampleCallback> sample_callbacks_;
+  std::vector<StopCallback> stop_callbacks_;
   const FailureDetector* failure_detector_ = nullptr;
   std::map<std::size_t, TimeSeries> connection_series_;
 };

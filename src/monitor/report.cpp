@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/log.h"
+
 namespace netqos::mon {
 
 CsvSink::CsvSink(NetworkMonitor& monitor, std::ostream& out,
@@ -18,7 +20,13 @@ CsvSink::CsvSink(NetworkMonitor& monitor, std::ostream& out,
          << usage.available / 1000.0 << ','
          << monitor.topology().connections()[usage.bottleneck].to_string()
          << '\n';
+    if (out_.bad() && !warned_bad_stream_) {
+      warned_bad_stream_ = true;
+      NETQOS_WARN_C("report")
+          << "CSV output stream failed (badbit); rows are being lost";
+    }
   });
+  monitor.add_stop_callback([this] { out_.flush(); });
 }
 
 LoadWindowStats analyze_window(const TimeSeries& measured, SimTime begin,
@@ -39,6 +47,15 @@ LoadWindowStats analyze_window(const TimeSeries& measured, SimTime begin,
     stats.max_percent_error =
         100.0 * measured.max_relative_error(effective_begin, end,
                                             generated + background);
+    // Distribution of per-sample errors: 0.25% .. ~64% doubling buckets.
+    Histogram errors = Histogram::exponential(0.25, 2.0, 9);
+    const double reference = generated + background;
+    for (const auto& p : measured.points()) {
+      if (p.time >= effective_begin && p.time < end) {
+        errors.add(100.0 * std::fabs(p.value - reference) / reference);
+      }
+    }
+    stats.p95_percent_error = errors.percentile(0.95);
   }
   return stats;
 }

@@ -14,12 +14,15 @@ namespace netqos::mon {
 /// time_s,from,to,used_KBps,available_KBps,bottleneck
 class CsvSink {
  public:
-  /// Subscribes to the monitor. `out` must outlive the sink.
+  /// Subscribes to the monitor; the stream is flushed when the monitor
+  /// stops. `out` must outlive the sink. A failed stream (badbit) is
+  /// reported with a warning once instead of silently dropping rows.
   CsvSink(NetworkMonitor& monitor, std::ostream& out,
           bool write_header = true);
 
  private:
   std::ostream& out_;
+  bool warned_bad_stream_ = false;
 };
 
 /// One row of a Table 2 style summary for a constant-load window.
@@ -29,6 +32,10 @@ struct LoadWindowStats {
   double less_background_kbps = 0.0;  ///< measured minus background
   double percent_error = 0.0;         ///< of the window average
   double max_percent_error = 0.0;     ///< worst individual sample
+  /// 95th percentile of per-sample |error| (histogram approximation) —
+  /// a robust companion to max_percent_error, which a single polling
+  /// spike dominates.
+  double p95_percent_error = 0.0;
 };
 
 /// Computes a Table 2 row from a measured series over [begin, end), given

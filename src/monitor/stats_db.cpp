@@ -2,6 +2,16 @@
 
 namespace netqos::mon {
 
+void StatsDb::attach_metrics(obs::MetricsRegistry& registry) {
+  updates_ = &registry.counter("netqos_statsdb_updates_total",
+                               "Counter samples recorded in the stats db");
+  counter_wraps_ = &registry.counter(
+      "netqos_statsdb_counter_wraps_total",
+      "Octet-counter wraps detected between consecutive samples");
+  interfaces_gauge_ = &registry.gauge("netqos_statsdb_interfaces",
+                                      "Interfaces currently tracked");
+}
+
 std::optional<RateSample> StatsDb::update(const InterfaceKey& key,
                                           SimTime when,
                                           const CounterSample& sample) {
@@ -9,7 +19,15 @@ std::optional<RateSample> StatsDb::update(const InterfaceKey& key,
   std::optional<RateSample> rates;
   if (entry.has_sample) {
     rates = compute_rates(entry.last_sample, sample);
+    // A smaller octet total than last time means the modular delta
+    // crossed a wrap (the ~6-minute Counter32 horizon at 100 Mbps).
+    if (counter_wraps_ != nullptr &&
+        (sample.in_octets < entry.last_sample.in_octets ||
+         sample.out_octets < entry.last_sample.out_octets)) {
+      counter_wraps_->inc();
+    }
   }
+  if (updates_ != nullptr) updates_->inc();
   entry.last_sample = sample;
   entry.has_sample = true;
   if (rates.has_value()) {
@@ -17,6 +35,9 @@ std::optional<RateSample> StatsDb::update(const InterfaceKey& key,
     entry.total_series.add(when, rates->total_rate());
   }
   if (when > last_update_) last_update_ = when;
+  if (interfaces_gauge_ != nullptr) {
+    interfaces_gauge_->set(static_cast<double>(entries_.size()));
+  }
   return rates;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/stats.h"
 #include "monitor/counter_math.h"
+#include "obs/metrics.h"
 
 namespace netqos::mon {
 
@@ -19,6 +20,10 @@ using InterfaceKey = std::pair<std::string, std::string>;
 
 class StatsDb {
  public:
+  /// Registers the db's instruments (sample updates, detected Counter32
+  /// wraps, tracked-interface gauge) in `registry`. Telemetry is off
+  /// until attached; re-attaching moves it to the new registry.
+  void attach_metrics(obs::MetricsRegistry& registry);
   /// Records a fresh sample taken at monitor-side time `when`. Returns
   /// the rates vs. the previous sample, or nullopt for the first sample
   /// (or a zero uptime delta).
@@ -47,6 +52,10 @@ class StatsDb {
 
   std::map<InterfaceKey, Entry> entries_;
   SimTime last_update_ = 0;
+
+  obs::Counter* updates_ = nullptr;
+  obs::Counter* counter_wraps_ = nullptr;
+  obs::Gauge* interfaces_gauge_ = nullptr;
 };
 
 }  // namespace netqos::mon

@@ -32,6 +32,8 @@ void Link::carry(const Nic& from, Frame frame) {
     ++dropped_loss_;
     return;
   }
+  ++frames_carried_;
+  octets_carried_ += frame->wire_size();
   if (tap_) tap_(from, frame);
   Nic& to = peer_of(from);
   sim_.schedule_after(propagation_delay_,

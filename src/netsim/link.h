@@ -56,6 +56,16 @@ class Link {
   std::uint64_t frames_dropped_down() const { return dropped_down_; }
   std::uint64_t frames_dropped_loss() const { return dropped_loss_; }
 
+  /// Traffic actually carried (frames that survived the carrier/loss
+  /// checks); octets count the full frame size.
+  std::uint64_t frames_carried() const { return frames_carried_; }
+  std::uint64_t octets_carried() const { return octets_carried_; }
+
+  /// The two endpoints, in construction order. Used to label exported
+  /// per-link metrics.
+  const Nic& end_a() const { return a_; }
+  const Nic& end_b() const { return b_; }
+
  private:
   Simulator& sim_;
   Nic& a_;
@@ -69,6 +79,8 @@ class Link {
   Tap tap_;
   std::uint64_t dropped_down_ = 0;
   std::uint64_t dropped_loss_ = 0;
+  std::uint64_t frames_carried_ = 0;
+  std::uint64_t octets_carried_ = 0;
 };
 
 }  // namespace netqos::sim

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "netsim/nic.h"
+
 namespace netqos::sim {
 
 template <typename T>
@@ -61,6 +63,38 @@ Link& Network::connect(Node& a, const std::string& if_a, Node& b,
   }
   links_.push_back(std::make_unique<Link>(sim_, *na, *nb, propagation));
   return *links_.back();
+}
+
+void Network::attach_metrics(obs::MetricsRegistry& registry) {
+  for (const auto& link_ptr : links_) {
+    Link& link = *link_ptr;
+    const std::string label = link.end_a().owner().name() + "." +
+                              link.end_a().name() + "<->" +
+                              link.end_b().owner().name() + "." +
+                              link.end_b().name();
+    obs::Counter& frames = registry.counter(
+        "netqos_link_frames_total", "Frames carried by a simulated link",
+        {{"link", label}});
+    obs::Counter& bytes = registry.counter(
+        "netqos_link_bytes_total",
+        "Octets carried by a simulated link (wire size incl. framing)",
+        {{"link", label}});
+    obs::Counter& drop_down = registry.counter(
+        "netqos_link_dropped_frames_total",
+        "Frames dropped by a simulated link, by reason",
+        {{"link", label}, {"reason", "down"}});
+    obs::Counter& drop_loss = registry.counter(
+        "netqos_link_dropped_frames_total",
+        "Frames dropped by a simulated link, by reason",
+        {{"link", label}, {"reason", "loss"}});
+    registry.add_collector(
+        [&link, &frames, &bytes, &drop_down, &drop_loss] {
+          frames.set_total(link.frames_carried());
+          bytes.set_total(link.octets_carried());
+          drop_down.set_total(link.frames_dropped_down());
+          drop_loss.set_total(link.frames_dropped_loss());
+        });
+  }
 }
 
 Node* Network::find_node(const std::string& name) {

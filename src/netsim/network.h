@@ -14,6 +14,7 @@
 #include "netsim/hub.h"
 #include "netsim/link.h"
 #include "netsim/switch.h"
+#include "obs/metrics.h"
 #include "topology/model.h"
 
 namespace netqos::sim {
@@ -47,6 +48,14 @@ class Network : public ArpResolver {
   Host* find_host(const std::string& name);
   Switch* find_switch(const std::string& name);
   const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+  /// Exports per-link traffic through `registry`: frames/bytes carried and
+  /// dropped frames by reason, each labeled link="A.if<->B.if". Pull-style
+  /// collectors snapshot the links' own tallies at render time, so the
+  /// frame path pays nothing extra. Links cabled after this call are not
+  /// covered. The registry must not outlive this network.
+  void attach_metrics(obs::MetricsRegistry& registry);
 
   /// Static ARP lookup.
   std::optional<MacAddress> resolve(Ipv4Address ip) const override;

@@ -17,6 +17,23 @@ EventId Simulator::schedule_at(SimTime when, Callback fn) {
 
 bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
 
+void Simulator::attach_metrics(obs::MetricsRegistry& registry) {
+  // Pull-style: nothing touches the event loop's hot path. The counters
+  // are snapshotted from the simulator's own tallies at render time.
+  obs::Counter& events = registry.counter(
+      "netqos_sim_events_total", "Discrete events dispatched by the simulator");
+  obs::Gauge& depth = registry.gauge(
+      "netqos_sim_queue_depth",
+      "Pending events in the scheduler queue (including tombstones)");
+  obs::Gauge& clock = registry.gauge("netqos_sim_time_seconds",
+                                     "Current virtual time of the simulation");
+  registry.add_collector([this, &events, &depth, &clock] {
+    events.set_total(executed_);
+    depth.set(static_cast<double>(queue_.size()));
+    clock.set(to_seconds(now_));
+  });
+}
+
 void Simulator::run_until(SimTime until) {
   while (!queue_.empty() && queue_.top().when <= until) {
     const Event ev = queue_.top();

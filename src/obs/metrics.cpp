@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace netqos::obs {
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + escape_label(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Extra labels appended to an existing label block (histogram `le`).
+std::string render_labels_with(const Labels& labels, const std::string& key,
+                               const std::string& value) {
+  Labels all = labels;
+  all.emplace_back(key, value);
+  return render_labels(all);
+}
+
+std::string format_double(double v) {
+  std::ostringstream out;
+  out << std::setprecision(15) << v;
+  return out.str();
+}
+
+std::string format_bound(double bound) { return format_double(bound); }
+
+}  // namespace
+
+std::string json_escape(const std::string& value) {
+  std::ostringstream out;
+  for (char c : value) {
+    switch (c) {
+      case '\\': out << "\\\\"; break;
+      case '"': out << "\\\""; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec;
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
+const char* metric_type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                const std::string& help,
+                                                MetricType type) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("invalid metric name: '" + name + "'");
+  }
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.type = type;
+  } else if (it->second.type != type) {
+    throw std::invalid_argument(
+        "metric '" + name + "' already registered as " +
+        metric_type_name(it->second.type));
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help, Labels labels) {
+  Series& series =
+      family(name, help, MetricType::kCounter).series[sorted(std::move(labels))];
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help, Labels labels) {
+  Series& series =
+      family(name, help, MetricType::kGauge).series[sorted(std::move(labels))];
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            const std::string& help,
+                                            std::vector<double> bounds,
+                                            Labels labels) {
+  Family& fam = family(name, help, MetricType::kHistogram);
+  if (fam.bounds.empty()) fam.bounds = std::move(bounds);
+  Series& series = fam.series[sorted(std::move(labels))];
+  if (!series.histogram) {
+    series.histogram =
+        std::make_unique<HistogramMetric>(Histogram(fam.bounds));
+  }
+  return *series.histogram;
+}
+
+void MetricsRegistry::collect() {
+  for (const auto& fn : collectors_) fn();
+}
+
+void MetricsRegistry::render_prometheus(std::ostream& out) {
+  collect();
+  for (const auto& [name, fam] : families_) {
+    out << "# HELP " << name << ' ' << fam.help << '\n';
+    out << "# TYPE " << name << ' ' << metric_type_name(fam.type) << '\n';
+    for (const auto& [labels, series] : fam.series) {
+      switch (fam.type) {
+        case MetricType::kCounter:
+          out << name << render_labels(labels) << ' '
+              << series.counter->value() << '\n';
+          break;
+        case MetricType::kGauge:
+          out << name << render_labels(labels) << ' '
+              << format_double(series.gauge->value()) << '\n';
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = series.histogram->data();
+          std::size_t cumulative = 0;
+          for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+            cumulative += h.bucket_counts()[b];
+            out << name << "_bucket"
+                << render_labels_with(labels, "le",
+                                      format_bound(h.bounds()[b]))
+                << ' ' << cumulative << '\n';
+          }
+          out << name << "_bucket"
+              << render_labels_with(labels, "le", "+Inf") << ' ' << h.count()
+              << '\n';
+          out << name << "_sum" << render_labels(labels) << ' '
+              << format_double(h.sum()) << '\n';
+          out << name << "_count" << render_labels(labels) << ' '
+              << h.count() << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+void MetricsRegistry::render_jsonl(std::ostream& out) {
+  collect();
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [labels, series] : fam.series) {
+      out << "{\"metric\":\"" << json_escape(name) << "\",\"type\":\""
+          << metric_type_name(fam.type) << "\",\"labels\":{";
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) out << ',';
+        out << '"' << json_escape(labels[i].first) << "\":\""
+            << json_escape(labels[i].second) << '"';
+      }
+      out << '}';
+      switch (fam.type) {
+        case MetricType::kCounter:
+          out << ",\"value\":" << series.counter->value();
+          break;
+        case MetricType::kGauge:
+          out << ",\"value\":" << format_double(series.gauge->value());
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = series.histogram->data();
+          out << ",\"count\":" << h.count()
+              << ",\"sum\":" << format_double(h.sum()) << ",\"buckets\":[";
+          for (std::size_t b = 0; b < h.bucket_counts().size(); ++b) {
+            if (b > 0) out << ',';
+            out << "{\"le\":";
+            if (b < h.bounds().size()) {
+              out << format_double(h.bounds()[b]);
+            } else {
+              out << "\"+Inf\"";
+            }
+            out << ",\"count\":" << h.bucket_counts()[b] << '}';
+          }
+          out << ']';
+          break;
+        }
+      }
+      out << "}\n";
+    }
+  }
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const Labels& labels) const {
+  auto fam = families_.find(name);
+  if (fam == families_.end()) return nullptr;
+  auto series = fam->second.series.find(sorted(labels));
+  return series == fam->second.series.end() ? nullptr
+                                            : series->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const Labels& labels) const {
+  auto fam = families_.find(name);
+  if (fam == families_.end()) return nullptr;
+  auto series = fam->second.series.find(sorted(labels));
+  return series == fam->second.series.end() ? nullptr
+                                            : series->second.gauge.get();
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(
+    const std::string& name, const Labels& labels) const {
+  auto fam = families_.find(name);
+  if (fam == families_.end()) return nullptr;
+  auto series = fam->second.series.find(sorted(labels));
+  return series == fam->second.series.end()
+             ? nullptr
+             : series->second.histogram.get();
+}
+
+}  // namespace netqos::obs

@@ -1,0 +1,143 @@
+// Telemetry metrics registry.
+//
+// Decouples metric *collection* (cheap counter bumps on hot paths, or
+// pull-style collector callbacks that read values already maintained
+// elsewhere) from metric *export* (Prometheus text exposition and JSONL
+// snapshots). Components obtain instrument references once, at setup
+// time, and pay only an increment per event afterwards; exporters walk
+// the registry on demand.
+//
+// Naming follows the Prometheus conventions: `netqos_` prefix, base
+// units in the name (`_seconds`, `_bytes`), `_total` suffix on counters,
+// labels for per-agent / per-link dimensions
+// (`netqos_snmp_rtt_seconds{agent="S1"}`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace netqos::obs {
+
+/// Label set as (key, value) pairs; the registry sorts them by key, so
+/// any order identifies the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  /// Overwrites with a total read from an external monotonic source —
+  /// for collector callbacks exporting counters a component already
+  /// maintains (e.g. the simulator's events-executed count).
+  void set_total(std::uint64_t total) { value_ = total; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Value that can go up and down (queue depths, sizes).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Registry-owned view over a fixed-bucket netqos::Histogram.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(Histogram histogram)
+      : histogram_(std::move(histogram)) {}
+
+  void observe(double x) { histogram_.add(x); }
+  const Histogram& data() const { return histogram_; }
+
+ private:
+  Histogram histogram_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* metric_type_name(MetricType type);
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& value);
+
+/// Owns all instruments. Single-threaded, like the simulator. Instrument
+/// references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter for (name, labels), creating it on first use.
+  /// Throws std::invalid_argument on an invalid metric name or when the
+  /// name is already registered with a different type.
+  Counter& counter(const std::string& name, const std::string& help,
+                   Labels labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               Labels labels = {});
+  /// `bounds` are the finite bucket upper bounds; only the first call for
+  /// a family sets them (later calls reuse the family's layout).
+  HistogramMetric& histogram(const std::string& name,
+                             const std::string& help,
+                             std::vector<double> bounds, Labels labels = {});
+
+  /// Registers a pull-style callback run by collect() before every
+  /// export — the hook for components that already maintain their own
+  /// counters (simulator, NICs, links).
+  void add_collector(std::function<void()> fn) {
+    collectors_.push_back(std::move(fn));
+  }
+  void collect();
+
+  /// Prometheus text exposition format (runs collect() first).
+  void render_prometheus(std::ostream& out);
+  /// One JSON object per series per line (runs collect() first).
+  void render_jsonl(std::ostream& out);
+
+  /// Series lookup for tests/consumers; nullptr when absent.
+  const Counter* find_counter(const std::string& name,
+                              const Labels& labels = {}) const;
+  const Gauge* find_gauge(const std::string& name,
+                          const Labels& labels = {}) const;
+  const HistogramMetric* find_histogram(const std::string& name,
+                                        const Labels& labels = {}) const;
+
+  std::size_t family_count() const { return families_.size(); }
+
+ private:
+  struct Series {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  struct Family {
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<double> bounds;  // histogram families only
+    std::map<Labels, Series> series;
+  };
+
+  Family& family(const std::string& name, const std::string& help,
+                 MetricType type);
+
+  std::map<std::string, Family> families_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+}  // namespace netqos::obs

@@ -1,0 +1,70 @@
+#include "obs/span.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace netqos::obs {
+namespace {
+
+/// Chrome trace-event timestamps are microseconds; keep sub-microsecond
+/// precision from the nanosecond virtual clock as a fraction.
+std::string to_trace_us(SimTime t) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3)
+      << static_cast<double>(t) / 1000.0;
+  return out.str();
+}
+
+void write_args(std::ostream& out, const Labels& args) {
+  out << "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << json_escape(args[i].first) << "\":\""
+        << json_escape(args[i].second) << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+SpanRecorder::SpanId SpanRecorder::begin(std::string name,
+                                         std::string category, SimTime now,
+                                         Labels args) {
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return capacity_;  // out-of-range id; end() ignores it
+  }
+  Span span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.begin = now;
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+  ++open_;
+  return spans_.size() - 1;
+}
+
+void SpanRecorder::end(SpanId id, SimTime now) {
+  if (id >= spans_.size()) return;
+  Span& span = spans_[id];
+  if (span.finished()) return;
+  span.end = now;
+  if (open_ > 0) --open_;
+}
+
+void SpanRecorder::write_jsonl(std::ostream& out) const {
+  for (const Span& span : spans_) {
+    out << "{\"name\":\"" << json_escape(span.name) << "\",\"cat\":\""
+        << json_escape(span.category) << "\",\"ph\":\""
+        << (span.finished() ? 'X' : 'B') << "\",\"pid\":1,\"tid\":1,"
+        << "\"ts\":" << to_trace_us(span.begin);
+    if (span.finished()) {
+      out << ",\"dur\":" << to_trace_us(span.duration());
+    }
+    out << ',';
+    write_args(out, span.args);
+    out << "}\n";
+  }
+}
+
+}  // namespace netqos::obs

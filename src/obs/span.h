@@ -1,0 +1,66 @@
+// Lightweight trace spans over simulated time.
+//
+// A SpanRecorder captures begin/end pairs — one span per poll round, one
+// nested span per agent poll — stamped with the simulator's virtual
+// clock. The JSONL export writes one Chrome trace-event object per line
+// ("X" complete events, microsecond timestamps), so a recorded timeline
+// loads directly into chrome://tracing or Perfetto after wrapping the
+// lines in a JSON array.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "obs/metrics.h"
+
+namespace netqos::obs {
+
+struct Span {
+  std::string name;
+  std::string category;
+  SimTime begin = 0;
+  SimTime end = -1;  ///< -1 while the span is open
+  Labels args;
+
+  bool finished() const { return end >= begin; }
+  SimDuration duration() const { return finished() ? end - begin : 0; }
+};
+
+class SpanRecorder {
+ public:
+  /// Index of the span in spans(); stable because spans are append-only.
+  using SpanId = std::size_t;
+
+  /// Spans beyond this many are dropped (and counted) instead of growing
+  /// the timeline without bound on long runs.
+  explicit SpanRecorder(std::size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  /// Opens a span at virtual time `now`. The caller supplies the clock:
+  /// the recorder has no simulator dependency.
+  SpanId begin(std::string name, std::string category, SimTime now,
+               Labels args = {});
+  /// Closes a span. Ignores ids of dropped spans.
+  void end(SpanId id, SimTime now);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t open_spans() const { return open_; }
+  std::size_t dropped() const { return dropped_; }
+
+  /// Chrome trace-event JSONL: one complete ("X") event per finished
+  /// span. Open spans are emitted as begin ("B") events so an aborted
+  /// run's partial timeline is still visible.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  std::vector<Span> spans_;
+  std::size_t capacity_;
+  std::size_t open_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace netqos::obs

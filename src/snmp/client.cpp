@@ -10,12 +10,56 @@ namespace netqos::snmp {
 SnmpClient::SnmpClient(sim::Simulator& sim, sim::UdpStack& stack,
                        ClientConfig config)
     : sim_(sim), stack_(stack), config_(config) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  requests_sent_ = &metrics_->counter(
+      "netqos_snmp_requests_total",
+      "SNMP requests transmitted, including retries");
+  responses_ = &metrics_->counter("netqos_snmp_responses_total",
+                                  "SNMP responses matched to a request");
+  timeouts_ = &metrics_->counter(
+      "netqos_snmp_timeouts_total",
+      "SNMP requests abandoned after exhausting all retries");
+  retries_ = &metrics_->counter("netqos_snmp_retries_total",
+                                "SNMP request retransmissions");
+  mismatched_ = &metrics_->counter(
+      "netqos_snmp_mismatched_responses_total",
+      "SNMP responses with an unknown request id (late duplicates)");
+  bytes_sent_ = &metrics_->counter(
+      "netqos_snmp_payload_bytes_sent_total",
+      "SNMP payload octets transmitted (excluding UDP/IP/Ethernet framing)");
+  bytes_received_ = &metrics_->counter(
+      "netqos_snmp_payload_bytes_received_total",
+      "SNMP payload octets received (excluding UDP/IP/Ethernet framing)");
+  // 100 us .. ~1.6 s in doubling buckets: simulated LAN RTTs sit at the
+  // bottom, timeout-bound retries at the top.
+  rtt_histogram_ = &metrics_->histogram(
+      "netqos_snmp_client_rtt_seconds",
+      "Request-to-response round-trip time of the last attempt",
+      {0.0001, 0.0002, 0.0004, 0.0008, 0.0016, 0.0032, 0.0064, 0.0128,
+       0.0256, 0.0512, 0.1024, 0.2048, 0.4096, 0.8192, 1.6384});
   src_port_ = stack_.allocate_ephemeral_port();
   if (src_port_ == 0 ||
       !stack_.bind(src_port_,
                    [this](const sim::Ipv4Packet& p) { on_packet(p); })) {
     throw std::logic_error("SNMP client could not bind a source port");
   }
+}
+
+ClientStats SnmpClient::stats() const {
+  ClientStats stats;
+  stats.requests_sent = requests_sent_->value();
+  stats.responses = responses_->value();
+  stats.timeouts = timeouts_->value();
+  stats.retries = retries_->value();
+  stats.mismatched = mismatched_->value();
+  stats.payload_bytes_sent = bytes_sent_->value();
+  stats.payload_bytes_received = bytes_received_->value();
+  return stats;
 }
 
 SnmpClient::~SnmpClient() {
@@ -89,8 +133,8 @@ void SnmpClient::transmit(std::int32_t request_id) {
     callback(std::move(result));
     return;
   }
-  ++stats_.requests_sent;
-  stats_.payload_bytes_sent += pending.wire.size();
+  requests_sent_->inc();
+  bytes_sent_->inc(pending.wire.size());
   pending.timeout_event = sim_.schedule_after(
       config_.timeout, [this, request_id] { on_timeout(request_id); });
 }
@@ -101,11 +145,11 @@ void SnmpClient::on_timeout(std::int32_t request_id) {
   Pending& pending = it->second;
 
   if (pending.attempts <= config_.retries) {
-    ++stats_.retries;
+    retries_->inc();
     transmit(request_id);
     return;
   }
-  ++stats_.timeouts;
+  timeouts_->inc();
   SnmpResult result;
   result.status = SnmpResult::Status::kTimeout;
   result.attempts = pending.attempts;
@@ -115,7 +159,7 @@ void SnmpClient::on_timeout(std::int32_t request_id) {
 }
 
 void SnmpClient::on_packet(const sim::Ipv4Packet& packet) {
-  stats_.payload_bytes_received += packet.udp.payload.size();
+  bytes_received_->inc(packet.udp.payload.size());
   Message message;
   try {
     message = decode_message(packet.udp.payload);
@@ -128,12 +172,12 @@ void SnmpClient::on_packet(const sim::Ipv4Packet& packet) {
   auto it = pending_.find(message.pdu.request_id);
   if (it == pending_.end()) {
     // Late duplicate after a retry already completed the request.
-    ++stats_.mismatched;
+    mismatched_->inc();
     return;
   }
   Pending& pending = it->second;
   sim_.cancel(pending.timeout_event);
-  ++stats_.responses;
+  responses_->inc();
 
   SnmpResult result;
   result.status = message.pdu.error_status == ErrorStatus::kNoError
@@ -144,6 +188,7 @@ void SnmpClient::on_packet(const sim::Ipv4Packet& packet) {
   result.varbinds = std::move(message.pdu.varbinds);
   result.rtt = sim_.now() - pending.last_send;
   result.attempts = pending.attempts;
+  rtt_histogram_->observe(to_seconds(result.rtt));
 
   Callback callback = std::move(pending.callback);
   pending_.erase(it);

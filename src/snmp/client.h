@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "common/sim_time.h"
 #include "netsim/simulator.h"
 #include "netsim/udp.h"
+#include "obs/metrics.h"
 #include "snmp/pdu.h"
 
 namespace netqos::snmp {
@@ -22,8 +24,14 @@ struct ClientConfig {
   SimDuration timeout = 1 * kSecond;
   int retries = 2;  ///< resends after the first attempt
   SnmpVersion version = SnmpVersion::kV2c;
+  /// Registry the client's counters live in. When null the client owns a
+  /// private registry (inspect via metrics()); passing a shared one lets
+  /// a whole process export through a single endpoint.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// Snapshot of the client's transport counters, assembled from the
+/// metrics registry (the single source of truth).
 struct ClientStats {
   std::uint64_t requests_sent = 0;   ///< including retries
   std::uint64_t responses = 0;
@@ -68,7 +76,10 @@ class SnmpClient {
                 std::vector<Oid> oids, std::int32_t non_repeaters,
                 std::int32_t max_repetitions, Callback callback);
 
-  const ClientStats& stats() const { return stats_; }
+  /// Transport counters, read back from the metrics registry.
+  ClientStats stats() const;
+  /// The registry the client's instruments live in.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
   const ClientConfig& config() const { return config_; }
   std::size_t outstanding() const { return pending_.size(); }
 
@@ -94,7 +105,17 @@ class SnmpClient {
   std::uint16_t src_port_;
   std::int32_t next_request_id_ = 1;
   std::unordered_map<std::int32_t, Pending> pending_;
-  ClientStats stats_;
+
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_;  ///< own_metrics_ or config-provided
+  obs::Counter* requests_sent_;
+  obs::Counter* responses_;
+  obs::Counter* timeouts_;
+  obs::Counter* retries_;
+  obs::Counter* mismatched_;
+  obs::Counter* bytes_sent_;
+  obs::Counter* bytes_received_;
+  obs::HistogramMetric* rtt_histogram_;
 };
 
 }  // namespace netqos::snmp

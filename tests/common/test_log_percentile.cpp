@@ -59,6 +59,26 @@ TEST(Log, LevelNames) {
   EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
 }
 
+TEST(Log, ComponentPrefix) {
+  LogCapture capture;
+  Log::set_level(LogLevel::kInfo);
+  NETQOS_INFO_C("monitor") << "round done";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0].second, "[monitor] round done");
+}
+
+TEST(Log, SimulatedTimePrefix) {
+  LogCapture capture;
+  Log::set_level(LogLevel::kInfo);
+  Log::set_time_source([] { return seconds(3) + 500 * kMillisecond; });
+  NETQOS_INFO_C("snmp") << "retry";
+  NETQOS_INFO() << "bare";
+  Log::set_time_source(nullptr);
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.lines[0].second, "[3.500s] [snmp] retry");
+  EXPECT_EQ(capture.lines[1].second, "[3.500s] bare");
+}
+
 TEST(Percentile, EmptySeriesIsZero) {
   TimeSeries ts;
   EXPECT_EQ(ts.percentile(0.5), 0.0);

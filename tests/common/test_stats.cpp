@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 namespace netqos {
 namespace {
@@ -89,6 +90,55 @@ TEST(TimeSeries, WindowOutsideDataIsEmpty) {
   TimeSeries ts;
   ts.add(seconds(5), 1.0);
   EXPECT_EQ(ts.stats_between(seconds(6), seconds(10)).count(), 0u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsValuesAtAndBetweenBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.add(0.5);  // <= 1
+  h.add(1.0);  // boundary counts in its own bucket (le semantics)
+  h.add(3.0);  // <= 4
+  h.add(9.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 0u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 13.5 / 4.0);
+}
+
+TEST(Histogram, ExponentialFactoryDoublesBounds) {
+  const Histogram h = Histogram::exponential(0.001, 2.0, 4);
+  ASSERT_EQ(h.bounds().size(), 4u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 0.001);
+  EXPECT_DOUBLE_EQ(h.bounds()[3], 0.008);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) h.add(5.0);   // first bucket
+  for (int i = 0; i < 10; ++i) h.add(15.0);  // second bucket
+  // Median sits at the boundary between the two populated buckets.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+  // q=0.75 lands midway through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 20.0);
+}
+
+TEST(Histogram, PercentileEmptyAndOverflow) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.percentile(0.95), 0.0);  // empty
+  h.add(100.0);                        // only the overflow bucket
+  // Overflow clamps to the largest finite bound.
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 2.0);
 }
 
 }  // namespace

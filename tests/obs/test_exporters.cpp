@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace netqos::obs {
+namespace {
+
+TEST(PrometheusExporter, GoldenTextForCounterAndGauge) {
+  MetricsRegistry registry;
+  registry.counter("netqos_polls_total", "Polls issued",
+                   {{"station", "L"}}).inc(7);
+  registry.counter("netqos_polls_total", "Polls issued",
+                   {{"station", "M"}}).inc(2);
+  registry.gauge("netqos_queue_depth", "Pending events").set(3);
+
+  std::ostringstream out;
+  registry.render_prometheus(out);
+  EXPECT_EQ(out.str(),
+            "# HELP netqos_polls_total Polls issued\n"
+            "# TYPE netqos_polls_total counter\n"
+            "netqos_polls_total{station=\"L\"} 7\n"
+            "netqos_polls_total{station=\"M\"} 2\n"
+            "# HELP netqos_queue_depth Pending events\n"
+            "# TYPE netqos_queue_depth gauge\n"
+            "netqos_queue_depth 3\n");
+}
+
+TEST(PrometheusExporter, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  HistogramMetric& h = registry.histogram("netqos_rtt_seconds", "RTT",
+                                          {0.5, 1.5}, {{"agent", "S1"}});
+  h.observe(0.2);
+  h.observe(0.3);
+  h.observe(1.0);
+  h.observe(9.0);  // overflow
+
+  std::ostringstream out;
+  registry.render_prometheus(out);
+  EXPECT_EQ(out.str(),
+            "# HELP netqos_rtt_seconds RTT\n"
+            "# TYPE netqos_rtt_seconds histogram\n"
+            "netqos_rtt_seconds_bucket{agent=\"S1\",le=\"0.5\"} 2\n"
+            "netqos_rtt_seconds_bucket{agent=\"S1\",le=\"1.5\"} 3\n"
+            "netqos_rtt_seconds_bucket{agent=\"S1\",le=\"+Inf\"} 4\n"
+            "netqos_rtt_seconds_sum{agent=\"S1\"} 10.5\n"
+            "netqos_rtt_seconds_count{agent=\"S1\"} 4\n");
+}
+
+TEST(PrometheusExporter, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("netqos_odd_total", "h",
+                   {{"path", "a\"b\\c\nd"}}).inc();
+  std::ostringstream out;
+  registry.render_prometheus(out);
+  EXPECT_NE(out.str().find(
+                "netqos_odd_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(JsonlExporter, OneObjectPerSeries) {
+  MetricsRegistry registry;
+  registry.counter("netqos_polls_total", "h", {{"station", "L"}}).inc(5);
+  registry.gauge("netqos_depth", "h").set(2.5);
+
+  std::ostringstream out;
+  registry.render_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"metric\":\"netqos_depth\",\"type\":\"gauge\","
+            "\"labels\":{},\"value\":2.5}\n"
+            "{\"metric\":\"netqos_polls_total\",\"type\":\"counter\","
+            "\"labels\":{\"station\":\"L\"},\"value\":5}\n");
+}
+
+TEST(JsonlExporter, HistogramCarriesBucketArray) {
+  MetricsRegistry registry;
+  HistogramMetric& h =
+      registry.histogram("netqos_rtt_seconds", "h", {0.5});
+  h.observe(0.1);
+  h.observe(2.0);
+
+  std::ostringstream out;
+  registry.render_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"metric\":\"netqos_rtt_seconds\",\"type\":\"histogram\","
+            "\"labels\":{},\"count\":2,\"sum\":2.1,\"buckets\":["
+            "{\"le\":0.5,\"count\":1},{\"le\":\"+Inf\",\"count\":1}]}\n");
+}
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(RenderRunsCollectors, PullStyleValuesAreFresh) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("netqos_events_total", "h");
+  std::uint64_t external = 0;
+  registry.add_collector([&] { c.set_total(external); });
+
+  external = 11;
+  std::ostringstream out;
+  registry.render_prometheus(out);
+  EXPECT_NE(out.str().find("netqos_events_total 11\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netqos::obs

@@ -1,0 +1,95 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace netqos::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAndIsStable) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("netqos_test_total", "help");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same (name, labels) returns the same instrument.
+  EXPECT_EQ(&registry.counter("netqos_test_total", "help"), &c);
+  EXPECT_EQ(registry.family_count(), 1u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("netqos_x_total", "h",
+                                {{"agent", "S1"}, {"station", "L"}});
+  Counter& b = registry.counter("netqos_x_total", "h",
+                                {{"station", "L"}, {"agent", "S1"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other =
+      registry.counter("netqos_x_total", "h", {{"agent", "S2"}});
+  EXPECT_NE(&a, &other);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("netqos_dual", "h");
+  EXPECT_THROW(registry.gauge("netqos_dual", "h"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("netqos_dual", "h", {1.0}),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, InvalidNameThrows) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("", "h"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("9starts_with_digit", "h"),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space", "h"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, GaugeMoves) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("netqos_queue_depth", "h");
+  g.set(7.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+}
+
+TEST(MetricsRegistry, HistogramFamilySharesBucketLayout) {
+  MetricsRegistry registry;
+  HistogramMetric& h1 = registry.histogram("netqos_rtt_seconds", "h",
+                                           {0.001, 0.01}, {{"agent", "A"}});
+  // Second series passes different bounds; the family layout wins.
+  HistogramMetric& h2 = registry.histogram("netqos_rtt_seconds", "h",
+                                           {9.0}, {{"agent", "B"}});
+  EXPECT_EQ(h2.data().bounds(), h1.data().bounds());
+  h1.observe(0.005);
+  EXPECT_EQ(h1.data().count(), 1u);
+  EXPECT_EQ(h2.data().count(), 0u);
+}
+
+TEST(MetricsRegistry, FindLocatesSeriesByLabels) {
+  MetricsRegistry registry;
+  registry.counter("netqos_polls_total", "h", {{"station", "L"}}).inc(3);
+  const Counter* found =
+      registry.find_counter("netqos_polls_total", {{"station", "L"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value(), 3u);
+  EXPECT_EQ(registry.find_counter("netqos_polls_total"), nullptr);
+  EXPECT_EQ(registry.find_counter("netqos_missing_total"), nullptr);
+  EXPECT_EQ(registry.find_gauge("netqos_polls_total"), nullptr);
+}
+
+TEST(MetricsRegistry, CollectorsRunOnCollect) {
+  MetricsRegistry registry;
+  Counter& events = registry.counter("netqos_events_total", "h");
+  std::uint64_t source = 41;
+  registry.add_collector([&] { events.set_total(source); });
+  registry.collect();
+  EXPECT_EQ(events.value(), 41u);
+  source = 42;
+  registry.collect();
+  EXPECT_EQ(events.value(), 42u);
+}
+
+}  // namespace
+}  // namespace netqos::obs

@@ -1,0 +1,74 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace netqos::obs {
+namespace {
+
+TEST(SpanRecorder, NestedSpansKeepSchedulingOrder) {
+  SpanRecorder recorder;
+  const auto round = recorder.begin("poll_round", "monitor", 1000);
+  const auto poll_a = recorder.begin("poll_agent", "monitor", 1000,
+                                     {{"agent", "S1"}});
+  const auto poll_b = recorder.begin("poll_agent", "monitor", 1200,
+                                     {{"agent", "S2"}});
+  EXPECT_EQ(recorder.open_spans(), 3u);
+  recorder.end(poll_a, 1500);
+  recorder.end(poll_b, 1800);
+  recorder.end(round, 2000);
+  EXPECT_EQ(recorder.open_spans(), 0u);
+
+  ASSERT_EQ(recorder.spans().size(), 3u);
+  // Append order is begin order: the enclosing round comes first.
+  EXPECT_EQ(recorder.spans()[0].name, "poll_round");
+  EXPECT_EQ(recorder.spans()[1].args.front().second, "S1");
+  EXPECT_EQ(recorder.spans()[0].duration(), 1000);
+  EXPECT_EQ(recorder.spans()[2].duration(), 600);
+  // The nested spans lie inside the round span.
+  EXPECT_GE(recorder.spans()[1].begin, recorder.spans()[0].begin);
+  EXPECT_LE(recorder.spans()[2].end, recorder.spans()[0].end);
+}
+
+TEST(SpanRecorder, EndIsIdempotentAndIgnoresBadIds) {
+  SpanRecorder recorder;
+  const auto id = recorder.begin("s", "c", 100);
+  recorder.end(id, 200);
+  recorder.end(id, 999);  // already finished; ignored
+  EXPECT_EQ(recorder.spans()[0].end, 200);
+  recorder.end(12345, 300);  // out of range; ignored
+  EXPECT_EQ(recorder.open_spans(), 0u);
+}
+
+TEST(SpanRecorder, CapacityDropsInsteadOfGrowing) {
+  SpanRecorder recorder(/*capacity=*/2);
+  recorder.begin("a", "c", 0);
+  recorder.begin("b", "c", 0);
+  const auto dropped_id = recorder.begin("c", "c", 0);
+  EXPECT_EQ(recorder.spans().size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 1u);
+  recorder.end(dropped_id, 50);  // must not touch recorded spans
+  EXPECT_FALSE(recorder.spans()[0].finished());
+  EXPECT_FALSE(recorder.spans()[1].finished());
+}
+
+TEST(SpanRecorder, WritesCompleteAndBeginEvents) {
+  SpanRecorder recorder;
+  const auto done = recorder.begin("round", "monitor", 2'000'000,
+                                   {{"station", "L"}});
+  recorder.end(done, 3'500'000);
+  recorder.begin("half", "monitor", 4'000'000);  // left open
+
+  std::ostringstream out;
+  recorder.write_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"round\",\"cat\":\"monitor\",\"ph\":\"X\","
+            "\"pid\":1,\"tid\":1,\"ts\":2000.000,\"dur\":1500.000,"
+            "\"args\":{\"station\":\"L\"}}\n"
+            "{\"name\":\"half\",\"cat\":\"monitor\",\"ph\":\"B\","
+            "\"pid\":1,\"tid\":1,\"ts\":4000.000,\"args\":{}}\n");
+}
+
+}  // namespace
+}  // namespace netqos::obs
