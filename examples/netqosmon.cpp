@@ -2,6 +2,7 @@
 //
 // Usage:
 //   netqosmon [SPEC_FILE] [FROM TO]... [--seconds N] [--poll MS]
+//             [--backoff-base X] [--backoff-cap MS] [--stagger MS]
 //             [--load SRC DST KBPS START END]...
 //             [--metrics-out FILE] [--trace-out FILE]
 //
@@ -43,6 +44,9 @@ struct Options {
   std::vector<LoadSpec> loads;
   double seconds_to_run = 60;
   double poll_ms = 2000;
+  double backoff_base = 2.0;  // <= 1 disables adaptive backoff
+  double backoff_cap_ms = 0;  // 0 = 8 * poll interval
+  double stagger_ms = 0;      // per-agent launch phase within a round
   std::string metrics_out;  // Prometheus text exposition, empty = off
   std::string trace_out;    // Chrome trace-event JSONL, empty = off
 };
@@ -50,7 +54,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [SPEC_FILE] [FROM TO]... [--seconds N] "
-               "[--poll MS] [--load SRC DST KBPS START END]... "
+               "[--poll MS] [--backoff-base X] [--backoff-cap MS] "
+               "[--stagger MS] [--load SRC DST KBPS START END]... "
                "[--metrics-out FILE] [--trace-out FILE]\n",
                argv0);
   std::exit(2);
@@ -72,6 +77,12 @@ Options parse_args(int argc, char** argv) {
       options.seconds_to_run = std::atof(next("--seconds").c_str());
     } else if (arg == "--poll") {
       options.poll_ms = std::atof(next("--poll").c_str());
+    } else if (arg == "--backoff-base") {
+      options.backoff_base = std::atof(next("--backoff-base").c_str());
+    } else if (arg == "--backoff-cap") {
+      options.backoff_cap_ms = std::atof(next("--backoff-cap").c_str());
+    } else if (arg == "--stagger") {
+      options.stagger_ms = std::atof(next("--stagger").c_str());
     } else if (arg == "--load") {
       LoadSpec load;
       load.src = next("--load SRC");
@@ -154,6 +165,10 @@ int main(int argc, char** argv) {
 
   mon::MonitorConfig config;
   config.poll_interval = from_seconds(options.poll_ms / 1000.0);
+  config.scheduler.backoff_base = options.backoff_base;
+  config.scheduler.backoff_cap =
+      from_seconds(options.backoff_cap_ms / 1000.0);
+  config.scheduler.stagger = from_seconds(options.stagger_ms / 1000.0);
   config.metrics = &registry;
   if (!options.trace_out.empty()) config.spans = &spans;
   mon::NetworkMonitor monitor(simulator, specfile.topology, *station,
@@ -255,12 +270,33 @@ int main(int argc, char** argv) {
                 options.trace_out.c_str());
   }
 
+  // Per-agent health summary: anything other than a clean healthy state
+  // is worth a line, as is any path whose final report went stale.
+  for (const auto& agent : monitor.scheduler().agents()) {
+    if (agent.health == mon::AgentHealth::kHealthy && agent.failures == 0) {
+      continue;
+    }
+    std::printf("# agent %s: %s, %llu/%llu polls failed, %llu quarantines\n",
+                agent.node.c_str(), mon::agent_health_name(agent.health),
+                static_cast<unsigned long long>(agent.failures),
+                static_cast<unsigned long long>(agent.polls),
+                static_cast<unsigned long long>(agent.quarantines));
+  }
+  for (const auto& [from, to] : pairs) {
+    const mon::PathUsage usage = monitor.current_usage(from, to);
+    if (usage.freshness == mon::Freshness::kFresh) continue;
+    std::printf("# path %s <-> %s: %s (oldest sample %.1fs)\n", from.c_str(),
+                to.c_str(), mon::freshness_name(usage.freshness),
+                to_seconds(usage.max_sample_age));
+  }
+
   const auto& stats = monitor.stats();
   std::printf("# done: %llu rounds, %llu polls, %llu failures, "
-              "%zu QoS events\n",
+              "%llu skipped by backoff, %zu QoS events\n",
               static_cast<unsigned long long>(stats.rounds_completed),
               static_cast<unsigned long long>(stats.agent_polls),
               static_cast<unsigned long long>(stats.agent_poll_failures),
+              static_cast<unsigned long long>(stats.polls_skipped),
               detector.events().size());
   return 0;
 }

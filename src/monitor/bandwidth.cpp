@@ -5,6 +5,15 @@
 
 namespace netqos::mon {
 
+const char* freshness_name(Freshness freshness) {
+  switch (freshness) {
+    case Freshness::kUnknown: return "unknown";
+    case Freshness::kFresh: return "fresh";
+    case Freshness::kStale: return "stale";
+  }
+  return "?";
+}
+
 BandwidthCalculator::BandwidthCalculator(const topo::NetworkTopology& topo,
                                          const PollPlan& plan)
     : topo_(topo), plan_(plan) {}
@@ -53,6 +62,7 @@ ConnectionUsage BandwidthCalculator::connection_usage(
   const auto& domain = plan_.domain_of()[conn];
 
   if (const auto& point = plan_.measurement_for(conn)) {
+    usage.via_switch = point->via_switch;
     if (const auto rate = db.latest_rate({point->node, point->interface})) {
       usage.discard_rate = rate->discard_rate;
     }
@@ -94,6 +104,27 @@ PathUsage BandwidthCalculator::path_usage(const topo::Path& path,
     result.available = 0.0;
     result.complete = false;
   }
+  return result;
+}
+
+PathUsage BandwidthCalculator::path_usage(const topo::Path& path,
+                                          const StatsDb& db, SimTime now,
+                                          SimDuration stale_after) const {
+  PathUsage result = path_usage(path, db);
+  for (ConnectionUsage& usage : result.connections) {
+    const auto& point = plan_.measurement_for(usage.connection);
+    if (!point.has_value()) continue;
+    usage.sample_age = db.sample_age({point->node, point->interface}, now);
+    if (usage.sample_age.has_value() &&
+        *usage.sample_age > result.max_sample_age) {
+      result.max_sample_age = *usage.sample_age;
+    }
+  }
+  // kFresh requires a complete measurement inside the bound; anything
+  // less is reported kStale so consumers never trust silently-old data.
+  const bool all_young =
+      result.complete && result.max_sample_age <= stale_after;
+  result.freshness = all_young ? Freshness::kFresh : Freshness::kStale;
   return result;
 }
 

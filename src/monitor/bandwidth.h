@@ -18,6 +18,15 @@
 
 namespace netqos::mon {
 
+/// How trustworthy a figure computed from StatsDb samples is.
+enum class Freshness {
+  kUnknown,  ///< freshness was not evaluated (no reference time given)
+  kFresh,    ///< every sample involved is younger than the staleness bound
+  kStale,    ///< at least one sample has outlived the bound
+};
+
+const char* freshness_name(Freshness freshness);
+
 struct ConnectionUsage {
   std::size_t connection = 0;
   BytesPerSecond used = 0.0;       ///< u_i, bytes/sec
@@ -28,6 +37,11 @@ struct ConnectionUsage {
   double discard_rate = 0.0;
   bool hub_rule = false;           ///< computed with the domain sum
   bool measured = false;           ///< false when no data was available
+  /// Measured via the §4.1 switch-port fallback (quarantined host agent).
+  bool via_switch = false;
+  /// Age of the measure point's latest sample when evaluated; unset for
+  /// the 2-arg path_usage() or when no sample exists yet.
+  std::optional<SimDuration> sample_age;
 };
 
 struct PathUsage {
@@ -41,6 +55,11 @@ struct PathUsage {
   /// path.
   BytesPerSecond used_at_bottleneck = 0.0;
   std::size_t bottleneck = 0;  ///< connection index attaining the min
+  /// Staleness verdict: kFresh only when the path is complete and every
+  /// measured sample's age is within the bound handed to path_usage().
+  Freshness freshness = Freshness::kUnknown;
+  /// Largest sample age along the path (0 when nothing was measured).
+  SimDuration max_sample_age = 0;
   std::vector<ConnectionUsage> connections;
 };
 
@@ -54,8 +73,16 @@ class BandwidthCalculator {
   ConnectionUsage connection_usage(std::size_t conn,
                                    const StatsDb& db) const;
 
-  /// Usage along a path (sequence of connection indices).
+  /// Usage along a path (sequence of connection indices). Freshness stays
+  /// kUnknown — use the overload below when a reference time is known.
   PathUsage path_usage(const topo::Path& path, const StatsDb& db) const;
+
+  /// As above, plus staleness: annotates each connection with its sample
+  /// age at `now` and classifies the path kFresh/kStale against
+  /// `stale_after`. A path that is incomplete, or whose oldest sample
+  /// exceeds the bound, is kStale — never silently fresh.
+  PathUsage path_usage(const topo::Path& path, const StatsDb& db,
+                       SimTime now, SimDuration stale_after) const;
 
  private:
   /// t_i: measured traffic (in+out bytes/s) of one connection, if its

@@ -22,8 +22,25 @@ DistributedMonitor::DistributedMonitor(sim::Simulator& sim,
   for (std::size_t s = 0; s < stations.size(); ++s) {
     MonitorConfig config = base;
     config.agent_allowlist = std::move(partitions[s]);
+    // Phase the stations' rounds apart so the partitions do not all
+    // burst onto the network at the same instant.
+    config.scheduler.start_offset +=
+        static_cast<SimDuration>(s) * config.scheduler.stagger;
     workers_.push_back(std::make_unique<NetworkMonitor>(
         sim, topo, *stations[s], db_, config));
+  }
+  // A quarantine decided by the worker polling the failed agent must
+  // reach every other worker: the §4.1 fallback switch port is usually
+  // polled by a different station, and the coordinator's path evaluation
+  // reads measure points from its own plan copy.
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    workers_[s]->add_quarantine_callback(
+        [this, s](const std::string& node, bool quarantined) {
+          for (std::size_t other = 0; other < workers_.size(); ++other) {
+            if (other == s) continue;
+            workers_[other]->apply_external_quarantine(node, quarantined);
+          }
+        });
   }
   // The shared db exports through the coordinator's registry (worker
   // series stay distinct via their station labels).
@@ -62,6 +79,8 @@ MonitorStats DistributedMonitor::aggregate_stats() const {
     total.agent_polls += s.agent_polls;
     total.agent_poll_failures += s.agent_poll_failures;
     total.resolve_failures += s.resolve_failures;
+    total.polls_skipped += s.polls_skipped;
+    total.quarantine_transitions += s.quarantine_transitions;
   }
   return total;
 }

@@ -1,5 +1,6 @@
 #include "monitor/monitor.h"
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -19,6 +20,11 @@ const std::vector<double> kRoundDurationBounds = {
 const std::vector<double> kRttBounds = {
     0.0001, 0.0002, 0.0004, 0.0008, 0.0016, 0.0032, 0.0064, 0.0128,
     0.0256, 0.0512, 0.1024, 0.2048, 0.4096, 0.8192, 1.6384};
+
+/// Path-staleness buckets: 0.5 s .. ~8.5 min doubling. Fresh samples land
+/// in the first buckets; a quarantined agent's path ages into the tail.
+const std::vector<double> kSampleAgeBounds = {0.5, 1,  2,   4,   8,  16,
+                                              32,  64, 128, 256, 512};
 
 snmp::ClientConfig client_config_with_metrics(snmp::ClientConfig client,
                                               obs::MetricsRegistry* metrics) {
@@ -49,6 +55,7 @@ NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
   init_metrics(station_label_);
   own_db_.attach_metrics(*metrics_);
   select_agents();
+  init_scheduler();
 }
 
 NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
@@ -74,6 +81,26 @@ NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
   // coordinator) decides which registry exports it.
   init_metrics(station_label_);
   select_agents();
+  init_scheduler();
+}
+
+void NetworkMonitor::init_scheduler() {
+  SchedulerConfig scheduler_config = config_.scheduler;
+  scheduler_config.poll_interval = config_.poll_interval;
+  std::vector<std::string> nodes;
+  nodes.reserve(polled_agents_.size());
+  for (const AgentTask* task : polled_agents_) nodes.push_back(task->node);
+  scheduler_ =
+      std::make_unique<PollScheduler>(scheduler_config, std::move(nodes));
+  scheduler_->set_transition_callback(
+      [this](const std::string& node, AgentHealth from, AgentHealth to) {
+        on_health_transition(node, from, to);
+      });
+}
+
+SimDuration NetworkMonitor::effective_stale_after() const {
+  return config_.stale_after > 0 ? config_.stale_after
+                                 : 3 * config_.poll_interval;
 }
 
 void NetworkMonitor::init_metrics(const std::string& station) {
@@ -97,10 +124,20 @@ void NetworkMonitor::init_metrics(const std::string& station) {
   resolve_failures_ = &metrics_->counter(
       "netqos_resolve_failures_total",
       "ifTable walks that failed during interface resolution", labels);
+  agent_polls_skipped_ = &metrics_->counter(
+      "netqos_agent_polls_skipped_total",
+      "Round slots where backoff/quarantine held an agent out", labels);
+  quarantine_transitions_ = &metrics_->counter(
+      "netqos_agent_quarantine_transitions_total",
+      "Agent transitions into quarantine", labels);
   round_duration_ = &metrics_->histogram(
       "netqos_poll_round_duration_seconds",
       "Wall time (simulated) from round start to last agent response",
       kRoundDurationBounds, labels);
+  path_sample_age_ = &metrics_->histogram(
+      "netqos_path_sample_age_seconds",
+      "Oldest sample feeding each per-round path report", kSampleAgeBounds,
+      labels);
 }
 
 obs::HistogramMetric& NetworkMonitor::rtt_histogram(const std::string& node) {
@@ -115,6 +152,30 @@ obs::HistogramMetric& NetworkMonitor::rtt_histogram(const std::string& node) {
   return *it->second;
 }
 
+obs::Gauge& NetworkMonitor::health_gauge(const std::string& node) {
+  auto it = health_gauges_.find(node);
+  if (it == health_gauges_.end()) {
+    obs::Gauge& g = metrics_->gauge(
+        "netqos_agent_health",
+        "Agent health state (0 healthy, 1 degraded, 2 quarantined)",
+        {{"agent", node}, {"station", station_label_}});
+    it = health_gauges_.emplace(node, &g).first;
+  }
+  return *it->second;
+}
+
+obs::Gauge& NetworkMonitor::backoff_gauge(const std::string& node) {
+  auto it = backoff_gauges_.find(node);
+  if (it == backoff_gauges_.end()) {
+    obs::Gauge& g = metrics_->gauge(
+        "netqos_agent_backoff_level",
+        "Consecutive poll failures driving the agent's backoff exponent",
+        {{"agent", node}, {"station", station_label_}});
+    it = backoff_gauges_.emplace(node, &g).first;
+  }
+  return *it->second;
+}
+
 MonitorStats NetworkMonitor::stats() const {
   MonitorStats stats;
   stats.rounds_started = rounds_started_->value();
@@ -123,7 +184,96 @@ MonitorStats NetworkMonitor::stats() const {
   stats.agent_polls = agent_polls_->value();
   stats.agent_poll_failures = agent_poll_failures_->value();
   stats.resolve_failures = resolve_failures_->value();
+  stats.polls_skipped = agent_polls_skipped_->value();
+  stats.quarantine_transitions = quarantine_transitions_->value();
   return stats;
+}
+
+void NetworkMonitor::set_failure_detector(FailureDetector* detector) {
+  failure_detector_ = detector;
+  if (detector != nullptr) {
+    detector->add_callback([this](const LinkEvent& event) {
+      if (running_) on_link_event(event);
+    });
+  }
+}
+
+const AgentTask* NetworkMonitor::task_for(const std::string& node) const {
+  for (const AgentTask* task : polled_agents_) {
+    if (task->node == node) return task;
+  }
+  return nullptr;
+}
+
+void NetworkMonitor::on_link_event(const LinkEvent& event) {
+  if (!event.up) return;
+  // linkUp trap: the segment is back, so recovery must not wait out the
+  // backoff the outage built up — re-probe the unhealthy agents at both
+  // ends of the restored connection right now.
+  std::vector<std::string> candidates = {event.node};
+  if (event.connection.has_value()) {
+    const topo::Connection& conn = topo_.connections()[*event.connection];
+    candidates.push_back(conn.a.node);
+    candidates.push_back(conn.b.node);
+  }
+  std::set<std::string> probed;
+  for (const std::string& node : candidates) {
+    if (!probed.insert(node).second) continue;
+    const auto* state = scheduler_->find(node);
+    if (state == nullptr || state->health == AgentHealth::kHealthy) continue;
+    const AgentTask* task = task_for(node);
+    if (task == nullptr) continue;
+    scheduler_->request_reprobe(node, sim_.now());
+    scheduler_->record_launch(node, sim_.now());
+    poll_agent(*task, nullptr);
+  }
+}
+
+void NetworkMonitor::on_health_transition(const std::string& node,
+                                          AgentHealth from, AgentHealth to) {
+  health_gauge(node).set(static_cast<double>(to));
+  NETQOS_INFO_C("monitor") << station_label_ << ": agent " << node << " "
+                           << agent_health_name(from) << " -> "
+                           << agent_health_name(to);
+  const bool entered = to == AgentHealth::kQuarantined;
+  const bool left = from == AgentHealth::kQuarantined;
+  if (!entered && !left) return;
+  if (entered) quarantine_transitions_->inc();
+  plan_.set_agent_quarantined(node, entered);
+  recompute_extra_interfaces();
+  for (const auto& callback : quarantine_callbacks_) callback(node, entered);
+}
+
+void NetworkMonitor::apply_external_quarantine(const std::string& node,
+                                               bool quarantined) {
+  plan_.set_agent_quarantined(node, quarantined);
+  recompute_extra_interfaces();
+}
+
+void NetworkMonitor::recompute_extra_interfaces() {
+  extra_interfaces_.clear();
+  for (std::size_t ci = 0; ci < topo_.connections().size(); ++ci) {
+    const auto& point = plan_.measurement_for(ci);
+    const auto& primary = plan_.primary_measurement_for(ci);
+    if (!point.has_value()) continue;
+    // Only active fallbacks need ad-hoc polling; the primary points are
+    // already in the static AgentTask interface lists.
+    if (primary.has_value() && primary->node == point->node &&
+        primary->interface == point->interface) {
+      continue;
+    }
+    const AgentTask* task = task_for(point->node);
+    if (task == nullptr) continue;  // some other station polls this agent
+    if (std::find(task->interfaces.begin(), task->interfaces.end(),
+                  point->interface) != task->interfaces.end()) {
+      continue;
+    }
+    auto& extras = extra_interfaces_[point->node];
+    if (std::find(extras.begin(), extras.end(), point->interface) ==
+        extras.end()) {
+      extras.push_back(point->interface);
+    }
+  }
 }
 
 void NetworkMonitor::select_agents() {
@@ -160,6 +310,10 @@ void NetworkMonitor::start() {
   if (polled_agents_.empty()) {
     throw std::logic_error("no SNMP-capable nodes to poll");
   }
+  for (const AgentTask* task : polled_agents_) {
+    health_gauge(task->node).set(0.0);
+    backoff_gauge(task->node).set(0.0);
+  }
   resolve_next_agent(0);
 }
 
@@ -176,8 +330,9 @@ void NetworkMonitor::stop() {
 void NetworkMonitor::resolve_next_agent(std::size_t index) {
   if (!running_) return;
   if (index >= polled_agents_.size()) {
-    // All ifIndexes resolved; begin polling immediately.
-    schedule_round(sim_.now());
+    // All ifIndexes resolved; begin polling (the distributed extension
+    // phases stations apart via start_offset).
+    schedule_round(sim_.now() + config_.scheduler.start_offset);
     return;
   }
   const AgentTask& task = *polled_agents_[index];
@@ -214,16 +369,43 @@ void NetworkMonitor::run_round() {
   rounds_started_->inc();
   auto round = std::make_shared<Round>();
   round->started = sim_.now();
-  round->outstanding = polled_agents_.size();
+  // The scheduler decides who gets polled this round; backed-off agents
+  // sit rounds out. Paths are still evaluated (and honestly annotated
+  // stale) even when nobody is due.
+  const auto due = scheduler_->due(round->started);
+  round->outstanding = due.size();
+  if (due.size() < polled_agents_.size()) {
+    agent_polls_skipped_->inc(polled_agents_.size() - due.size());
+  }
   if (config_.spans != nullptr) {
     round->span = config_.spans->begin("poll_round", "monitor", sim_.now(),
                                        {{"station", station_label_}});
     round->has_span = true;
   }
 
-  for (const AgentTask* task : polled_agents_) {
-    poll_agent(*task, round);
+  for (const PollScheduler::AgentState* state : due) {
+    const AgentTask* task = task_for(state->node);
+    if (task == nullptr) {
+      if (--round->outstanding == 0) finish_round(round);
+      continue;
+    }
+    scheduler_->record_launch(state->node, round->started);
+    // Phase/jitter de-burst the request train; zero keeps the launch
+    // inline so the default event order matches the lock-step monitor.
+    const SimDuration delay = state->phase + scheduler_->draw_jitter();
+    if (delay <= 0) {
+      poll_agent(*task, round);
+    } else {
+      sim_.schedule_after(delay, [this, task, round] {
+        if (running_) {
+          poll_agent(*task, round);
+        } else if (--round->outstanding == 0) {
+          finish_round(round);
+        }
+      });
+    }
   }
+  if (due.empty()) finish_round(round);
   // Fixed polling period, independent of round completion latency.
   schedule_round(round->started + config_.poll_interval);
 }
@@ -232,11 +414,19 @@ void NetworkMonitor::poll_agent(const AgentTask& task,
                                 const std::shared_ptr<Round>& round) {
   using snmp::mib2::if_column;
 
+  // Static plan interfaces plus any §4.1 fallback ports this agent
+  // covers while a host agent is quarantined.
+  std::vector<std::string> wanted = task.interfaces;
+  if (auto it = extra_interfaces_.find(task.node);
+      it != extra_interfaces_.end()) {
+    wanted.insert(wanted.end(), it->second.begin(), it->second.end());
+  }
+
   // Interfaces with resolved indices, in request order.
   std::vector<std::string> interfaces;
   std::vector<snmp::Oid> oids;
   oids.push_back(snmp::mib2::kSysUpTime.child(0));
-  for (const auto& if_name : task.interfaces) {
+  for (const auto& if_name : wanted) {
     auto it = if_indexes_.find({task.node, if_name});
     if (it == if_indexes_.end()) continue;
     const std::uint32_t index = it->second;
@@ -256,9 +446,12 @@ void NetworkMonitor::poll_agent(const AgentTask& task,
     oids.push_back(if_column(snmp::mib2::kIfOutDiscardsColumn, index));
   }
   if (interfaces.empty()) {
-    if (--round->outstanding == 0) finish_round(round);
+    if (round != nullptr && --round->outstanding == 0) finish_round(round);
     return;
   }
+
+  // Re-probes (null round) stamp samples with their own launch time.
+  const SimTime sample_time = round != nullptr ? round->started : sim_.now();
 
   agent_polls_->inc();
   obs::SpanRecorder::SpanId poll_span = 0;
@@ -270,16 +463,17 @@ void NetworkMonitor::poll_agent(const AgentTask& task,
   client_.get(
       task.address, task.community, std::move(oids),
       [this, node = task.node, interfaces = std::move(interfaces), round,
-       poll_span, has_poll_span](snmp::SnmpResult result) {
+       sample_time, poll_span, has_poll_span](snmp::SnmpResult result) {
         if (has_poll_span) config_.spans->end(poll_span, sim_.now());
         if (result.ok()) {
           rtt_histogram(node).observe(to_seconds(result.rtt));
         }
         const bool usable =
             result.ok() && result.varbinds.size() == 1 + 6 * interfaces.size();
+        bool poll_ok = usable;
         if (!usable) {
           agent_poll_failures_->inc();
-          round->failed_any = true;
+          if (round != nullptr) round->failed_any = true;
         } else {
           bool parse_ok = true;
           std::uint32_t uptime = 0;
@@ -334,14 +528,22 @@ void NetworkMonitor::poll_agent(const AgentTask& task,
             sample.out_packets = out_pkt->value;
             sample.in_discards = in_disc->value;
             sample.out_discards = out_disc->value;
-            db_->update({node, interfaces[i]}, round->started, sample);
+            db_->update({node, interfaces[i]}, sample_time, sample);
           }
           if (!parse_ok) {
             agent_poll_failures_->inc();
-            round->failed_any = true;
+            poll_ok = false;
+            if (round != nullptr) round->failed_any = true;
           }
         }
-        if (--round->outstanding == 0) finish_round(round);
+        scheduler_->record_result(node, poll_ok, sim_.now());
+        if (const auto* state = scheduler_->find(node)) {
+          backoff_gauge(node).set(
+              static_cast<double>(state->consecutive_failures));
+        }
+        if (round != nullptr && --round->outstanding == 0) {
+          finish_round(round);
+        }
       });
 }
 
@@ -365,7 +567,9 @@ void NetworkMonitor::finish_round(const std::shared_ptr<Round>& round) {
   }
 
   for (MonitoredPath& entry : paths_) {
-    PathUsage usage = calculator_.path_usage(entry.path, *db_);
+    PathUsage usage = calculator_.path_usage(entry.path, *db_, round->started,
+                                             effective_stale_after());
+    path_sample_age_->observe(to_seconds(usage.max_sample_age));
 
     // Trap-driven link state overrides counters: a downed connection
     // means zero availability now, however fresh the last rates look.
@@ -419,7 +623,8 @@ const TimeSeries& NetworkMonitor::available_series(
 
 PathUsage NetworkMonitor::current_usage(const std::string& from,
                                         const std::string& to) const {
-  return calculator_.path_usage(find_path_entry(from, to).path, *db_);
+  return calculator_.path_usage(find_path_entry(from, to).path, *db_,
+                                sim_.now(), effective_stale_after());
 }
 
 const topo::Path& NetworkMonitor::path_of(const std::string& from,

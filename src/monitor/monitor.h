@@ -18,6 +18,7 @@
 #include "monitor/bandwidth.h"
 #include "monitor/failure.h"
 #include "monitor/plan.h"
+#include "monitor/scheduler.h"
 #include "monitor/stats_db.h"
 #include "netsim/host.h"
 #include "obs/metrics.h"
@@ -47,6 +48,13 @@ struct MonitorConfig {
   /// When set, every poll round records a span with nested per-agent poll
   /// spans — the JSONL timeline of the monitor's own behavior.
   obs::SpanRecorder* spans = nullptr;
+  /// Adaptive per-agent scheduling knobs (backoff base/cap, stagger,
+  /// launch jitter, quarantine threshold). The scheduler's poll_interval
+  /// is overwritten with `poll_interval` above — one cadence knob only.
+  SchedulerConfig scheduler;
+  /// Sample age beyond which a path report is flagged stale.
+  /// 0 = 3 * poll_interval.
+  SimDuration stale_after = 0;
 };
 
 /// Snapshot of the monitor's health counters, assembled from the metrics
@@ -58,6 +66,8 @@ struct MonitorStats {
   std::uint64_t agent_polls = 0;
   std::uint64_t agent_poll_failures = 0;
   std::uint64_t resolve_failures = 0;
+  std::uint64_t polls_skipped = 0;  ///< rounds where backoff held an agent out
+  std::uint64_t quarantine_transitions = 0;
 };
 
 /// A monitored host pair, as given to add_path.
@@ -118,11 +128,23 @@ class NetworkMonitor {
 
   /// Attaches trap-driven link-state knowledge: paths crossing a downed
   /// connection evaluate to zero available bandwidth (with `link_down`
-  /// set) instead of reporting stale counters. The detector must outlive
-  /// the monitor.
-  void set_failure_detector(const FailureDetector* detector) {
-    failure_detector_ = detector;
+  /// set) instead of reporting stale counters, and a linkUp trap clears
+  /// any poll backoff on the endpoints' agents for an immediate re-probe.
+  /// The detector must outlive the monitor.
+  void set_failure_detector(FailureDetector* detector);
+
+  /// Fired when a locally polled agent enters (true) or leaves (false)
+  /// quarantine. The distributed extension uses this to mirror fallback
+  /// measure points onto the worker that polls the fallback switch.
+  using QuarantineCallback = std::function<void(const std::string&, bool)>;
+  void add_quarantine_callback(QuarantineCallback callback) {
+    quarantine_callbacks_.push_back(std::move(callback));
   }
+
+  /// Applies a quarantine decision made by another monitor station: flips
+  /// the plan's measure points (and this station's fallback polling)
+  /// without touching the local scheduler's health state.
+  void apply_external_quarantine(const std::string& node, bool quarantined);
 
   /// Per-connection usage history (bytes/sec used) for connections on
   /// monitored paths. Returns nullptr before the first completed round
@@ -135,6 +157,10 @@ class NetworkMonitor {
 
   const PollPlan& plan() const { return plan_; }
   const StatsDb& stats_db() const { return *db_; }
+  /// Per-agent health/backoff state machine driving poll launches.
+  const PollScheduler& scheduler() const { return *scheduler_; }
+  /// The staleness bound in force (config override or 3 * poll_interval).
+  SimDuration effective_stale_after() const;
   /// Agents this instance actually polls (after allowlist filtering).
   const std::vector<const AgentTask*>& polled_agents() const {
     return polled_agents_;
@@ -163,13 +189,25 @@ class NetworkMonitor {
   };
 
   void select_agents();
+  void init_scheduler();
   void init_metrics(const std::string& station);
   obs::HistogramMetric& rtt_histogram(const std::string& node);
+  obs::Gauge& health_gauge(const std::string& node);
+  obs::Gauge& backoff_gauge(const std::string& node);
   void resolve_next_agent(std::size_t index);
   void schedule_round(SimTime when);
   void run_round();
+  /// Launches one poll of `task`. `round` may be null for an out-of-round
+  /// re-probe (the sample is then stamped with the launch time).
   void poll_agent(const AgentTask& task, const std::shared_ptr<Round>& round);
   void finish_round(const std::shared_ptr<Round>& round);
+  void on_health_transition(const std::string& node, AgentHealth from,
+                            AgentHealth to);
+  void on_link_event(const LinkEvent& event);
+  /// Rebuilds the per-agent list of fallback interfaces to poll on top of
+  /// each static AgentTask, from the plan's current effective points.
+  void recompute_extra_interfaces();
+  const AgentTask* task_for(const std::string& node) const;
   const MonitoredPath& find_path_entry(const std::string& from,
                                        const std::string& to) const;
 
@@ -188,16 +226,29 @@ class NetworkMonitor {
   obs::Counter* agent_polls_ = nullptr;
   obs::Counter* agent_poll_failures_ = nullptr;
   obs::Counter* resolve_failures_ = nullptr;
+  obs::Counter* agent_polls_skipped_ = nullptr;
+  obs::Counter* quarantine_transitions_ = nullptr;
   obs::HistogramMetric* round_duration_ = nullptr;
+  obs::HistogramMetric* path_sample_age_ = nullptr;
   // Per-agent RTT histograms (netqos_snmp_rtt_seconds{agent=...}), cached
   // so the hot path avoids a registry lookup per poll.
   std::map<std::string, obs::HistogramMetric*> rtt_histograms_;
+  // Per-agent health (0/1/2 = healthy/degraded/quarantined) and backoff
+  // level (consecutive failures) gauges, cached like the RTT histograms.
+  std::map<std::string, obs::Gauge*> health_gauges_;
+  std::map<std::string, obs::Gauge*> backoff_gauges_;
   snmp::SnmpClient client_;
   snmp::SubtreeWalker walker_;
   BandwidthCalculator calculator_;
   StatsDb own_db_;
   StatsDb* db_;  ///< &own_db_ or the shared db
   std::vector<const AgentTask*> polled_agents_;
+  // Built in the constructor body over polled_agents_ (hence the
+  // indirection); never null after construction.
+  std::unique_ptr<PollScheduler> scheduler_;
+  // Fallback interfaces polled in addition to each AgentTask's static
+  // list while a quarantine redirects measure points (§4.1).
+  std::map<std::string, std::vector<std::string>> extra_interfaces_;
 
   std::vector<MonitoredPath> paths_;
   // (node, ifDescr) -> resolved ifIndex on that agent.
@@ -207,6 +258,7 @@ class NetworkMonitor {
   sim::EventId next_round_event_ = 0;
   std::vector<SampleCallback> sample_callbacks_;
   std::vector<StopCallback> stop_callbacks_;
+  std::vector<QuarantineCallback> quarantine_callbacks_;
   const FailureDetector* failure_detector_ = nullptr;
   std::map<std::size_t, TimeSeries> connection_series_;
 };

@@ -35,7 +35,8 @@ PollPlan PollPlan::build(const topo::NetworkTopology& topo) {
   PollPlan plan;
   plan.domains_ = topo::collision_domains(topo);
   plan.domain_of_ = topo::connection_domains(topo, plan.domains_);
-  plan.measurements_.resize(topo.connections().size());
+  plan.primary_.resize(topo.connections().size());
+  plan.fallback_.resize(topo.connections().size());
 
   // node name -> interfaces that must be polled there
   std::map<std::string, std::vector<std::string>> needed;
@@ -44,34 +45,37 @@ PollPlan PollPlan::build(const topo::NetworkTopology& topo) {
     const topo::Connection& conn = topo.connections()[ci];
 
     // Preference 1: an endpoint host running an agent.
-    std::optional<MeasurePoint> chosen;
+    std::optional<MeasurePoint> host_choice;
     for (const topo::Endpoint* ep : {&conn.a, &conn.b}) {
       const topo::NodeSpec* node = topo.find_node(ep->node);
       if (node->kind == topo::NodeKind::kHost &&
           agent_address(*node).has_value()) {
-        chosen = MeasurePoint{ep->node, ep->interface, false};
+        host_choice = MeasurePoint{ep->node, ep->interface, false};
         break;
       }
     }
-    // Preference 2 (paper §4.1): the SNMP-capable switch port.
-    if (!chosen.has_value()) {
-      for (const topo::Endpoint* ep : {&conn.a, &conn.b}) {
-        const topo::NodeSpec* node = topo.find_node(ep->node);
-        if (node->kind == topo::NodeKind::kSwitch &&
-            agent_address(*node).has_value()) {
-          chosen = MeasurePoint{ep->node, ep->interface, true};
-          break;
-        }
+    // Preference 2 (paper §4.1): the SNMP-capable switch port. Retained
+    // as the quarantine fallback even when a host agent exists.
+    std::optional<MeasurePoint> switch_choice;
+    for (const topo::Endpoint* ep : {&conn.a, &conn.b}) {
+      const topo::NodeSpec* node = topo.find_node(ep->node);
+      if (node->kind == topo::NodeKind::kSwitch &&
+          agent_address(*node).has_value()) {
+        switch_choice = MeasurePoint{ep->node, ep->interface, true};
+        break;
       }
     }
 
-    plan.measurements_[ci] = chosen;
+    const auto& chosen = host_choice.has_value() ? host_choice : switch_choice;
+    plan.primary_[ci] = chosen;
+    if (host_choice.has_value()) plan.fallback_[ci] = switch_choice;
     if (chosen.has_value()) {
       needed[chosen->node].push_back(chosen->interface);
     } else {
       plan.unmonitorable_.push_back(ci);
     }
   }
+  plan.effective_ = plan.primary_;
 
   for (auto& [node_name, interfaces] : needed) {
     const topo::NodeSpec* node = topo.find_node(node_name);
@@ -93,6 +97,43 @@ PollPlan PollPlan::build(const topo::NetworkTopology& topo) {
     plan.agents_.push_back(std::move(task));
   }
   return plan;
+}
+
+const std::optional<MeasurePoint>& PollPlan::choose_effective(
+    std::size_t conn) const {
+  const auto& primary = primary_[conn];
+  if (primary.has_value() && quarantined_.contains(primary->node)) {
+    const auto& fallback = fallback_[conn];
+    if (fallback.has_value() && !quarantined_.contains(fallback->node)) {
+      return fallback;
+    }
+    // No healthy alternative: keep the primary point. Its samples go
+    // stale, which the freshness annotation reports honestly.
+  }
+  return primary;
+}
+
+std::vector<std::size_t> PollPlan::set_agent_quarantined(
+    const std::string& node, bool quarantined) {
+  if (quarantined) {
+    quarantined_.insert(node);
+  } else {
+    quarantined_.erase(node);
+  }
+  std::vector<std::size_t> changed;
+  for (std::size_t ci = 0; ci < effective_.size(); ++ci) {
+    const auto& now_effective = choose_effective(ci);
+    const auto& was = effective_[ci];
+    const bool differs =
+        was.has_value() != now_effective.has_value() ||
+        (was.has_value() && (was->node != now_effective->node ||
+                             was->interface != now_effective->interface));
+    if (differs) {
+      effective_[ci] = now_effective;
+      changed.push_back(ci);
+    }
+  }
+  return changed;
 }
 
 }  // namespace netqos::mon

@@ -7,9 +7,16 @@
 // when one runs there, otherwise at the SNMP-capable switch port facing
 // it. Hubs never run agents; hub-attached connections are measured at
 // the attached host (for the domain sum) or the switch uplink port.
+//
+// The same §4.1 rule also powers runtime degradation: when a host agent
+// is quarantined (stops answering polls), its connections fall back to
+// the switch-port measure point until the agent heals. The plan keeps
+// both candidates per connection and exposes the currently effective
+// choice through measurement_for().
 #pragma once
 
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,10 +47,34 @@ class PollPlan {
   /// std::invalid_argument if the topology fails validation.
   static PollPlan build(const topo::NetworkTopology& topo);
 
-  /// Measurement point for a connection index, or nullopt when neither
-  /// side is SNMP-capable (the connection is unmonitorable).
+  /// Currently effective measurement point for a connection index, or
+  /// nullopt when neither side is SNMP-capable (unmonitorable). Reflects
+  /// active quarantine fallbacks.
   const std::optional<MeasurePoint>& measurement_for(std::size_t conn) const {
-    return measurements_.at(conn);
+    return effective_.at(conn);
+  }
+
+  /// The build-time (pre-quarantine) choice for a connection.
+  const std::optional<MeasurePoint>& primary_measurement_for(
+      std::size_t conn) const {
+    return primary_.at(conn);
+  }
+
+  /// The §4.1 switch-port alternative for a connection whose primary is a
+  /// host agent; nullopt when none exists (e.g. hub-attached hosts).
+  const std::optional<MeasurePoint>& switch_fallback_for(
+      std::size_t conn) const {
+    return fallback_.at(conn);
+  }
+
+  /// Marks an agent node (un)quarantined and recomputes the effective
+  /// measure points. Returns the indices of connections whose effective
+  /// point changed — the caller re-targets polling for those.
+  std::vector<std::size_t> set_agent_quarantined(const std::string& node,
+                                                 bool quarantined);
+
+  bool agent_quarantined(const std::string& node) const {
+    return quarantined_.contains(node);
   }
 
   const std::vector<AgentTask>& agents() const { return agents_; }
@@ -63,7 +94,12 @@ class PollPlan {
   }
 
  private:
-  std::vector<std::optional<MeasurePoint>> measurements_;
+  const std::optional<MeasurePoint>& choose_effective(std::size_t conn) const;
+
+  std::vector<std::optional<MeasurePoint>> primary_;
+  std::vector<std::optional<MeasurePoint>> fallback_;
+  std::vector<std::optional<MeasurePoint>> effective_;
+  std::set<std::string> quarantined_;
   std::vector<AgentTask> agents_;
   std::vector<std::size_t> unmonitorable_;
   std::vector<topo::CollisionDomain> domains_;

@@ -10,7 +10,8 @@ CsvSink::CsvSink(NetworkMonitor& monitor, std::ostream& out,
                  bool write_header)
     : out_(out) {
   if (write_header) {
-    out_ << "time_s,from,to,used_KBps,available_KBps,bottleneck\n";
+    out_ << "time_s,from,to,used_KBps,available_KBps,bottleneck,"
+            "freshness,age_s\n";
   }
   monitor.add_sample_callback([this, &monitor](const PathKey& key,
                                                SimTime time,
@@ -19,7 +20,8 @@ CsvSink::CsvSink(NetworkMonitor& monitor, std::ostream& out,
          << usage.used_at_bottleneck / 1000.0 << ','
          << usage.available / 1000.0 << ','
          << monitor.topology().connections()[usage.bottleneck].to_string()
-         << '\n';
+         << ',' << freshness_name(usage.freshness) << ','
+         << to_seconds(usage.max_sample_age) << '\n';
     if (out_.bad() && !warned_bad_stream_) {
       warned_bad_stream_ = true;
       NETQOS_WARN_C("report")

@@ -11,7 +11,7 @@
 namespace netqos::mon {
 
 /// Streams every path sample as CSV rows:
-/// time_s,from,to,used_KBps,available_KBps,bottleneck
+/// time_s,from,to,used_KBps,available_KBps,bottleneck,freshness,age_s
 class CsvSink {
  public:
   /// Subscribes to the monitor; the stream is flushed when the monitor

@@ -34,6 +34,7 @@ std::optional<RateSample> StatsDb::update(const InterfaceKey& key,
     entry.last_rate = rates;
     entry.total_series.add(when, rates->total_rate());
   }
+  entry.last_time = when;
   if (when > last_update_) last_update_ = when;
   if (interfaces_gauge_ != nullptr) {
     interfaces_gauge_->set(static_cast<double>(entries_.size()));
@@ -52,6 +53,19 @@ const TimeSeries* StatsDb::total_rate_series(const InterfaceKey& key) const {
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   return &it->second.total_series;
+}
+
+std::optional<SimTime> StatsDb::last_update(const InterfaceKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.has_sample) return std::nullopt;
+  return it->second.last_time;
+}
+
+std::optional<SimDuration> StatsDb::sample_age(const InterfaceKey& key,
+                                               SimTime now) const {
+  const auto updated = last_update(key);
+  if (!updated.has_value()) return std::nullopt;
+  return now - *updated;
 }
 
 }  // namespace netqos::mon

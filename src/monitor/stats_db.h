@@ -2,7 +2,9 @@
 //
 // Stores the latest counter sample per (node, interface), computes rates
 // on update (paper §3.1 differencing), and keeps rate history as time
-// series for the experiment figures.
+// series for the experiment figures. Sample ages are tracked
+// per-interface: a single fresh agent must never mask the staleness of
+// the others, so freshness queries always name the interface.
 #pragma once
 
 #include <map>
@@ -39,13 +41,26 @@ class StatsDb {
   /// Number of interfaces tracked.
   std::size_t size() const { return entries_.size(); }
 
+  /// Monitor-side time of the most recent update of *this* interface, or
+  /// nullopt before its first sample. This is the query path reports use:
+  /// the db-global last_update() below cannot distinguish a stale agent
+  /// behind a fresh one.
+  std::optional<SimTime> last_update(const InterfaceKey& key) const;
+
+  /// Age of the interface's latest sample at `now`; nullopt before the
+  /// first sample.
+  std::optional<SimDuration> sample_age(const InterfaceKey& key,
+                                        SimTime now) const;
+
   /// Monitor-side time of the most recent update anywhere (0 if none).
+  /// Only says "the db is alive" — use last_update(key) for staleness.
   SimTime last_update() const { return last_update_; }
 
  private:
   struct Entry {
     bool has_sample = false;
     CounterSample last_sample;
+    SimTime last_time = 0;
     std::optional<RateSample> last_rate;
     TimeSeries total_series;
   };

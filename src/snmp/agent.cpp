@@ -82,11 +82,17 @@ bool SnmpAgent::send_trap_v1(const Oid& enterprise, GenericTrap generic_trap,
 
 void SnmpAgent::handle(const sim::Ipv4Packet& packet) {
   ++stats_.requests;
+  if (!responding_) return;  // daemon down: silent drop, manager times out
 
   Message request;
   try {
     request = decode_message(packet.udp.payload);
   } catch (const BerError& e) {
+    ++stats_.decode_errors;
+    NETQOS_DEBUG() << "agent decode error: " << e.what();
+    return;
+  } catch (const BufferUnderflow& e) {
+    // Truncated request — drop like malformed BER.
     ++stats_.decode_errors;
     NETQOS_DEBUG() << "agent decode error: " << e.what();
     return;

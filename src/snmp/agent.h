@@ -54,6 +54,12 @@ class SnmpAgent {
   void set_trap_sink(sim::Ipv4Address manager,
                      std::uint16_t port = sim::kSnmpTrapPort);
 
+  /// Simulates an SNMP daemon crash/restart: while false, requests are
+  /// received (and counted) but never answered, so managers see timeouts
+  /// while the host itself keeps forwarding traffic normally.
+  void set_responding(bool responding) { responding_ = responding; }
+  bool responding() const { return responding_; }
+
   /// Emits an SNMPv2-Trap. The standard sysUpTime.0 and snmpTrapOID.0
   /// varbinds are prepended (RFC 1905 §4.2.6); `varbinds` follow. Returns
   /// false when no sink is configured or the send fails. Traps are
@@ -79,6 +85,7 @@ class SnmpAgent {
   MibTree mib_;
   Xoshiro256 rng_;
   AgentStats stats_;
+  bool responding_ = true;
   sim::Ipv4Address trap_sink_;
   std::uint16_t trap_port_ = sim::kSnmpTrapPort;
 };

@@ -166,6 +166,11 @@ void SnmpClient::on_packet(const sim::Ipv4Packet& packet) {
   } catch (const BerError& e) {
     NETQOS_DEBUG() << "client decode error: " << e.what();
     return;
+  } catch (const BufferUnderflow& e) {
+    // Truncated datagram: the BER structure claimed more bytes than the
+    // payload holds. Same treatment as malformed BER — drop it.
+    NETQOS_DEBUG() << "client decode error: " << e.what();
+    return;
   }
   if (message.pdu.type != PduType::kGetResponse) return;
 

@@ -60,6 +60,13 @@ void SubtreeWalker::on_result(SnmpResult result) {
       finish("");
       return;
     }
+    // RFC 1905 §4.2.3: each returned name must be lexicographically
+    // greater than the request's. A buggy or adversarial agent that
+    // repeats or regresses OIDs would otherwise walk us forever.
+    if (vb.oid <= cursor_) {
+      finish("non-increasing OID in walk response");
+      return;
+    }
     cursor_ = vb.oid;
     collected_.varbinds.push_back(std::move(vb));
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "experiments/lirtss.h"
+#include "snmp/deploy.h"
 
 namespace netqos::mon {
 namespace {
@@ -85,6 +86,55 @@ TEST_F(DistributedFixture, EmptyStationListRejected) {
   EXPECT_THROW(
       DistributedMonitor(bed.simulator(), bed.topology(), {}),
       std::invalid_argument);
+}
+
+TEST_F(DistributedFixture, PartitionFailoverDegradesOnlyItsConnections) {
+  DistributedMonitor dist(bed.simulator(), bed.topology(), stations);
+  // Worker 0 (station L) polls {L, N2, S2}; worker 1 (station S2) polls
+  // {N1, S1, sw0} (round-robin in plan order). The L <-> S2 path is
+  // measured entirely by worker 0's agents; S1 <-> N1 entirely by
+  // worker 1's.
+  dist.add_path("L", "S2");
+  dist.add_path("S1", "N1");
+  bed.background().start();
+  dist.start();
+  bed.simulator().run_until(seconds(10));
+  EXPECT_EQ(dist.coordinator().current_usage("L", "S2").freshness,
+            Freshness::kFresh);
+  EXPECT_EQ(dist.coordinator().current_usage("S1", "N1").freshness,
+            Freshness::kFresh);
+
+  // Worker 1's entire partition goes dark (daemon crash on each node).
+  for (const char* node : {"N1", "S1", "sw0"}) {
+    snmp::find_agent(bed.agents(), node)->agent->set_responding(false);
+  }
+  bed.simulator().run_until(seconds(60));
+
+  // Worker 1 quarantines every agent it owns...
+  NetworkMonitor& worker1 = *dist.workers()[1];
+  for (const char* node : {"N1", "S1", "sw0"}) {
+    EXPECT_EQ(worker1.scheduler().find(node)->health,
+              AgentHealth::kQuarantined)
+        << node;
+  }
+  // ...and the decision propagates to the coordinator's plan. With the
+  // switch dark too there is no healthy fallback, so the affected path
+  // honestly reports stale from the merged db — never silently fresh.
+  EXPECT_TRUE(dist.coordinator().plan().agent_quarantined("S1"));
+  const PathUsage affected = dist.coordinator().current_usage("S1", "N1");
+  EXPECT_EQ(affected.freshness, Freshness::kStale);
+  EXPECT_GT(affected.max_sample_age,
+            dist.coordinator().effective_stale_after());
+
+  // The other partition is untouched: its path stays fresh and its
+  // series keeps advancing past the failure.
+  EXPECT_EQ(dist.workers()[0]->stats().agent_poll_failures, 0u);
+  const PathUsage unaffected = dist.coordinator().current_usage("L", "S2");
+  EXPECT_TRUE(unaffected.complete);
+  EXPECT_EQ(unaffected.freshness, Freshness::kFresh);
+  const auto& points = dist.used_series("L", "S2").points();
+  ASSERT_FALSE(points.empty());
+  EXPECT_GT(points.back().time, seconds(55));
 }
 
 TEST_F(DistributedFixture, MoreStationsThanAgentsTolerated) {

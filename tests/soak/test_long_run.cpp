@@ -1,0 +1,127 @@
+// Tier-2 soak: two simulated hours on the Figure 3 testbed.
+//
+// Everything the scheduler PR promises has to hold over a long horizon,
+// not just in 60-second windows: Counter32 wraps (the ~90-minute horizon
+// at sustained 800 KB/s), periodic SNMP-daemon flaps with quarantine +
+// §4.1 switch-port fallback + recovery, a mid-run physical link failure
+// with trap-driven re-probe, and the staleness invariant — a complete
+// report is never flagged fresh while its oldest sample exceeds the
+// bound.
+#include <gtest/gtest.h>
+
+#include "experiments/lirtss.h"
+#include "monitor/failure.h"
+#include "netsim/link.h"
+#include "snmp/deploy.h"
+
+namespace netqos::mon {
+namespace {
+
+TEST(SoakLongRun, TwoSimulatedHoursOfWrapsFlapsAndFailures) {
+  exp::LirtssTestbed bed;
+  bed.watch("S1", "S2").watch("L", "S1");
+  FailureDetector detector(bed.simulator(), bed.topology(), bed.host("L"));
+  bed.monitor().set_failure_detector(&detector);
+
+  // Sustained load through L <-> S1: ~5.8 GB over the run, enough to
+  // wrap the 2^32-octet Counter32 horizon at least once.
+  bed.add_load("L", "S1",
+               load::RateProfile::pulse(seconds(10), seconds(7200),
+                                        kilobytes_per_second(800)));
+
+  std::size_t samples = 0;
+  std::size_t stale_reports = 0;
+  std::size_t fresh_violations = 0;
+  const SimDuration bound = bed.monitor().effective_stale_after();
+  bed.monitor().add_sample_callback(
+      [&](const PathKey&, SimTime, const PathUsage& usage) {
+        ++samples;
+        if (usage.freshness == Freshness::kStale) ++stale_reports;
+        if (usage.freshness == Freshness::kFresh &&
+            usage.max_sample_age > bound) {
+          ++fresh_violations;
+        }
+      });
+
+  snmp::SnmpAgent& s2 = *snmp::find_agent(bed.agents(), "S2")->agent;
+  bool saw_quarantine = false;
+  bool saw_fallback = false;
+
+  // Daemon flap windows [start, start+300) roughly every 20 minutes. The
+  // 3600 s slot carries a physical link failure instead: S2's uplink
+  // dies for two minutes and the linkUp trap re-probes on restore.
+  for (const double start : {1200.0, 2400.0, 4800.0, 6000.0}) {
+    bed.run_until(from_seconds(start));
+    s2.set_responding(false);
+    bed.run_until(from_seconds(start + 250));
+    saw_quarantine =
+        saw_quarantine || bed.monitor().scheduler().find("S2")->health ==
+                              AgentHealth::kQuarantined;
+    for (const auto& usage :
+         bed.monitor().current_usage("S1", "S2").connections) {
+      saw_fallback = saw_fallback || usage.via_switch;
+    }
+    s2.set_responding(true);
+    bed.run_until(from_seconds(start + 300));
+    if (start == 2400.0) {
+      bed.run_until(seconds(3600));
+      sim::Link* link = bed.host("S2").find_interface("hme0")->link();
+      link->set_up(false);
+      bed.run_until(seconds(3720));
+      link->set_up(true);
+    }
+  }
+  bed.run_until(seconds(7200));
+
+  // The one invariant that must never break, on any of the thousands of
+  // reports: old data is never presented as fresh.
+  EXPECT_EQ(fresh_violations, 0u);
+  EXPECT_GT(samples, 4000u);
+  // Flap windows produce honestly-stale reports before quarantine flips
+  // the measure point.
+  EXPECT_GT(stale_reports, 0u);
+
+  // Counter32 wrapped and §3.1 modular differencing survived it.
+  const obs::Counter* wraps = bed.monitor().metrics().find_counter(
+      "netqos_statsdb_counter_wraps_total");
+  ASSERT_NE(wraps, nullptr);
+  EXPECT_GT(wraps->value(), 0u);
+
+  // Every flap quarantined S2 and engaged the switch-port fallback, and
+  // the link failure added a fifth quarantine entry.
+  EXPECT_TRUE(saw_quarantine);
+  EXPECT_TRUE(saw_fallback);
+  EXPECT_GE(bed.monitor().scheduler().find("S2")->quarantines, 5u);
+  EXPECT_GE(bed.monitor().stats().quarantine_transitions, 5u);
+  EXPECT_GT(bed.monitor().stats().polls_skipped, 0u);
+
+  // The physical failure was reported via traps.
+  bool saw_down_event = false;
+  bool saw_up_event = false;
+  for (const auto& event : detector.events()) {
+    saw_down_event = saw_down_event || !event.up;
+    saw_up_event = saw_up_event || event.up;
+  }
+  EXPECT_TRUE(saw_down_event);
+  EXPECT_TRUE(saw_up_event);
+
+  // Full recovery at the end of the run: every agent healthy, both paths
+  // fresh, all measure points back on their primaries.
+  for (const auto& agent : bed.monitor().scheduler().agents()) {
+    EXPECT_EQ(agent.health, AgentHealth::kHealthy) << agent.node;
+  }
+  for (const auto& key :
+       std::vector<PathKey>{{"S1", "S2"}, {"L", "S1"}}) {
+    const PathUsage usage =
+        bed.monitor().current_usage(key.first, key.second);
+    EXPECT_TRUE(usage.complete);
+    EXPECT_EQ(usage.freshness, Freshness::kFresh);
+    for (const auto& conn : usage.connections) {
+      EXPECT_FALSE(conn.via_switch);
+    }
+  }
+  EXPECT_GT(bed.monitor().stats().rounds_completed, 3000u);
+}
+
+}  // namespace
+}  // namespace netqos::mon
