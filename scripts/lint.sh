@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Static-analysis entry point — identical locally and in CI.
+#
+#   scripts/lint.sh [--build-dir DIR] [--update-baselines]
+#
+# Runs, in order:
+#   1. netqos-lint (tools/netqos_lint): project invariants R1-R4, gated
+#      against tools/netqos_lint/baseline.txt (committed at zero entries).
+#   2. clang-tidy with the repo .clang-tidy profile over src/, gated
+#      diff-aware against tools/netqos_lint/clang_tidy_baseline.txt: only
+#      findings not in the baseline fail. Skipped with a notice when
+#      clang-tidy is not installed (the container image has no LLVM
+#      tooling; the CI static-analysis job installs it).
+#
+# Findings are also written to $BUILD_DIR/lint/ so CI can upload them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${NETQOS_BUILD_DIR:-build}"
+UPDATE_BASELINES=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --update-baselines) UPDATE_BASELINES=1; shift ;;
+    *) echo "usage: scripts/lint.sh [--build-dir DIR] [--update-baselines]" >&2
+       exit 2 ;;
+  esac
+done
+
+PYTHON="${PYTHON:-python3}"
+LINT=tools/netqos_lint/netqos_lint.py
+LINT_BASELINE=tools/netqos_lint/baseline.txt
+TIDY_BASELINE=tools/netqos_lint/clang_tidy_baseline.txt
+OUT_DIR="$BUILD_DIR/lint"
+mkdir -p "$OUT_DIR"
+
+status=0
+
+# ---- 1. netqos-lint ------------------------------------------------------
+if [[ "$UPDATE_BASELINES" == 1 ]]; then
+  "$PYTHON" "$LINT" --root . --baseline "$LINT_BASELINE" --update-baseline src
+fi
+echo "== netqos-lint (R1-R4)"
+if "$PYTHON" "$LINT" --root . --baseline "$LINT_BASELINE" src \
+    | tee "$OUT_DIR/netqos_lint.txt"; then
+  echo "   netqos-lint: clean"
+else
+  status=1
+fi
+
+# ---- 2. clang-tidy -------------------------------------------------------
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "== clang-tidy: not installed, skipped (install clang-tidy to enable)"
+  exit "$status"
+fi
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "== clang-tidy: no $BUILD_DIR/compile_commands.json, skipped" \
+       "(configure with cmake first)" >&2
+  exit "$status"
+fi
+
+echo "== clang-tidy ($($TIDY --version | head -n1 | xargs))"
+mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+RAW="$OUT_DIR/clang_tidy_raw.txt"
+# clang-tidy exits nonzero on findings; capture output, gate below.
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}" > "$RAW" 2>/dev/null || true
+
+# Normalize to "path:line check" pairs relative to the repo root.
+FINDINGS="$OUT_DIR/clang_tidy_findings.txt"
+sed -nE "s#^$(pwd)/##; s#^([^ :]+):([0-9]+):[0-9]+: (warning|error): .* \[([a-z0-9.,-]+)\]\$#\1 \4#p" \
+  "$RAW" | sort -u > "$FINDINGS"
+
+if [[ "$UPDATE_BASELINES" == 1 ]]; then
+  {
+    echo "# clang-tidy baseline: known findings as 'path check-name'."
+    echo "# Regenerate with: scripts/lint.sh --update-baselines"
+    cat "$FINDINGS"
+  } > "$TIDY_BASELINE"
+  echo "   wrote $(wc -l < "$FINDINGS") finding(s) to $TIDY_BASELINE"
+fi
+
+NEW="$OUT_DIR/clang_tidy_new.txt"
+grep -v '^#' "$TIDY_BASELINE" 2>/dev/null | sort -u > "$OUT_DIR/tidy_base.txt" || true
+comm -23 "$FINDINGS" "$OUT_DIR/tidy_base.txt" > "$NEW"
+
+if [[ -s "$NEW" ]]; then
+  echo "   clang-tidy: $(wc -l < "$NEW") new finding(s) not in baseline:"
+  # Show full diagnostics for the new findings only.
+  while read -r file check; do
+    grep -F "[$check]" "$RAW" | grep -F "$file" || true
+  done < "$NEW"
+  status=1
+else
+  echo "   clang-tidy: clean ($(wc -l < "$FINDINGS") finding(s), all baselined)"
+fi
+
+exit "$status"

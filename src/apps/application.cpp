@@ -97,8 +97,11 @@ void ApplicationGroup::deliver(const std::string& consumer,
                                const sim::Ipv4Packet& packet) {
   if (packet.udp.payload.size() < 16) return;
   ByteReader reader(packet.udp.payload);
+  // netqos-lint: allow(R1): fixed 16-byte header, length-checked above
   const std::uint32_t index = reader.get_u32();
-  reader.get_u32();  // sequence (loss is computed from counts)
+  // netqos-lint: allow(R1): sequence skipped (loss is computed from counts)
+  reader.get_u32();
+  // netqos-lint: allow(R1): fixed 16-byte header, length-checked above
   const auto sent_at = static_cast<SimTime>(reader.get_u64());
   if (index >= streams_.size()) return;
   Stream& stream = *streams_[index];

@@ -22,18 +22,30 @@ inline constexpr BitsPerSecond kKbps = 1'000;
 inline constexpr BitsPerSecond kMbps = 1'000'000;
 inline constexpr BitsPerSecond kGbps = 1'000'000'000;
 
+/// The one sanctioned factor-of-8. Everything converting between octet
+/// counters (bytes) and ifSpeed (bits/s) goes through this constant or
+/// the to_*_per_second helpers below — netqos-lint rule R3 rejects raw
+/// `* 8` / `/ 8` conversions elsewhere.
+inline constexpr std::uint64_t kBitsPerByte = 8;
+
 constexpr BitsPerSecond mbps(std::uint64_t n) { return n * kMbps; }
 constexpr BitsPerSecond kbps(std::uint64_t n) { return n * kKbps; }
 
 /// The paper's unit: 1 Kbyte/s == 1000 bytes/s.
 constexpr BytesPerSecond kilobytes_per_second(double n) { return n * 1000.0; }
 
+/// Back-conversion for reporting in the paper's Kbytes/s tables.
+constexpr double to_kilobytes_per_second(BytesPerSecond b) {
+  return b / 1000.0;
+}
+
 constexpr BytesPerSecond to_bytes_per_second(BitsPerSecond b) {
-  return static_cast<BytesPerSecond>(b) / 8.0;
+  return static_cast<BytesPerSecond>(b) /
+         static_cast<double>(kBitsPerByte);
 }
 
 constexpr BitsPerSecond to_bits_per_second(BytesPerSecond b) {
-  return static_cast<BitsPerSecond>(b * 8.0);
+  return static_cast<BitsPerSecond>(b * static_cast<double>(kBitsPerByte));
 }
 
 /// Time to serialize `bytes` onto a link of speed `speed` (8 bits/byte).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/units.h"
 #include "snmp/oid.h"
 
 namespace netqos::mon {
@@ -44,8 +45,8 @@ void TopologyDiscovery::interrogate(std::size_t index) {
     infer();
     return;
   }
-  AgentInfo& agent = agents_[index];
-  client_.get(agent.target.address, agent.target.community,
+  const AgentInfo& target = agents_[index];
+  client_.get(target.target.address, target.target.community,
               {snmp::mib2::kSysName.child(0)},
               [this, index](snmp::SnmpResult result) {
                 AgentInfo& agent = agents_[index];
@@ -75,9 +76,9 @@ void TopologyDiscovery::walk_column(std::size_t index, int phase) {
     interrogate(index + 1);
     return;
   }
-  AgentInfo& agent = agents_[index];
+  const AgentInfo& target = agents_[index];
   walker_.walk(
-      agent.target.address, agent.target.community, kColumns[phase],
+      target.target.address, target.target.community, kColumns[phase],
       [this, index, phase](snmp::WalkResult result) {
         AgentInfo& agent = agents_[index];
         if (result.ok) {
@@ -208,7 +209,7 @@ void TopologyDiscovery::infer() {
         itf.local_name = "if0";
         auto speed_it = agent.if_speed.find(port);
         itf.speed = speed_it != agent.if_speed.end() ? speed_it->second
-                                                     : 10'000'000;
+                                                     : mbps(10);
         // No agent answered for this MAC, so its IP is unknown.
         ghost.interfaces.push_back(itf);
         if (result.topology.find_node(ghost.name) == nullptr) {
@@ -233,7 +234,7 @@ void TopologyDiscovery::infer() {
         auto speed_it = agent.if_speed.find(port);
         hub.default_speed = speed_it != agent.if_speed.end()
                                 ? speed_it->second
-                                : 10'000'000;
+                                : mbps(10);
         topo::InterfaceSpec uplink;
         uplink.local_name = "up";
         hub.interfaces.push_back(uplink);

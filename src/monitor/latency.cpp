@@ -67,6 +67,7 @@ void LatencyProbe::send_probe() {
 void LatencyProbe::on_reply(const sim::Ipv4Packet& packet) {
   if (packet.udp.payload.size() < 4) return;
   ByteReader reader(packet.udp.payload);
+  // netqos-lint: allow(R1): fixed 4-byte header, length-checked above
   const std::uint32_t sequence = reader.get_u32();
   auto it = in_flight_.find(sequence);
   if (it == in_flight_.end()) return;  // late duplicate

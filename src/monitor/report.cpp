@@ -17,8 +17,8 @@ CsvSink::CsvSink(NetworkMonitor& monitor, std::ostream& out,
                                                SimTime time,
                                                const PathUsage& usage) {
     out_ << to_seconds(time) << ',' << key.first << ',' << key.second << ','
-         << usage.used_at_bottleneck / 1000.0 << ','
-         << usage.available / 1000.0 << ','
+         << to_kilobytes_per_second(usage.used_at_bottleneck) << ','
+         << to_kilobytes_per_second(usage.available) << ','
          << monitor.topology().connections()[usage.bottleneck].to_string()
          << ',' << freshness_name(usage.freshness) << ','
          << to_seconds(usage.max_sample_age) << '\n';
@@ -36,12 +36,13 @@ LoadWindowStats analyze_window(const TimeSeries& measured, SimTime begin,
                                BytesPerSecond background,
                                SimDuration settle) {
   LoadWindowStats stats;
-  stats.generated_kbps = generated / 1000.0;
+  stats.generated_kbps = to_kilobytes_per_second(generated);
 
   const SimTime effective_begin = begin + settle;
   const RunningStats window = measured.stats_between(effective_begin, end);
-  stats.measured_kbps = window.mean() / 1000.0;
-  stats.less_background_kbps = (window.mean() - background) / 1000.0;
+  stats.measured_kbps = to_kilobytes_per_second(window.mean());
+  stats.less_background_kbps =
+      to_kilobytes_per_second(window.mean() - background);
 
   if (generated > 0.0) {
     stats.percent_error =

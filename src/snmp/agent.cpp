@@ -177,7 +177,13 @@ Pdu SnmpAgent::process_get_next(const Pdu& request, SnmpVersion version) {
 
   for (std::size_t i = 0; i < response.varbinds.size(); ++i) {
     auto next = mib_.get_next(response.varbinds[i].oid);
-    if (next.has_value()) {
+    // RFC 1905 §4.2.2: the successor must be lexicographically greater
+    // than the request OID. MibTree::get_next guarantees this by map
+    // ordering, but a guard keeps a future MIB backend from ever
+    // emitting the endless-walk responses the manager defends against.
+    const bool increasing =
+        next.has_value() && next->first > response.varbinds[i].oid;
+    if (increasing) {
       response.varbinds[i].oid = std::move(next->first);
       response.varbinds[i].value = std::move(next->second);
     } else if (version == SnmpVersion::kV2c) {
@@ -225,7 +231,9 @@ Pdu SnmpAgent::process_get_bulk(const Pdu& request) {
       }
       auto next = mib_.get_next(cursor);
       VarBind vb;
-      if (!next.has_value()) {
+      // Same monotonicity guard as GETNEXT: a non-increasing successor
+      // would repeat rows up to max-repetitions; end the view instead.
+      if (!next.has_value() || next->first <= cursor) {
         vb.oid = cursor;
         vb.value = VarBindException::kEndOfMibView;
         response.varbinds.push_back(std::move(vb));

@@ -87,8 +87,9 @@ Mib2IfTable::Mib2IfTable(MibTree& mib, sim::Simulator& sim,
         });
     mib.register_object(
         mib2::ifx_column(mib2::kIfHighSpeedColumn, index), [nic] {
+          // RFC 2863: ifHighSpeed is in units of 1,000,000 bits/s.
           return SnmpValue(Gauge32{
-              static_cast<std::uint32_t>(nic->speed() / 1'000'000)});
+              static_cast<std::uint32_t>(nic->speed() / kMbps)});
         });
   }
 }

@@ -27,6 +27,13 @@ void TrapListener::handle(const sim::Ipv4Packet& packet) {
     ++stats_.malformed;
     NETQOS_DEBUG() << "trap decode error: " << e.what();
     return;
+  } catch (const BufferUnderflow& e) {
+    // A truncated trap datagram underflows the reader before the BER
+    // structure is even malformed; drop it the same way. Catching only
+    // BerError here let PR 3's fuzzer crash the listener (lint rule R1).
+    ++stats_.malformed;
+    NETQOS_DEBUG() << "trap decode error: " << e.what();
+    return;
   }
   // Classic v1 traps are translated to v2 notification form per
   // RFC 2576 §3.1: generic traps 0..5 map to snmpTraps.(g+1), and

@@ -278,21 +278,23 @@ BitsPerSecond parse_bandwidth(const std::string& text, std::size_t line,
   const double number = std::strtod(text.substr(0, digits).c_str(), nullptr);
   const std::string unit = text.substr(digits);
 
+  // All multipliers come from common/units.h so the byte-unit suffixes
+  // stay consistent with the one sanctioned bits-per-byte factor (R3).
   double multiplier = 1.0;
   if (unit.empty() || unit == "bps") {
     multiplier = 1.0;
   } else if (unit == "Kbps" || unit == "kbps") {
-    multiplier = 1e3;
+    multiplier = static_cast<double>(kKbps);
   } else if (unit == "Mbps" || unit == "mbps") {
-    multiplier = 1e6;
+    multiplier = static_cast<double>(kMbps);
   } else if (unit == "Gbps" || unit == "gbps") {
-    multiplier = 1e9;
+    multiplier = static_cast<double>(kGbps);
   } else if (unit == "Bps") {
-    multiplier = 8.0;
+    multiplier = static_cast<double>(kBitsPerByte);
   } else if (unit == "KBps") {
-    multiplier = 8e3;
+    multiplier = static_cast<double>(kBitsPerByte * kKbps);
   } else if (unit == "MBps") {
-    multiplier = 8e6;
+    multiplier = static_cast<double>(kBitsPerByte * kMbps);
   } else {
     throw ParseError("unknown bandwidth unit '" + unit + "'", line, column);
   }

@@ -5,14 +5,14 @@
 namespace netqos::spec {
 
 std::string write_bandwidth(BitsPerSecond bps) {
-  if (bps != 0 && bps % 1'000'000'000 == 0) {
-    return std::to_string(bps / 1'000'000'000) + "Gbps";
+  if (bps != 0 && bps % kGbps == 0) {
+    return std::to_string(bps / kGbps) + "Gbps";
   }
-  if (bps != 0 && bps % 1'000'000 == 0) {
-    return std::to_string(bps / 1'000'000) + "Mbps";
+  if (bps != 0 && bps % kMbps == 0) {
+    return std::to_string(bps / kMbps) + "Mbps";
   }
-  if (bps != 0 && bps % 1'000 == 0) {
-    return std::to_string(bps / 1'000) + "Kbps";
+  if (bps != 0 && bps % kKbps == 0) {
+    return std::to_string(bps / kKbps) + "Kbps";
   }
   return std::to_string(bps) + "bps";
 }

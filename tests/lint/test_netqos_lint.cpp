@@ -1,0 +1,159 @@
+// Golden-fixture tests for tools/netqos_lint: each rule must flag its
+// known-bad fixture and stay silent on the known-good one, the PR 3
+// BufferUnderflow escape must be rejected as a regression fixture, both
+// suppression mechanisms must work, and the shipped src/ tree itself must
+// be clean against the committed baseline (the CI gate in test form).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+#ifndef NETQOS_SOURCE_DIR
+#define NETQOS_SOURCE_DIR ""
+#endif
+#ifndef NETQOS_PYTHON
+#define NETQOS_PYTHON "python3"
+#endif
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+std::string source_dir() { return NETQOS_SOURCE_DIR; }
+
+std::string fixture(const std::string& name) {
+  return source_dir() + "/tools/netqos_lint/fixtures/" + name;
+}
+
+/// Runs netqos_lint.py with `args` appended; captures stdout+stderr.
+LintResult run_lint(const std::string& args) {
+  const std::string command = std::string(NETQOS_PYTHON) + " " +
+                              source_dir() +
+                              "/tools/netqos_lint/netqos_lint.py --root " +
+                              source_dir() + " " + args + " 2>&1";
+  LintResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+void expect_flags(const std::string& fixture_name, const std::string& rule,
+                  int expected_count) {
+  const LintResult result = run_lint(fixture(fixture_name));
+  EXPECT_EQ(result.exit_code, 1)
+      << fixture_name << " should fail lint\n" << result.output;
+  int count = 0;
+  const std::string needle = "[" + rule + "]";
+  for (std::size_t pos = result.output.find(needle);
+       pos != std::string::npos;
+       pos = result.output.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  EXPECT_GE(count, expected_count)
+      << fixture_name << " should raise at least " << expected_count << " "
+      << needle << " finding(s)\n" << result.output;
+}
+
+void expect_clean(const std::string& fixture_name) {
+  const LintResult result = run_lint(fixture(fixture_name));
+  EXPECT_EQ(result.exit_code, 0)
+      << fixture_name << " should pass lint\n" << result.output;
+}
+
+TEST(NetqosLint, R1DecodeSafetyFlagsBadFixture) {
+  expect_flags("r1_bad.cpp", "R1", 1);
+}
+
+TEST(NetqosLint, R1DecodeSafetyAcceptsGoodFixture) {
+  expect_clean("r1_good.cpp");
+}
+
+TEST(NetqosLint, R2OidMonotonicityFlagsBadFixture) {
+  // Both the synchronous chain and the async walk step must be caught.
+  expect_flags("r2_bad.cpp", "R2", 2);
+}
+
+TEST(NetqosLint, R2OidMonotonicityAcceptsGoodFixture) {
+  expect_clean("r2_good.cpp");
+}
+
+TEST(NetqosLint, R3UnitsDisciplineFlagsBadFixture) {
+  // Mbps factor, two bit/byte conversions, one naked counter subtraction.
+  expect_flags("r3_bad.cpp", "R3", 4);
+}
+
+TEST(NetqosLint, R3UnitsDisciplineAcceptsGoodFixture) {
+  expect_clean("r3_good.cpp");
+}
+
+TEST(NetqosLint, R4SimTimePurityFlagsBadFixture) {
+  expect_flags("r4_bad.cpp", "R4", 4);
+}
+
+TEST(NetqosLint, R4SimTimePurityAcceptsGoodFixture) {
+  expect_clean("r4_good.cpp");
+}
+
+// The PR 3 bug: TrapListener::handle caught BerError but not
+// BufferUnderflow, so a truncated trap datagram crashed the listener.
+// The fixture preserves that handler's exact shape; R1 must reject it.
+TEST(NetqosLint, RegressionPr3BufferUnderflowEscapeIsFlagged) {
+  const LintResult result = run_lint(fixture("regression_pr3_underflow.cpp"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("[R1]"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("BufferUnderflow"), std::string::npos)
+      << result.output;
+}
+
+TEST(NetqosLint, InlineAllowCommentsSuppressFindings) {
+  expect_clean("suppression.cpp");
+}
+
+TEST(NetqosLint, BaselineRoundTripSuppressesKnownFindings) {
+  const std::string baseline =
+      testing::TempDir() + "/netqos_lint_baseline_test.txt";
+  const LintResult update = run_lint("--baseline " + baseline +
+                                     " --update-baseline " +
+                                     fixture("r3_bad.cpp"));
+  ASSERT_EQ(update.exit_code, 0) << update.output;
+
+  const LintResult gated =
+      run_lint("--baseline " + baseline + " " + fixture("r3_bad.cpp"));
+  EXPECT_EQ(gated.exit_code, 0)
+      << "baselined findings must not fail lint\n" << gated.output;
+  EXPECT_NE(gated.output.find("baselined"), std::string::npos)
+      << gated.output;
+  std::remove(baseline.c_str());
+}
+
+// The acceptance gate: the shipped tree is clean under the committed
+// (zero-entry) baseline. Any new violation of R1-R4 fails tier1 here,
+// not just the CI lint job.
+TEST(NetqosLint, ShippedSourceTreeIsClean) {
+  const LintResult result =
+      run_lint("--baseline " + source_dir() +
+               "/tools/netqos_lint/baseline.txt " + source_dir() + "/src");
+  EXPECT_EQ(result.exit_code, 0)
+      << "src/ has new lint findings:\n" << result.output;
+}
+
+TEST(NetqosLint, ListRulesDocumentsAllFour) {
+  const LintResult result = run_lint("--list-rules");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* rule : {"R1", "R2", "R3", "R4"}) {
+    EXPECT_NE(result.output.find(rule), std::string::npos) << result.output;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,21 @@
+// Known-bad fixture for R1 (decode-safety).
+//
+// A packet handler reaches the BER decoding surface with a handler for
+// BerError only. A truncated datagram throws BufferUnderflow from inside
+// decode_message and escapes — the exact bug class PR 3's fuzzer hit.
+// Expected finding: one [R1] on the decode_message call.
+#include "snmp/pdu.h"
+
+namespace netqos::snmp {
+
+void handle_packet(const Bytes& payload) {
+  Message message;
+  try {
+    message = decode_message(payload);
+  } catch (const BerError& e) {
+    return;  // malformed BER dropped — but BufferUnderflow escapes!
+  }
+  (void)message;
+}
+
+}  // namespace netqos::snmp

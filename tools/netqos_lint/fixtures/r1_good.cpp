@@ -1,0 +1,39 @@
+// Known-good fixture for R1 (decode-safety).
+//
+// Both accepted shapes: (1) a boundary handler catching BerError AND
+// BufferUnderflow around the decode surface, (2) a propagating decoder
+// helper whose decode_*/read_*/parse_* name marks it as internal to the
+// codec (exceptions flow to the boundary). Expected findings: none.
+#include "snmp/pdu.h"
+
+namespace netqos::snmp {
+
+void handle_packet(const Bytes& payload) {
+  Message message;
+  try {
+    message = decode_message(payload);
+  } catch (const BerError& e) {
+    return;
+  } catch (const BufferUnderflow& e) {
+    return;
+  }
+  (void)message;
+}
+
+void handle_packet_base_class(const Bytes& payload) {
+  Message message;
+  try {
+    message = decode_message(payload);
+  } catch (const std::runtime_error& e) {
+    // Both BerError and BufferUnderflow derive from runtime_error.
+    return;
+  }
+  (void)message;
+}
+
+std::uint32_t decode_probe_header(ByteReader& reader) {
+  // Propagating decoder: the decode_ prefix marks it; callers catch.
+  return reader.get_u32();
+}
+
+}  // namespace netqos::snmp

@@ -1,0 +1,38 @@
+// Known-bad fixture for R2 (OID monotonicity).
+//
+// Two unguarded walk shapes:
+//  (1) a synchronous GETNEXT chain advancing `cursor` with no comparison
+//      against the returned OID — a MIB that repeats an OID loops forever
+//      (the PR 3 subtree-walker bug);
+//  (2) an asynchronous walk step copying a response OID into a member
+//      cursor with no guard anywhere in the function.
+// Expected findings: two [R2].
+#include "snmp/mib.h"
+
+namespace netqos::snmp {
+
+void walk_everything(MibTree& mib, Oid cursor) {
+  while (true) {
+    auto next = mib.get_next(cursor);
+    if (!next.has_value()) break;
+    cursor = next->first;  // no monotonicity check: can loop forever
+  }
+}
+
+class UnguardedWalker {
+ public:
+  void on_result(SnmpResult result) {
+    for (auto& vb : result.varbinds) {
+      cursor_ = vb.oid;  // trusts the agent blindly
+      collected_.push_back(vb);
+    }
+    step();
+  }
+
+ private:
+  void step();
+  Oid cursor_;
+  std::vector<VarBind> collected_;
+};
+
+}  // namespace netqos::snmp

@@ -1,0 +1,40 @@
+// Known-good fixture for R2 (OID monotonicity).
+//
+// The same two walk shapes as r2_bad.cpp, each guarded: the loop stops
+// when the returned OID is not lexicographically greater than the cursor
+// (RFC 1905 §4.2.3). Expected findings: none.
+#include "snmp/mib.h"
+
+namespace netqos::snmp {
+
+void walk_everything(MibTree& mib, Oid cursor) {
+  while (true) {
+    auto next = mib.get_next(cursor);
+    if (!next.has_value()) break;
+    if (next->first <= cursor) break;  // non-increasing: stop the walk
+    cursor = next->first;
+  }
+}
+
+class GuardedWalker {
+ public:
+  void on_result(SnmpResult result) {
+    for (auto& vb : result.varbinds) {
+      if (vb.oid <= cursor_) {
+        finish("non-increasing OID in walk response");
+        return;
+      }
+      cursor_ = vb.oid;
+      collected_.push_back(vb);
+    }
+    step();
+  }
+
+ private:
+  void step();
+  void finish(const char* error);
+  Oid cursor_;
+  std::vector<VarBind> collected_;
+};
+
+}  // namespace netqos::snmp

@@ -1,0 +1,28 @@
+// Known-bad fixture for R3 (units discipline).
+//
+// Table 1 traps: ifSpeed is bits/s, ifInOctets/ifOutOctets are bytes.
+// Raw factor-of-8 and power-of-ten conversions, and a naked Counter32
+// subtraction outside monitor/counter_math (which ignores wrap).
+// Expected findings: at least four [R3].
+#include <cstdint>
+
+namespace netqos {
+
+double link_speed_mbps(std::uint64_t if_speed_bps) {
+  return static_cast<double>(if_speed_bps) / 1e6;  // raw Mbps factor
+}
+
+double octets_to_bits(double bytes) {
+  return bytes * 8;  // raw bit/byte conversion
+}
+
+double bandwidth_bytes_per_second(double bits_per_second) {
+  return bits_per_second / 8.0;  // raw bit/byte conversion
+}
+
+std::uint32_t traffic_delta(std::uint32_t in_octets_old,
+                            std::uint32_t in_octets_new) {
+  return in_octets_new - in_octets_old;  // wrong across Counter32 wrap
+}
+
+}  // namespace netqos

@@ -1,0 +1,31 @@
+// Known-good fixture for R3 (units discipline).
+//
+// The same conversions routed through common/units.h and
+// monitor/counter_math, plus legal non-unit uses of the literal 8
+// (shifts, loop bounds). Expected findings: none.
+#include "common/units.h"
+#include "monitor/counter_math.h"
+
+namespace netqos {
+
+double link_speed_mbps(BitsPerSecond if_speed_bps) {
+  return static_cast<double>(if_speed_bps) / static_cast<double>(kMbps);
+}
+
+BitsPerSecond octets_rate_to_bits(BytesPerSecond rate) {
+  return to_bits_per_second(rate);
+}
+
+BytesPerSecond bandwidth_bytes_per_second(BitsPerSecond bps) {
+  return to_bytes_per_second(bps);
+}
+
+std::uint32_t traffic_delta(std::uint32_t older, std::uint32_t newer) {
+  return mon::counter32_delta(older, newer);  // wrap-correct
+}
+
+std::uint8_t top_byte(std::uint64_t value) {
+  return static_cast<std::uint8_t>(value >> (7 * 8));  // shift, not units
+}
+
+}  // namespace netqos

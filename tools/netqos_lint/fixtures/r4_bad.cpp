@@ -1,0 +1,27 @@
+// Known-bad fixture for R4 (simulated-time purity).
+//
+// Wall clocks and ambient randomness make runs non-deterministic and
+// non-resumable; all of these are banned outside common/sim_time and
+// common/rng. Expected findings: at least four [R4].
+#include <chrono>
+#include <cstdlib>
+
+namespace netqos {
+
+long long wall_clock_ns() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long stamp_report() {
+  return time(nullptr);  // wall clock leaks into output
+}
+
+int jitter_percent() {
+  return rand() % 100;  // unseeded, irreproducible
+}
+
+void reseed() {
+  srand(42);  // global RNG state, not per-stream
+}
+
+}  // namespace netqos

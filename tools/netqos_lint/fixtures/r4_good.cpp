@@ -1,0 +1,18 @@
+// Known-good fixture for R4 (simulated-time purity).
+//
+// Time comes from the simulator clock, randomness from explicitly seeded
+// substream generators. Expected findings: none.
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace netqos {
+
+SimTime stamp_report(SimTime now) { return now; }
+
+double jitter_fraction(Xoshiro256& rng) { return rng.uniform(); }
+
+Xoshiro256 substream(const Xoshiro256& rng, std::uint64_t stream) {
+  return rng.fork(stream);
+}
+
+}  // namespace netqos

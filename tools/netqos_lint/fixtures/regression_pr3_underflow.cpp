@@ -1,0 +1,37 @@
+// Regression fixture: the PR 3 BufferUnderflow escape, verbatim shape.
+//
+// This reproduces src/snmp/trap.cpp's TrapListener::handle as it stood
+// before the fix: the handler caught BerError but not BufferUnderflow, so
+// fuzz seed #13's truncated trap datagram (a TLV whose declared length
+// exceeded the remaining payload) unwound through the UDP stack and
+// killed the listener. netqos-lint R1 now rejects this shape at lint
+// time. Expected finding: one [R1] on the decode_message call.
+#include "common/log.h"
+#include "snmp/pdu.h"
+
+namespace netqos::snmp {
+
+class TrapListener {
+ public:
+  void handle(const sim::Ipv4Packet& packet);
+
+ private:
+  struct Stats {
+    std::uint64_t malformed = 0;
+  } stats_;
+};
+
+void TrapListener::handle(const sim::Ipv4Packet& packet) {
+  Message message;
+  try {
+    message = decode_message(packet.udp.payload);
+  } catch (const BerError& e) {
+    ++stats_.malformed;
+    NETQOS_DEBUG() << "trap decode error: " << e.what();
+    return;
+  }
+  // ... translate and dispatch the trap ...
+  (void)message;
+}
+
+}  // namespace netqos::snmp

@@ -1,0 +1,20 @@
+// Fixture for the inline suppression mechanism.
+//
+// Each would-be finding carries a `netqos-lint: allow(...)` annotation on
+// the offending line or the line above. Expected findings: none.
+#include "common/byte_buffer.h"
+
+namespace netqos {
+
+std::uint32_t probe_sequence(const Bytes& payload) {
+  if (payload.size() < 4) return 0;
+  ByteReader reader(payload);
+  // netqos-lint: allow(R1): fixed 4-byte header, length-checked above
+  return reader.get_u32();
+}
+
+double legacy_mbps(double bits_per_second) {
+  return bits_per_second / 1e6;  // netqos-lint: allow(R3): golden fixture
+}
+
+}  // namespace netqos

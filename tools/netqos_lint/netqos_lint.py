@@ -1,0 +1,659 @@
+#!/usr/bin/env python3
+"""netqos-lint: project-invariant static analysis for the netqos tree.
+
+Enforces four invariants that ordinary compilers and clang-tidy cannot
+express, each born from a real bug class (see DESIGN.md "Static analysis"):
+
+  R1  decode-safety      Every call site of the BER/byte-buffer decoding
+                         surface (ber::read_* / ber::expect_* /
+                         decode_message / ByteReader::get_* ...) must be
+                         reachable only under a handler that catches BOTH
+                         BerError and BufferUnderflow. PR 3's fuzzer found
+                         a BufferUnderflow escaping a handler that caught
+                         only BerError; this rule makes that a lint error.
+                         Functions whose names mark them as decoder
+                         internals (decode_/read_/parse_/expect_/peek_)
+                         and the codec-internal files propagate instead of
+                         catching, and are exempt.
+
+  R2  OID monotonicity   A GETNEXT/GETBULK walk loop that advances a
+                         cursor from response varbinds must guard against
+                         non-increasing OIDs (RFC 1905 section 4.2.3). A
+                         buggy or adversarial agent that repeats an OID
+                         would otherwise walk the manager forever — the
+                         second PR 3 fuzzer find.
+
+  R3  units discipline   MIB-II ifSpeed is bits/s, ifInOctets/ifOutOctets
+                         are bytes (paper Table 1), and the paper reports
+                         loads in Kbytes/s. All factor-of-8 / power-of-ten
+                         bandwidth conversions must go through
+                         common/units.h, and cumulative MIB counters may
+                         only be differenced inside monitor/counter_math
+                         (Counter32 wrap arithmetic, paper section 3.1).
+
+  R4  sim-time purity    Wall-clock and ambient randomness
+                         (std::chrono::system_clock, time(), gettimeofday,
+                         rand(), std::random_device, ...) are banned
+                         outside common/sim_time and common/rng so every
+                         run is deterministic and resumable.
+
+Suppression:
+  * Inline: `// netqos-lint: allow(R3): reason` on the offending line or
+    the line directly above it. The rule list may name several rules,
+    e.g. allow(R1,R3).
+  * Baseline: `--baseline FILE` holds known findings, one per line, as
+    `RULE path normalized-source-line`. Findings present in the baseline
+    are reported only with --show-baselined. `--update-baseline`
+    rewrites the file from the current findings.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+RULES = {
+    "R1": "decode-safety: ber/byte-buffer reads need BerError + BufferUnderflow handlers",
+    "R2": "OID monotonicity: GETNEXT/GETBULK walk loops must reject non-increasing OIDs",
+    "R3": "units discipline: bit/byte/Mbps conversions only via common/units.h; "
+          "counter differencing only in monitor/counter_math",
+    "R4": "sim-time purity: no wall clocks or ambient randomness outside "
+          "common/sim_time / common/rng",
+}
+
+# Files that ARE the sanctioned implementation of a rule's subject matter.
+R1_CODEC_FILES = (
+    "common/byte_buffer.h", "common/byte_buffer.cpp",
+    "snmp/ber.h", "snmp/ber.cpp",
+    "snmp/pdu.cpp",
+)
+R3_UNITS_FILES = ("common/units.h", "common/sim_time.h")
+R3_COUNTER_FILES = ("monitor/counter_math.h", "monitor/counter_math.cpp")
+R4_CLOCK_FILES = ("common/sim_time.h", "common/sim_time.cpp",
+                  "common/rng.h", "common/rng.cpp")
+
+# Enclosing-function name prefixes that mark R1 decoder internals: they
+# propagate BerError/BufferUnderflow to the packet-handler boundary.
+R1_PROPAGATOR_PREFIXES = ("decode_", "read_", "parse_", "expect_", "peek_")
+
+R1_CALL_RE = re.compile(
+    r"\bber::(?:read|expect)_\w+\s*\("
+    r"|\bdecode_(?:message|pdu|trap_v1)\s*\("
+    r"|\.(?:get|peek)_(?:u8|u16|u32|u64|bytes|string)\s*\(")
+
+R2_STEP_RE = re.compile(r"\b(?:get_next|get_bulk)\s*\(")
+R2_RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?auto\s*&{0,2}\s*(\w+)\s*:\s*[\w.\->]*varbinds\s*\)")
+RELOP_RE = re.compile(r"<=|>=|(?<![<>\-])<(?![<>=])|(?<![<>\-])>(?![<>=])")
+
+# R3(a): a factor-of-8 bit<->byte conversion.
+R3_FACTOR8_RE = re.compile(r"[*/]\s*8(?:\.0+)?(?![\w.'])|(?<![\w.'])8(?:\.0+)?\s*\*")
+# R3(b): power-of-ten bandwidth multipliers.
+R3_DECIMAL_RE = re.compile(
+    r"(?<![\w.'])(?:[18]e[369]|1000000(?:000)?|1000\.0|8\.0"
+    r"|1'000(?:'000){0,2}|10'000'000)(?![\w.'])")
+# Identifier must look bandwidth-flavoured for (a)/(b) to fire; this keeps
+# shift-free arithmetic like `8 * poll_interval` out of scope.
+R3_CONTEXT_RE = re.compile(
+    r"bps|bandwidth|octet|[kmg]bps|byte|\bbits?\b|speed|ifspeed", re.IGNORECASE)
+# R3(c): naked subtraction of cumulative MIB counters.
+R3_COUNTER_ID = r"\w*(?:in|out)_(?:octets|packets|discards)\w*|\bsys_uptime\w*|\bif(?:HC)?(?:In|Out)Octets\w*"
+R3_COUNTER_SUB_RE = re.compile(
+    r"(?:%s)\s*-(?!>)|(?<!-)-\s*(?:%s)" % (R3_COUNTER_ID, R3_COUNTER_ID))
+
+R4_PATTERNS = (
+    (re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"),
+     "wall clock (use common/sim_time SimTime)"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday (use common/sim_time)"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime (use common/sim_time)"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time() (use common/sim_time)"),
+    (re.compile(r"(?<![\w:.>])s?rand\s*\(|\bstd::s?rand\b"),
+     "rand()/srand() (use common/rng Xoshiro256)"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device (use an explicit seed and common/rng)"),
+    (re.compile(r"\bstd::(?:mt19937(?:_64)?|default_random_engine)\b"),
+     "implicit std RNG (use common/rng Xoshiro256)"),
+)
+
+ALLOW_RE = re.compile(r"netqos-lint:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str          # repo-relative, forward slashes
+    line: int          # 1-based
+    message: str
+    source: str        # raw source line (for the baseline key)
+
+    def key(self) -> str:
+        return "%s %s %s" % (self.rule, self.path, normalize(self.source))
+
+    def render(self) -> str:
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule, self.message)
+
+
+def normalize(line: str) -> str:
+    return " ".join(line.split())
+
+
+def mask_code(text: str) -> str:
+    """Blanks comments, string and char literals, preserving offsets and
+    newlines, so structural scans never match inside them."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            # A ' preceded by an identifier/number char is a C++14 digit
+            # separator (1'000'000), not a char literal.
+            if c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+                i += 1
+                continue
+            quote = c
+            # Raw string literal R"delim( ... )delim"
+            if quote == '"' and i > 0 and text[i - 1] == "R" and (
+                    i < 2 or not (text[i - 2].isalnum() or text[i - 2] == "_")):
+                m = re.match(r'"([^ ()\\\n]*)\(', text[i:])
+                if m:
+                    end = text.find(")%s\"" % m.group(1), i)
+                    end = n if end == -1 else end + len(m.group(1)) + 2
+                    for j in range(i, min(end, n)):
+                        if text[j] != "\n":
+                            out[j] = " "
+                    i = end
+                    continue
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Index just past the `}` matching the `{` at open_idx (text is masked)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def match_paren(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return",
+                    "sizeof", "alignof", "new", "delete", "throw", "do",
+                    "else", "case", "static_assert", "decltype"}
+
+FUNC_RE = re.compile(r"([A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\(")
+
+
+@dataclass
+class Function:
+    name: str       # last :: component
+    body_start: int
+    body_end: int
+
+
+def find_functions(masked: str) -> list:
+    """Best-effort function-definition spans. A candidate is NAME(args)
+    followed (after const/noexcept/override/trailing-return/init-list
+    noise) by `{`. Nested results (lambdas in bodies) are kept; callers
+    pick the innermost enclosing span."""
+    functions = []
+    for m in FUNC_RE.finditer(masked):
+        name = re.split(r"\s*::\s*", m.group(1))[-1]
+        if name in CONTROL_KEYWORDS:
+            continue
+        close = match_paren(masked, m.end() - 1)
+        if close >= len(masked):
+            continue
+        # Skip decoration until `{`, `;`, or something that rules this out.
+        i = close
+        limit = min(len(masked), close + 400)
+        while i < limit:
+            c = masked[i]
+            if c == "{":
+                body_end = match_brace(masked, i)
+                functions.append(Function(name, i, body_end))
+                break
+            if c in ";,)=" or c == "}":
+                break
+            i += 1
+    return functions
+
+
+def innermost_function(functions, offset):
+    best = None
+    for f in functions:
+        if f.body_start <= offset < f.body_end:
+            if best is None or (f.body_end - f.body_start) < (best.body_end - best.body_start):
+                best = f
+    return best
+
+
+@dataclass
+class TryBlock:
+    body_start: int
+    body_end: int
+    catch_types: list = field(default_factory=list)
+
+
+TRY_RE = re.compile(r"\btry\b")
+CATCH_RE = re.compile(r"\bcatch\s*\(")
+
+
+def find_try_blocks(masked: str) -> list:
+    blocks = []
+    for m in TRY_RE.finditer(masked):
+        open_idx = masked.find("{", m.end())
+        if open_idx == -1 or masked[m.end():open_idx].strip():
+            continue
+        block = TryBlock(open_idx, match_brace(masked, open_idx))
+        pos = block.body_end
+        while True:
+            cm = CATCH_RE.match(masked, pos) or CATCH_RE.match(
+                masked, pos + len(masked[pos:]) - len(masked[pos:].lstrip()))
+            if not cm:
+                break
+            paren_end = match_paren(masked, cm.end() - 1)
+            decl = masked[cm.end():paren_end - 1].strip()
+            if decl == "...":
+                block.catch_types.append("...")
+            else:
+                ids = re.findall(r"[A-Za-z_]\w*", decl)
+                # Last identifier is usually the variable; the type is the
+                # identifier before it (or the only one).
+                type_ids = [i for i in ids if i not in ("const", "volatile", "std")]
+                block.catch_types.append(type_ids[-2] if len(type_ids) >= 2 else
+                                         (type_ids[-1] if type_ids else ""))
+            body_open = masked.find("{", paren_end)
+            if body_open == -1:
+                break
+            pos = match_brace(masked, body_open)
+        blocks.append(block)
+    return blocks
+
+
+def catches_cover(types, wanted: str) -> bool:
+    bases = {"...", "exception", "runtime_error"}
+    return any(t == wanted or t in bases for t in types)
+
+
+def line_of(offsets, pos: int) -> int:
+    """1-based line number for character offset, via precomputed newline
+    offsets (sorted)."""
+    lo, hi = 0, len(offsets)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if offsets[mid] <= pos:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo + 1
+
+
+class FileCheck:
+    def __init__(self, path: str, relpath: str, text: str):
+        self.relpath = relpath.replace(os.sep, "/")
+        self.text = text
+        self.masked = mask_code(text)
+        self.lines = text.split("\n")
+        self.masked_lines = self.masked.split("\n")
+        self.newlines = [i for i, c in enumerate(text) if c == "\n"]
+        self.functions = find_functions(self.masked)
+        self.try_blocks = find_try_blocks(self.masked)
+        self.findings = []
+        self.allows = self._collect_allows()
+
+    def _collect_allows(self):
+        allows = {}
+        for i, line in enumerate(self.lines):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            rules = {r.strip().upper() for r in m.group(1).split(",") if r.strip()}
+            allows.setdefault(i + 1, set()).update(rules)
+            allows.setdefault(i + 2, set()).update(rules)  # next line too
+        return allows
+
+    def allowed(self, rule: str, line: int) -> bool:
+        return rule in self.allows.get(line, set())
+
+    def report(self, rule: str, line: int, message: str):
+        if self.allowed(rule, line):
+            return
+        src = self.lines[line - 1] if 0 < line <= len(self.lines) else ""
+        finding = Finding(rule, self.relpath, line, message, src)
+        if any(f.rule == rule and f.line == line and f.message == message
+               for f in self.findings):
+            return  # e.g. one walk call seen from two nested loops
+        self.findings.append(finding)
+
+    def in_file(self, suffixes) -> bool:
+        return any(self.relpath.endswith(s) for s in suffixes)
+
+    # --- R1 -------------------------------------------------------------
+    def check_r1(self):
+        if self.in_file(R1_CODEC_FILES):
+            return
+        for m in R1_CALL_RE.finditer(self.masked):
+            func = innermost_function(self.functions, m.start())
+            if func is None:
+                continue  # declaration or namespace scope, not a call
+            if func.name.startswith(R1_PROPAGATOR_PREFIXES):
+                continue
+            covered = False
+            for block in self.try_blocks:
+                if block.body_start <= m.start() < block.body_end:
+                    if (catches_cover(block.catch_types, "BerError") and
+                            catches_cover(block.catch_types, "BufferUnderflow")):
+                        covered = True
+                        break
+            if not covered:
+                call = m.group(0).rstrip("(").strip()
+                self.report(
+                    "R1", line_of(self.newlines, m.start()),
+                    "decode call '%s' not guarded by handlers for both "
+                    "BerError and BufferUnderflow (PR 3 bug class); wrap it "
+                    "in try/catch or name the enclosing function decode_*/"
+                    "read_*/parse_* to mark it a propagating decoder" % call)
+
+    # --- R2 -------------------------------------------------------------
+    def _body_span(self, keyword_match):
+        """Span of the loop body following for(...)/while(...)."""
+        paren_open = self.masked.find("(", keyword_match.end() - 1)
+        if paren_open == -1:
+            return None
+        after = match_paren(self.masked, paren_open)
+        i = after
+        while i < len(self.masked) and self.masked[i] in " \t\n":
+            i += 1
+        if i < len(self.masked) and self.masked[i] == "{":
+            return (i, match_brace(self.masked, i))
+        end = self.masked.find(";", i)
+        return (i, len(self.masked) if end == -1 else end + 1)
+
+    LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+    ASSIGN_RE = re.compile(r"([\w.\[\]>\-]+?)\s*=(?![=])")
+
+    def check_r2(self):
+        # (a) synchronous walk loops: loop body both calls get_next/get_bulk
+        # and assigns (part of) the call's argument -> loop-carried cursor.
+        for lm in self.LOOP_RE.finditer(self.masked):
+            span = self._body_span(lm)
+            if span is None:
+                continue
+            body = self.masked[span[0]:span[1]]
+            for sm in R2_STEP_RE.finditer(body):
+                args_end = match_paren(body, body.find("(", sm.start()))
+                args = body[sm.end():args_end - 1]
+                cursor = self._loop_carried_cursor(body, args)
+                if cursor is None:
+                    continue
+                if not self._guarded(body, cursor):
+                    self.report(
+                        "R2", line_of(self.newlines, span[0] + sm.start()),
+                        "GETNEXT/GETBULK walk advances cursor '%s' without a "
+                        "monotonicity guard; compare the returned OID against "
+                        "the cursor and stop on non-increasing results "
+                        "(RFC 1905 §4.2.3)" % cursor)
+        # (b) asynchronous walk steps: a range-for over varbinds that copies
+        # a whole OID into a cursor must be guarded somewhere in the function.
+        for fm in R2_RANGE_FOR_RE.finditer(self.masked):
+            vb = fm.group(1)
+            open_idx = self.masked.find("{", fm.end())
+            if open_idx == -1:
+                continue
+            body = self.masked[open_idx:match_brace(self.masked, open_idx)]
+            am = re.search(r"([\w.\[\]>\-]+)\s*=\s*%s\.oid\s*;" % re.escape(vb), body)
+            if not am:
+                continue
+            cursor = am.group(1)
+            func = innermost_function(self.functions, fm.start())
+            scope = (self.masked[func.body_start:func.body_end]
+                     if func else self.masked)
+            if not self._guarded(scope, cursor):
+                self.report(
+                    "R2", line_of(self.newlines, fm.start()),
+                    "walk step copies response OID into cursor '%s' without a "
+                    "monotonicity guard in the enclosing function; a repeating "
+                    "or regressing agent would walk forever" % cursor)
+
+    def _loop_carried_cursor(self, body: str, args: str):
+        for am in self.ASSIGN_RE.finditer(body):
+            lhs = am.group(1).strip()
+            if not lhs or lhs[0].isdigit():
+                continue
+            if lhs in ("", "=") or "==" in lhs:
+                continue
+            if normalize(lhs) and normalize(lhs) in normalize(args):
+                return lhs
+        return None
+
+    def _guarded(self, scope: str, cursor: str) -> bool:
+        ident = re.findall(r"\w+", cursor)
+        ident = ident[-1] if ident else cursor
+        for line in scope.split("\n"):
+            if ident in line and RELOP_RE.search(line):
+                return True
+        return False
+
+    # --- R3 -------------------------------------------------------------
+    def check_r3(self):
+        units_ok = self.in_file(R3_UNITS_FILES)
+        counters_ok = self.in_file(R3_COUNTER_FILES)
+        offset = 0
+        for i, mline in enumerate(self.masked_lines):
+            lineno = i + 1
+            if not units_ok:
+                in_context = self._bandwidth_context(offset)
+                if in_context and ">>" not in mline and R3_FACTOR8_RE.search(mline):
+                    self.report(
+                        "R3", lineno,
+                        "raw factor-of-8 bit/byte conversion; use "
+                        "to_bits_per_second/to_bytes_per_second/kBitsPerByte "
+                        "from common/units.h (ifSpeed is bits/s, ifOctets "
+                        "are bytes — paper Table 1)")
+                if in_context and R3_DECIMAL_RE.search(mline):
+                    self.report(
+                        "R3", lineno,
+                        "raw decimal bandwidth multiplier; use kKbps/kMbps/"
+                        "kGbps or the conversion helpers in common/units.h")
+            if not counters_ok and R3_COUNTER_SUB_RE.search(mline):
+                self.report(
+                    "R3", lineno,
+                    "naked subtraction of a cumulative MIB counter; "
+                    "Counter32/TimeTicks wrap and must be differenced via "
+                    "monitor/counter_math (paper §3.1)")
+            offset += len(mline) + 1
+
+    def _bandwidth_context(self, offset: int) -> bool:
+        func = innermost_function(self.functions, offset)
+        if func is None:
+            return bool(R3_CONTEXT_RE.search(self.masked_lines[
+                line_of(self.newlines, offset) - 1]))
+        # Include the declaration line (function name) ahead of the body.
+        start = max(0, func.body_start - 200)
+        return bool(R3_CONTEXT_RE.search(self.masked[start:func.body_end]))
+
+    # --- R4 -------------------------------------------------------------
+    def check_r4(self):
+        if self.in_file(R4_CLOCK_FILES):
+            return
+        for i, mline in enumerate(self.masked_lines):
+            for pattern, what in R4_PATTERNS:
+                if pattern.search(mline):
+                    self.report(
+                        "R4", i + 1,
+                        "%s breaks deterministic, resumable simulation" % what)
+        # Including the headers at all is suspicious enough to flag in raw
+        # text (they are masked only inside comments/strings).
+        for i, line in enumerate(self.lines):
+            if re.match(r"\s*#\s*include\s*<(?:ctime|random|sys/time\.h)>", line):
+                self.report(
+                    "R4", i + 1,
+                    "wall-clock/ambient-randomness header include; only "
+                    "common/sim_time and common/rng may provide time and "
+                    "randomness")
+
+    def run(self):
+        self.check_r1()
+        self.check_r2()
+        self.check_r3()
+        self.check_r4()
+        return self.findings
+
+
+def iter_source_files(roots):
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith((".cpp", ".h", ".hpp", ".cc")):
+                    yield os.path.join(dirpath, name)
+
+
+def load_baseline(path):
+    entries = set()
+    if not path or not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def save_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# netqos-lint baseline: known findings, one per line, as\n"
+                "#   RULE path normalized-source-line\n"
+                "# Regenerate with: netqos_lint.py --update-baseline\n")
+        for key in sorted({fi.key() for fi in findings}):
+            f.write(key + "\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="netqos-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--root", default=".",
+                        help="repo root for relative finding paths")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file of known findings")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="also print findings present in the baseline")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, doc in RULES.items():
+            print("%s  %s" % (rule, doc))
+        return 0
+
+    roots = args.paths or [os.path.join(args.root, "src")]
+    for root in roots:
+        if not os.path.exists(root):
+            print("netqos-lint: no such path: %s" % root, file=sys.stderr)
+            return 2
+
+    findings = []
+    for path in iter_source_files(roots):
+        relpath = os.path.relpath(path, args.root)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print("netqos-lint: cannot read %s: %s" % (path, e), file=sys.stderr)
+            return 2
+        findings.extend(FileCheck(path, relpath, text).run())
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("netqos-lint: --update-baseline requires --baseline",
+                  file=sys.stderr)
+            return 2
+        save_baseline(args.baseline, findings)
+        print("netqos-lint: wrote %d finding(s) to %s"
+              % (len(findings), args.baseline))
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = [f for f in findings if f.key() not in baseline]
+    old = [f for f in findings if f.key() in baseline]
+
+    for f in sorted(new, key=lambda f: (f.path, f.line)):
+        print(f.render())
+    if args.show_baselined:
+        for f in sorted(old, key=lambda f: (f.path, f.line)):
+            print("%s [baselined]" % f.render())
+    if new:
+        print("netqos-lint: %d new finding(s)%s"
+              % (len(new),
+                 " (+%d baselined)" % len(old) if old else ""), file=sys.stderr)
+        return 1
+    if old:
+        print("netqos-lint: clean (%d baselined finding(s) remain)" % len(old),
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
