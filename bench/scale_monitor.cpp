@@ -51,10 +51,11 @@ struct Row {
   std::uint64_t polls;
   double station_snmp_Bps;  // coordinator NIC traffic
   double wall_ms;
+  std::size_t store_bytes;  // history store footprint (bounded)
 };
 
 Row run(int switches, int hosts_per, int stations,
-        bool full_telemetry = false) {
+        bool full_telemetry = false, double sim_seconds = 60) {
   const spec::SpecFile specfile = make_system(switches, hosts_per);
   sim::Simulator sim;
   auto net = sim::build_network(sim, specfile.topology);
@@ -86,7 +87,7 @@ Row run(int switches, int hosts_per, int stations,
 
   const auto start = std::chrono::steady_clock::now();
   dist.start();
-  sim.run_until(seconds(60));
+  sim.run_until(from_seconds(sim_seconds));
   const auto stop = std::chrono::steady_clock::now();
 
   Row row;
@@ -96,7 +97,9 @@ Row run(int switches, int hosts_per, int stations,
   const auto* nic = monitor_hosts[0]->find_interface("eth0");
   row.station_snmp_Bps =
       static_cast<double>(nic->total_in_octets() + nic->total_out_octets()) /
-      60.0;
+      sim_seconds;
+  row.store_bytes = dist.stats_db().history().footprint_bytes() +
+                    dist.coordinator().history().footprint_bytes();
   row.wall_ms = std::chrono::duration<double, std::milli>(stop - start)
                     .count();
   return row;
@@ -107,8 +110,8 @@ Row run(int switches, int hosts_per, int stations,
 int main() {
   std::printf("=== Scale: monitoring cost vs. system size ===\n");
   std::printf("60 simulated seconds, 2 s polls, one watched path\n\n");
-  std::printf("%8s %8s %9s %8s %20s %10s\n", "hosts", "agents", "stations",
-              "polls", "station SNMP B/s", "wall ms");
+  std::printf("%8s %8s %9s %8s %20s %10s %10s\n", "hosts", "agents",
+              "stations", "polls", "station SNMP B/s", "wall ms", "store B");
 
   struct Config {
     int switches, hosts_per, stations;
@@ -119,14 +122,31 @@ int main() {
   };
   for (const auto& c : configs) {
     const Row row = run(c.switches, c.hosts_per, c.stations);
-    std::printf("%8d %8zu %9d %8llu %20.1f %10.2f\n", row.hosts,
+    std::printf("%8d %8zu %9d %8llu %20.1f %10.2f %10zu\n", row.hosts,
                 row.agents, c.stations,
                 static_cast<unsigned long long>(row.polls),
-                row.station_snmp_Bps, row.wall_ms);
+                row.station_snmp_Bps, row.wall_ms, row.store_bytes);
   }
   std::printf("\nexpected shape: station SNMP traffic grows with agent "
               "count under one station and drops ~stations-fold when "
               "polling is distributed\n");
+
+  // History store memory bound: the footprint depends on topology size
+  // (series count x retention capacity), never on how long the monitor
+  // has been running. Same system, three run lengths, one footprint.
+  std::printf("\n=== History store footprint vs. run length "
+              "(8x8 hosts, 1 station) ===\n");
+  std::printf("%12s %14s\n", "sim seconds", "store bytes");
+  std::size_t first_bytes = 0;
+  bool flat = true;
+  for (const double sim_s : {30.0, 60.0, 240.0}) {
+    const Row row = run(8, 8, 1, /*full_telemetry=*/false, sim_s);
+    std::printf("%12.0f %14zu\n", sim_s, row.store_bytes);
+    if (first_bytes == 0) first_bytes = row.store_bytes;
+    if (row.store_bytes != first_bytes) flat = false;
+  }
+  std::printf("store footprint flat in run length: %s\n",
+              flat ? "yes" : "NO (memory bound violated!)");
 
   // Telemetry overhead: the same workload with and without the full
   // observability pipeline (shared registry, sim + per-link collectors,

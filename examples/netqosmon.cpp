@@ -5,6 +5,7 @@
 //             [--backoff-base X] [--backoff-cap MS] [--stagger MS]
 //             [--load SRC DST KBPS START END]...
 //             [--metrics-out FILE] [--trace-out FILE]
+//             [--history-retention SECS] [--forecast-horizon SECS]
 //
 // Reads a specification file (default: the built-in LIRTSS testbed),
 // builds the simulated network, deploys agents per the spec, registers
@@ -22,6 +23,8 @@
 
 #include "common/log.h"
 #include "experiments/lirtss.h"
+#include "history/forecast.h"
+#include "history/store.h"
 #include "monitor/qos.h"
 #include "monitor/report.h"
 #include "obs/metrics.h"
@@ -49,6 +52,8 @@ struct Options {
   double stagger_ms = 0;      // per-agent launch phase within a round
   std::string metrics_out;  // Prometheus text exposition, empty = off
   std::string trace_out;    // Chrome trace-event JSONL, empty = off
+  double history_retention_s = 0;  // raw-span for the history store, 0 = default
+  double forecast_horizon_s = 0;   // predictive warnings, 0 = off
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -56,7 +61,8 @@ struct Options {
                "usage: %s [SPEC_FILE] [FROM TO]... [--seconds N] "
                "[--poll MS] [--backoff-base X] [--backoff-cap MS] "
                "[--stagger MS] [--load SRC DST KBPS START END]... "
-               "[--metrics-out FILE] [--trace-out FILE]\n",
+               "[--metrics-out FILE] [--trace-out FILE] "
+               "[--history-retention SECS] [--forecast-horizon SECS]\n",
                argv0);
   std::exit(2);
 }
@@ -95,6 +101,12 @@ Options parse_args(int argc, char** argv) {
       options.metrics_out = next("--metrics-out");
     } else if (arg == "--trace-out") {
       options.trace_out = next("--trace-out");
+    } else if (arg == "--history-retention") {
+      options.history_retention_s =
+          std::atof(next("--history-retention").c_str());
+    } else if (arg == "--forecast-horizon") {
+      options.forecast_horizon_s =
+          std::atof(next("--forecast-horizon").c_str());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -171,6 +183,10 @@ int main(int argc, char** argv) {
   config.scheduler.stagger = from_seconds(options.stagger_ms / 1000.0);
   config.metrics = &registry;
   if (!options.trace_out.empty()) config.spans = &spans;
+  if (options.history_retention_s > 0) {
+    config.retention = hist::RetentionPolicy::for_span(
+        from_seconds(options.history_retention_s), config.poll_interval);
+  }
   mon::NetworkMonitor monitor(simulator, specfile.topology, *station,
                               config);
 
@@ -209,6 +225,40 @@ int main(int argc, char** argv) {
                 event.path.first.c_str(), event.path.second.c_str(),
                 event.available / 1000.0);
   });
+
+  // Optional predictive early warnings on the spec's requirements.
+  std::unique_ptr<mon::PredictiveDetector> predictive;
+  if (options.forecast_horizon_s > 0) {
+    mon::PredictiveConfig pconfig;
+    pconfig.horizon = from_seconds(options.forecast_horizon_s);
+    predictive =
+        std::make_unique<mon::PredictiveDetector>(monitor, pconfig);
+    for (const auto& req : specfile.qos) {
+      predictive->add_requirement(req.from, req.to,
+                                  to_bytes_per_second(req.min_available_bps));
+    }
+    predictive->add_event_callback([](const mon::PredictiveEvent& event) {
+      if (event.kind == mon::PredictiveEvent::Kind::kEarlyWarning) {
+        std::string eta;
+        if (event.predicted_in) {
+          eta = ", crossing in ~" +
+                std::to_string(static_cast<int>(
+                    to_seconds(*event.predicted_in))) +
+                "s";
+        }
+        std::printf("# t=%.1fs QoS EARLY WARNING: %s <-> %s (available "
+                    "%.0f KB/s, forecast %.0f KB/s%s)\n",
+                    to_seconds(event.time), event.path.first.c_str(),
+                    event.path.second.c_str(), event.available / 1000.0,
+                    event.forecast / 1000.0, eta.c_str());
+      } else {
+        std::printf("# t=%.1fs QoS all-clear: %s <-> %s (forecast "
+                    "%.0f KB/s)\n",
+                    to_seconds(event.time), event.path.first.c_str(),
+                    event.path.second.c_str(), event.forecast / 1000.0);
+      }
+    });
+  }
 
   // Services + loads.
   std::vector<std::unique_ptr<sim::DiscardService>> discards;
@@ -288,6 +338,38 @@ int main(int argc, char** argv) {
     std::printf("# path %s <-> %s: %s (oldest sample %.1fs)\n", from.c_str(),
                 to.c_str(), mon::freshness_name(usage.freshness),
                 to_seconds(usage.max_sample_age));
+  }
+
+  // History dump: per-pair windowed summary of available bandwidth over
+  // the whole run, answered from the bounded multi-resolution store, plus
+  // the Holt trend over the final minute.
+  const SimTime run_end = simulator.now();
+  std::printf("# history store: %zu series, %zu bytes (bounded)\n",
+              monitor.history().series_count(),
+              monitor.history().footprint_bytes());
+  for (const auto& [from, to] : pairs) {
+    const std::string key = hist::path_series_key(from, to, "avail");
+    const hist::WindowSummary window =
+        monitor.history().query(key, 0, run_end);
+    if (window.samples == 0) continue;
+    const TimeSeries& avail = monitor.available_series(from, to);
+    const SimTime trend_begin =
+        run_end > seconds(60) ? run_end - seconds(60) : 0;
+    const double trend = to_kilobytes_per_second(
+        hist::holt_trend_per_second(avail, trend_begin, run_end));
+    std::printf("# history %s <-> %s: avail min %.0f mean %.0f max %.0f "
+                "p95 %.0f KB/s over %zu samples (res %.0fs), trend "
+                "%+.1f KB/s per s\n",
+                from.c_str(), to.c_str(),
+                to_kilobytes_per_second(window.min),
+                to_kilobytes_per_second(window.mean),
+                to_kilobytes_per_second(window.max),
+                to_kilobytes_per_second(window.p95), window.samples,
+                to_seconds(window.resolution), trend);
+  }
+  if (predictive != nullptr) {
+    std::printf("# predictive: %zu early warnings, %zu events total\n",
+                predictive->warning_count(), predictive->events().size());
   }
 
   const auto& stats = monitor.stats();

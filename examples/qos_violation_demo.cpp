@@ -2,13 +2,15 @@
 //
 // The qos block of the specification file demands 4 Mbps available on
 // S1 <-> N1 (a path through the 10 Mbps hub). A growing load squeezes the
-// hub until the requirement breaks; the detector raises a violation with
+// hub until the requirement breaks; the predictive detector forecasts the
+// crossing ahead of time, the reactive detector raises the violation with
 // the bottleneck diagnosis, the RM layer issues a recommendation, and
 // when the load is shed the path recovers.
 #include <cstdio>
 
 #include "experiments/lirtss.h"
 #include "monitor/qos.h"
+#include "monitor/report.h"
 #include "rm/manager.h"
 
 using namespace netqos;
@@ -17,13 +19,24 @@ int main() {
   exp::LirtssTestbed bed;
 
   mon::ViolationDetector detector(bed.monitor());
+  mon::PredictiveDetector predictive(bed.monitor());
   for (const auto& req : bed.specfile().qos) {
     std::printf("QoS requirement: %s <-> %s needs %s available\n",
                 req.from.c_str(), req.to.c_str(),
                 format_bandwidth(req.min_available_bps).c_str());
     detector.add_requirement(req.from, req.to,
                              to_bytes_per_second(req.min_available_bps));
+    predictive.add_requirement(req.from, req.to,
+                               to_bytes_per_second(req.min_available_bps));
   }
+  predictive.add_event_callback([](const mon::PredictiveEvent& event) {
+    if (event.kind != mon::PredictiveEvent::Kind::kEarlyWarning) return;
+    std::printf("t=%5.1fs  [QoS] EARLY WARNING on %s <-> %s (available "
+                "%.0f KB/s, forecast %.0f KB/s)\n",
+                to_seconds(event.time), event.path.first.c_str(),
+                event.path.second.c_str(), event.available / 1000.0,
+                event.forecast / 1000.0);
+  });
 
   rm::ResourceManager manager(bed.monitor(), detector);
   manager.set_recommendation_callback([](const rm::Recommendation& rec) {
@@ -53,9 +66,66 @@ int main() {
   std::printf("\nrunning 120 simulated seconds...\n\n");
   bed.run_until(seconds(120));
 
-  std::printf("\nsummary: %zu QoS events, %zu RM recommendations, "
-              "%zu active violations at end\n",
-              detector.events().size(), manager.recommendations().size(),
-              manager.active_violations());
+  // Predicted-vs-actual: pair each early warning with the first reactive
+  // violation on the same path after it, and report the lead time the
+  // forecast bought the resource manager.
+  for (const auto& warning : predictive.events()) {
+    if (warning.kind != mon::PredictiveEvent::Kind::kEarlyWarning) continue;
+    const mon::QosEvent* actual = nullptr;
+    for (const auto& event : detector.events()) {
+      if (event.kind != mon::QosEvent::Kind::kViolation) continue;
+      if (event.time < warning.time) continue;
+      if ((event.path.first == warning.path.first &&
+           event.path.second == warning.path.second) ||
+          (event.path.first == warning.path.second &&
+           event.path.second == warning.path.first)) {
+        actual = &event;
+        break;
+      }
+    }
+    if (actual != nullptr) {
+      std::printf("\npredicted vs actual on %s <-> %s: warned t=%.1fs, "
+                  "violated t=%.1fs — %.1fs of lead time\n",
+                  warning.path.first.c_str(), warning.path.second.c_str(),
+                  to_seconds(warning.time), to_seconds(actual->time),
+                  to_seconds(actual->time - warning.time));
+    } else {
+      std::printf("\npredicted violation on %s <-> %s at t=%.1fs never "
+                  "materialized (trend flattened in time)\n",
+                  warning.path.first.c_str(), warning.path.second.c_str(),
+                  to_seconds(warning.time));
+    }
+  }
+
+  // Per-step window analysis of the measured load, trend column included:
+  // ~0 on the flat steps, positive while the staircase climbs.
+  const TimeSeries& measured = bed.monitor().used_series("S1", "N1");
+  std::printf("\nwindow analysis of measured S1 <-> N1 load:\n");
+  std::printf("%12s %10s %12s %16s\n", "window", "gen_KBps", "meas_KBps",
+              "trend_KBps_per_s");
+  struct Window {
+    double generated_kb;
+    SimTime begin, end;
+  };
+  const Window windows[] = {
+      {200, seconds(10), seconds(30)},
+      {500, seconds(30), seconds(50)},
+      {800, seconds(50), seconds(70)},
+      {1000, seconds(70), seconds(90)},
+      {0, seconds(90), seconds(120)},
+  };
+  for (const Window& w : windows) {
+    const auto row = mon::analyze_window(
+        measured, w.begin, w.end, kilobytes_per_second(w.generated_kb),
+        /*background=*/0.0, /*settle=*/seconds(4));
+    std::printf("%5.0f-%5.0fs %10.0f %12.1f %+15.2f\n", to_seconds(w.begin),
+                to_seconds(w.end), w.generated_kb, row.measured_kbps,
+                row.trend_kbps_per_s);
+  }
+
+  std::printf("\nsummary: %zu QoS events, %zu early warnings, "
+              "%zu RM recommendations, %zu active violations at end\n",
+              detector.events().size(), predictive.warning_count(),
+              manager.recommendations().size(), manager.active_violations());
   return 0;
 }

@@ -37,6 +37,7 @@ LirtssTestbed::LirtssTestbed(TestbedOptions options)
 
   mon::MonitorConfig mc;
   mc.poll_interval = options.poll_interval;
+  mc.retention = options.retention;
   mc.metrics = options.metrics;
   mc.spans = options.spans;
   monitor_ = std::make_unique<mon::NetworkMonitor>(

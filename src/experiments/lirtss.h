@@ -33,6 +33,9 @@ struct TestbedOptions {
   /// Refresh-latency jitter of the agent cache (paper spike magnitude).
   SimDuration agent_refresh_jitter = 120 * kMillisecond;
   SimDuration poll_interval = 2 * kSecond;
+  /// Retention policy for the monitor's history store (and its own
+  /// StatsDb's per-interface store).
+  hist::RetentionPolicy retention;
   /// Name of the host the monitor runs on (the paper uses L).
   std::string monitor_host = "L";
   /// Optional shared telemetry. When `metrics` is set, the simulator,

@@ -1,0 +1,82 @@
+#include "history/forecast.h"
+
+#include <stdexcept>
+
+namespace netqos::hist {
+
+EwmaEstimator::EwmaEstimator(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("EWMA alpha must be in (0, 1]");
+  }
+}
+
+void EwmaEstimator::observe(double v) {
+  value_ = samples_ == 0 ? v : alpha_ * v + (1.0 - alpha_) * value_;
+  ++samples_;
+}
+
+void EwmaEstimator::reset() {
+  value_ = 0.0;
+  samples_ = 0;
+}
+
+HoltForecaster::HoltForecaster() : HoltForecaster(Config{}) {}
+
+HoltForecaster::HoltForecaster(Config config) : config_(config) {
+  if (config.alpha <= 0.0 || config.alpha > 1.0 || config.beta <= 0.0 ||
+      config.beta > 1.0) {
+    throw std::invalid_argument("Holt alpha/beta must be in (0, 1]");
+  }
+}
+
+void HoltForecaster::observe(SimTime t, double v) {
+  if (samples_ == 0) {
+    level_ = v;
+    trend_ = 0.0;
+    last_time_ = t;
+    samples_ = 1;
+    return;
+  }
+  if (t <= last_time_) return;
+  const double dt = to_seconds(t - last_time_);
+  const double previous_level = level_;
+  level_ = config_.alpha * v +
+           (1.0 - config_.alpha) * (level_ + trend_ * dt);
+  trend_ = config_.beta * ((level_ - previous_level) / dt) +
+           (1.0 - config_.beta) * trend_;
+  last_time_ = t;
+  ++samples_;
+}
+
+double HoltForecaster::forecast_after(SimDuration ahead) const {
+  return level_ + trend_ * to_seconds(ahead);
+}
+
+std::optional<SimDuration> HoltForecaster::time_until_below(
+    double threshold) const {
+  if (samples_ == 0) return std::nullopt;
+  if (level_ < threshold) return SimDuration{0};
+  if (trend_ >= 0.0) return std::nullopt;
+  const double seconds_until = (level_ - threshold) / -trend_;
+  return from_seconds(seconds_until);
+}
+
+void HoltForecaster::reset() {
+  level_ = 0.0;
+  trend_ = 0.0;
+  last_time_ = 0;
+  samples_ = 0;
+}
+
+double holt_trend_per_second(const TimeSeries& series, SimTime begin,
+                             SimTime end, HoltForecaster::Config config) {
+  HoltForecaster holt(config);
+  for (const TimePoint& point : series.points()) {
+    if (point.time >= begin && point.time < end) {
+      holt.observe(point.time, point.value);
+    }
+  }
+  return holt.samples() >= 2 ? holt.trend_per_second() : 0.0;
+}
+
+}  // namespace netqos::hist

@@ -1,0 +1,83 @@
+// Bandwidth forecasting: EWMA smoothing and Holt linear trend.
+//
+// Single-sample available-bandwidth numbers are noisy (Ait Ali et al.,
+// "End-to-End Available Bandwidth Measurement Tools"); smoothing makes
+// them usable, and a linear trend over the smoothed level lets the
+// monitor warn *before* a path's availability crosses a QoS requirement
+// instead of after. Both estimators are streaming and O(1) per sample,
+// time-aware for the monitor's (mostly, not exactly) regular poll
+// cadence. All time handling is SimTime — no wall clocks (lint R4).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/stats.h"
+
+namespace netqos::hist {
+
+/// Exponentially weighted moving average over sample values.
+class EwmaEstimator {
+ public:
+  explicit EwmaEstimator(double alpha = 0.3);
+
+  void observe(double v);
+  double value() const { return value_; }
+  std::size_t samples() const { return samples_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+/// Holt's linear (double-exponential) smoothing with irregular-interval
+/// support: the trend state is per *second* of simulated time, so a late
+/// or re-probed sample does not bend the slope.
+class HoltForecaster {
+ public:
+  struct Config {
+    double alpha = 0.5;  ///< level smoothing factor in (0, 1]
+    double beta = 0.3;   ///< trend smoothing factor in (0, 1]
+  };
+
+  HoltForecaster();
+  explicit HoltForecaster(Config config);
+
+  /// Samples with t <= the previous observation are ignored (a duplicate
+  /// or reordered poll carries no slope information).
+  void observe(SimTime t, double v);
+
+  std::size_t samples() const { return samples_; }
+  double level() const { return level_; }
+  /// Smoothed slope in value units per second of simulated time.
+  double trend_per_second() const { return trend_; }
+
+  /// Forecast value `ahead` simulated time after the last observation.
+  double forecast_after(SimDuration ahead) const;
+
+  /// Time until the linear forecast first drops below `threshold`:
+  /// 0 when the level is already below it, nullopt when the trend is flat
+  /// or rising (no predicted crossing).
+  std::optional<SimDuration> time_until_below(double threshold) const;
+
+  void reset();
+
+ private:
+  Config config_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  SimTime last_time_ = 0;
+  std::size_t samples_ = 0;
+};
+
+/// Holt trend (value units per second) fitted over the samples of a
+/// TimeSeries window [begin, end). 0 when fewer than two samples fall in
+/// the window. This is the estimator analyze_window's trend column and
+/// the PredictiveDetector share.
+double holt_trend_per_second(const TimeSeries& series, SimTime begin,
+                             SimTime end,
+                             HoltForecaster::Config config = {});
+
+}  // namespace netqos::hist

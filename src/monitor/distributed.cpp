@@ -7,7 +7,8 @@ namespace netqos::mon {
 DistributedMonitor::DistributedMonitor(sim::Simulator& sim,
                                        const topo::NetworkTopology& topo,
                                        std::vector<sim::Host*> stations,
-                                       MonitorConfig base) {
+                                       MonitorConfig base)
+    : db_(base.retention) {
   if (stations.empty()) {
     throw std::invalid_argument("distributed monitor needs >= 1 station");
   }

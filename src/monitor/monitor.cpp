@@ -51,9 +51,12 @@ NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
               client_config_with_metrics(config_.client, metrics_)),
       walker_(client_),
       calculator_(topo, plan_),
-      db_(&own_db_) {
+      own_db_(config_.retention),
+      db_(&own_db_),
+      history_(config_.retention) {
   init_metrics(station_label_);
   own_db_.attach_metrics(*metrics_);
+  history_.attach_metrics(*metrics_, "paths");
   select_agents();
   init_scheduler();
 }
@@ -76,10 +79,13 @@ NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
               client_config_with_metrics(config_.client, metrics_)),
       walker_(client_),
       calculator_(topo, plan_),
-      db_(&shared_db) {
+      own_db_(config_.retention),
+      db_(&shared_db),
+      history_(config_.retention) {
   // The shared db is not attached here: its owner (e.g. the distributed
   // coordinator) decides which registry exports it.
   init_metrics(station_label_);
+  history_.attach_metrics(*metrics_, "paths");
   select_agents();
   init_scheduler();
 }
@@ -562,7 +568,8 @@ void NetworkMonitor::finish_round(const std::shared_ptr<Round>& round) {
   for (std::size_t ci : touched) {
     const ConnectionUsage usage = calculator_.connection_usage(ci, *db_);
     if (usage.measured) {
-      connection_series_[ci].add(round->started, usage.used);
+      history_.append(hist::connection_series_key(ci), round->started,
+                      usage.used);
     }
   }
 
@@ -586,18 +593,33 @@ void NetworkMonitor::finish_round(const std::shared_ptr<Round>& round) {
     }
     if (!usage.complete) continue;  // first round has no rates yet
 
-    entry.used.add(round->started, usage.used_at_bottleneck);
-    entry.available.add(round->started, usage.available);
+    history_.append(
+        hist::path_series_key(entry.key.first, entry.key.second, "used"),
+        round->started, usage.used_at_bottleneck);
+    history_.append(
+        hist::path_series_key(entry.key.first, entry.key.second, "avail"),
+        round->started, usage.available);
     for (const auto& callback : sample_callbacks_) {
       callback(entry.key, round->started, usage);
     }
   }
 }
 
+const TimeSeries& NetworkMonitor::materialized_series(
+    const std::string& key) const {
+  TimeSeries& scratch = series_scratch_[key];
+  scratch = TimeSeries();
+  if (const hist::Series* series = history_.find(key)) {
+    series->materialize_raw(scratch);
+  }
+  return scratch;
+}
+
 const TimeSeries* NetworkMonitor::connection_used_series(
     std::size_t connection) const {
-  auto it = connection_series_.find(connection);
-  return it == connection_series_.end() ? nullptr : &it->second;
+  const std::string key = hist::connection_series_key(connection);
+  if (history_.find(key) == nullptr) return nullptr;
+  return &materialized_series(key);
 }
 
 const NetworkMonitor::MonitoredPath& NetworkMonitor::find_path_entry(
@@ -613,12 +635,16 @@ const NetworkMonitor::MonitoredPath& NetworkMonitor::find_path_entry(
 
 const TimeSeries& NetworkMonitor::used_series(const std::string& from,
                                               const std::string& to) const {
-  return find_path_entry(from, to).used;
+  const MonitoredPath& entry = find_path_entry(from, to);
+  return materialized_series(
+      hist::path_series_key(entry.key.first, entry.key.second, "used"));
 }
 
 const TimeSeries& NetworkMonitor::available_series(
     const std::string& from, const std::string& to) const {
-  return find_path_entry(from, to).available;
+  const MonitoredPath& entry = find_path_entry(from, to);
+  return materialized_series(
+      hist::path_series_key(entry.key.first, entry.key.second, "avail"));
 }
 
 PathUsage NetworkMonitor::current_usage(const std::string& from,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "history/store.h"
 #include "monitor/bandwidth.h"
 #include "monitor/failure.h"
 #include "monitor/plan.h"
@@ -55,6 +56,11 @@ struct MonitorConfig {
   /// Sample age beyond which a path report is flagged stale.
   /// 0 = 3 * poll_interval.
   SimDuration stale_after = 0;
+  /// Multi-resolution retention for all history the monitor keeps (path
+  /// used/available, per-connection usage, and — via its own StatsDb —
+  /// per-interface rates). Memory is bounded by these ring capacities
+  /// regardless of run length.
+  hist::RetentionPolicy retention;
 };
 
 /// Snapshot of the monitor's health counters, assembled from the metrics
@@ -115,12 +121,22 @@ class NetworkMonitor {
   }
 
   /// Bytes/sec used at the path bottleneck over time (the paper's
-  /// "measured bandwidth usage" curves).
+  /// "measured bandwidth usage" curves), materialized from the bounded
+  /// history store's raw ring: a snapshot as of this call (re-fetch after
+  /// advancing the simulation) holding at most the retention policy's raw
+  /// capacity of samples. The reference stays valid until the next call
+  /// for the same path.
   const TimeSeries& used_series(const std::string& from,
                                 const std::string& to) const;
-  /// Bytes/sec available (min over connections) over time.
+  /// Bytes/sec available (min over connections) over time; same
+  /// materialized-snapshot semantics as used_series.
   const TimeSeries& available_series(const std::string& from,
                                      const std::string& to) const;
+
+  /// The bounded multi-resolution store backing all path and connection
+  /// history. Windowed min/mean/max/p95 queries go through here, keyed by
+  /// hist::path_series_key / hist::connection_series_key.
+  const hist::HistoryStore& history() const { return history_; }
 
   /// Current usage snapshot for a monitored path.
   PathUsage current_usage(const std::string& from,
@@ -147,7 +163,8 @@ class NetworkMonitor {
   void apply_external_quarantine(const std::string& node, bool quarantined);
 
   /// Per-connection usage history (bytes/sec used) for connections on
-  /// monitored paths. Returns nullptr before the first completed round
+  /// monitored paths, materialized from the bounded store like
+  /// used_series. Returns nullptr before the first completed round
   /// touching that connection.
   const TimeSeries* connection_used_series(std::size_t connection) const;
 
@@ -176,8 +193,6 @@ class NetworkMonitor {
   struct MonitoredPath {
     PathKey key;
     topo::Path path;
-    TimeSeries used;
-    TimeSeries available;
   };
 
   struct Round {
@@ -210,6 +225,9 @@ class NetworkMonitor {
   const AgentTask* task_for(const std::string& node) const;
   const MonitoredPath& find_path_entry(const std::string& from,
                                        const std::string& to) const;
+  /// Materializes a store series into the named scratch slot, returning a
+  /// reference that lives until the next materialization of that slot.
+  const TimeSeries& materialized_series(const std::string& key) const;
 
   sim::Simulator& sim_;
   const topo::NetworkTopology& topo_;
@@ -260,7 +278,11 @@ class NetworkMonitor {
   std::vector<StopCallback> stop_callbacks_;
   std::vector<QuarantineCallback> quarantine_callbacks_;
   const FailureDetector* failure_detector_ = nullptr;
-  std::map<std::size_t, TimeSeries> connection_series_;
+  /// Bounded path/connection history (per-interface rates live in the
+  /// StatsDb's own store).
+  hist::HistoryStore history_;
+  /// Scratch for the materialized TimeSeries views over store rings.
+  mutable std::map<std::string, TimeSeries> series_scratch_;
 };
 
 }  // namespace netqos::mon

@@ -71,4 +71,148 @@ bool ViolationDetector::in_violation(const std::string& from,
   return false;
 }
 
+namespace {
+
+bool unordered_pair_equal(const PathKey& a, const PathKey& b) {
+  return (a.first == b.first && a.second == b.second) ||
+         (a.first == b.second && a.second == b.first);
+}
+
+}  // namespace
+
+PredictiveDetector::PredictiveDetector(NetworkMonitor& monitor,
+                                       PredictiveConfig config)
+    : monitor_(monitor), config_(config) {
+  monitor_.add_sample_callback(
+      [this](const PathKey& key, SimTime time, const PathUsage& usage) {
+        on_sample(key, time, usage);
+      });
+}
+
+void PredictiveDetector::add_requirement(const std::string& from,
+                                         const std::string& to,
+                                         BytesPerSecond min_available) {
+  try {
+    monitor_.path_of(from, to);
+  } catch (const std::out_of_range&) {
+    monitor_.add_path(from, to);
+  }
+  Requirement req;
+  req.key = {from, to};
+  req.min_available = min_available;
+  req.forecaster = hist::HoltForecaster(config_.smoothing);
+  requirements_.push_back(std::move(req));
+}
+
+void PredictiveDetector::on_sample(const PathKey& key, SimTime time,
+                                   const PathUsage& usage) {
+  observe(key, time, usage.available);
+}
+
+void PredictiveDetector::observe(const PathKey& key, SimTime time,
+                                 BytesPerSecond available) {
+  for (Requirement& req : requirements_) {
+    if (!unordered_pair_equal(req.key, key)) continue;
+
+    req.forecaster.observe(time, available);
+    // Raw slope across the confirm window (value change per second from
+    // the sample `confirm_rounds` polls back to now), evaluated before
+    // the window slides. No window yet -> 0, which suppresses breaches.
+    double window_slope = 0.0;
+    if (req.recent.size() >=
+        static_cast<std::size_t>(config_.confirm_rounds)) {
+      const TimePoint& oldest =
+          req.recent[req.recent.size() -
+                     static_cast<std::size_t>(config_.confirm_rounds)];
+      const double dt = to_seconds(time - oldest.time);
+      if (dt > 0.0) window_slope = (available - oldest.value) / dt;
+    }
+    req.recent.push_back({time, available});
+    if (req.recent.size() >
+        static_cast<std::size_t>(config_.confirm_rounds)) {
+      req.recent.erase(req.recent.begin());
+    }
+
+    const bool below_now = available < req.min_available;
+    if (below_now) {
+      // The reactive detector owns the incident from the moment the
+      // violation is real; the warning retires without an all-clear.
+      req.violated = true;
+      req.warning = false;
+      req.breach_streak = 0;
+      continue;
+    }
+    if (req.violated) {
+      // Re-arm once the path has genuinely recovered above the margin.
+      if (available >= req.min_available * (1.0 + config_.clear_margin)) {
+        req.violated = false;
+        req.forecaster.reset();
+        req.forecaster.observe(time, available);
+        req.recent.clear();
+        req.recent.push_back({time, available});
+      }
+      continue;
+    }
+    if (req.forecaster.samples() < config_.min_samples) continue;
+
+    // Project from the *measured* value with the least pessimistic of
+    // the smoothed Holt trend and the raw confirm-window slope. The Holt
+    // level and trend both lag a sharp step-down and keep predicting a
+    // crossing after the decline has stopped; the window slope collapses
+    // to ~0 as soon as the measurements flatten, so only a sustained
+    // decline breaches for confirm_rounds in a row.
+    const double trend =
+        std::max(req.forecaster.trend_per_second(), window_slope);
+    const double forecast = available + trend * to_seconds(config_.horizon);
+    const bool breach = forecast < req.min_available && trend < 0.0;
+
+    if (!req.warning) {
+      req.breach_streak = breach ? req.breach_streak + 1 : 0;
+      if (req.breach_streak >= config_.confirm_rounds) {
+        req.warning = true;
+        req.breach_streak = 0;
+        PredictiveEvent event;
+        event.kind = PredictiveEvent::Kind::kEarlyWarning;
+        event.path = req.key;
+        event.time = time;
+        event.available = available;
+        event.forecast = forecast;
+        event.required = req.min_available;
+        event.predicted_in =
+            req.forecaster.time_until_below(req.min_available);
+        events_.push_back(event);
+        for (const auto& callback : callbacks_) callback(events_.back());
+      }
+    } else if (forecast >=
+               req.min_available * (1.0 + config_.clear_margin)) {
+      req.warning = false;
+      PredictiveEvent event;
+      event.kind = PredictiveEvent::Kind::kAllClear;
+      event.path = req.key;
+      event.time = time;
+      event.available = available;
+      event.forecast = forecast;
+      event.required = req.min_available;
+      events_.push_back(event);
+      for (const auto& callback : callbacks_) callback(events_.back());
+    }
+  }
+}
+
+bool PredictiveDetector::warning_active(const std::string& from,
+                                        const std::string& to) const {
+  for (const Requirement& req : requirements_) {
+    if (unordered_pair_equal(req.key, {from, to})) return req.warning;
+  }
+  return false;
+}
+
+std::size_t PredictiveDetector::warning_count() const {
+  std::size_t count = 0;
+  for (const PredictiveEvent& event : events_) {
+    if (event.kind == PredictiveEvent::Kind::kEarlyWarning) ++count;
+  }
+  return count;
+}
+
 }  // namespace netqos::mon

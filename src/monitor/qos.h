@@ -8,9 +8,11 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "history/forecast.h"
 #include "monitor/monitor.h"
 
 namespace netqos::mon {
@@ -68,6 +70,105 @@ class ViolationDetector {
   double recovery_margin_;
   std::vector<Requirement> requirements_;
   std::vector<QosEvent> events_;
+  std::vector<EventCallback> callbacks_;
+};
+
+/// Tuning for the predictive (early-warning) detector.
+struct PredictiveConfig {
+  /// How far ahead the Holt forecast is projected. A warning fires when
+  /// the projected available bandwidth at now + horizon is below the
+  /// requirement (while the current value still satisfies it).
+  SimDuration horizon = 10 * kSecond;
+  hist::HoltForecaster::Config smoothing;
+  /// Samples the forecaster must absorb before any warning — the first
+  /// trend estimates after a cold start are meaningless.
+  std::size_t min_samples = 4;
+  /// Consecutive breach forecasts needed before a warning is emitted.
+  /// The breach forecast projects with the *least pessimistic* of the
+  /// Holt trend and the raw slope over the last `confirm_rounds` samples:
+  /// a genuine ramp keeps both negative, while after a sharp step-down
+  /// the window slope collapses to ~0 within `confirm_rounds` polls even
+  /// though the smoothed Holt trend lingers — so a step that lands above
+  /// the requirement never warns.
+  int confirm_rounds = 3;
+  /// Fractional headroom the forecast must regain before kAllClear.
+  double clear_margin = 0.1;
+};
+
+struct PredictiveEvent {
+  enum class Kind { kEarlyWarning, kAllClear };
+
+  Kind kind = Kind::kEarlyWarning;
+  PathKey path;
+  SimTime time = 0;
+  /// Measured available bandwidth at emission time.
+  BytesPerSecond available = 0.0;
+  /// Holt forecast of available bandwidth at time + horizon.
+  BytesPerSecond forecast = 0.0;
+  BytesPerSecond required = 0.0;
+  /// Predicted time until the requirement is crossed (valid for
+  /// warnings; unset when the trend flattened before the crossing).
+  std::optional<SimDuration> predicted_in;
+};
+
+/// Early-warning QoS detector: feeds each path's available-bandwidth
+/// samples through a Holt linear forecaster and raises kEarlyWarning when
+/// the trend says the requirement will be crossed within `horizon` —
+/// before the reactive ViolationDetector can see the actual violation.
+/// Once the real violation happens the warning state retires silently
+/// (the reactive event owns the incident from there).
+class PredictiveDetector {
+ public:
+  using EventCallback = std::function<void(const PredictiveEvent&)>;
+
+  explicit PredictiveDetector(NetworkMonitor& monitor,
+                              PredictiveConfig config = {});
+
+  /// Registers the path with the monitor if missing, like
+  /// ViolationDetector::add_requirement.
+  void add_requirement(const std::string& from, const std::string& to,
+                       BytesPerSecond min_available);
+
+  void add_event_callback(EventCallback callback) {
+    callbacks_.push_back(std::move(callback));
+  }
+
+  /// Feeds one available-bandwidth sample for a path — the same entry
+  /// point monitor samples arrive through, exposed so stored history can
+  /// be replayed through the forecaster and golden tests can drive
+  /// synthetic step/ramp/steady loads.
+  void observe(const PathKey& key, SimTime time, BytesPerSecond available);
+
+  const std::vector<PredictiveEvent>& events() const { return events_; }
+
+  /// True while an early warning is active (and the requirement has not
+  /// yet actually been violated).
+  bool warning_active(const std::string& from, const std::string& to) const;
+
+  /// Warnings emitted so far (kEarlyWarning events only).
+  std::size_t warning_count() const;
+
+  const PredictiveConfig& config() const { return config_; }
+
+ private:
+  struct Requirement {
+    PathKey key;
+    BytesPerSecond min_available = 0.0;
+    hist::HoltForecaster forecaster;
+    /// Last `confirm_rounds` samples, oldest first — the window the
+    /// raw-slope clamp is computed over.
+    std::vector<TimePoint> recent;
+    int breach_streak = 0;
+    bool warning = false;
+    bool violated = false;  ///< actual violation observed; warning retired
+  };
+
+  void on_sample(const PathKey& key, SimTime time, const PathUsage& usage);
+
+  NetworkMonitor& monitor_;
+  PredictiveConfig config_;
+  std::vector<Requirement> requirements_;
+  std::vector<PredictiveEvent> events_;
   std::vector<EventCallback> callbacks_;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "history/forecast.h"
 
 namespace netqos::mon {
 
@@ -60,6 +61,8 @@ LoadWindowStats analyze_window(const TimeSeries& measured, SimTime begin,
     }
     stats.p95_percent_error = errors.percentile(0.95);
   }
+  stats.trend_kbps_per_s = to_kilobytes_per_second(
+      hist::holt_trend_per_second(measured, effective_begin, end));
   return stats;
 }
 

@@ -36,6 +36,11 @@ struct LoadWindowStats {
   /// a robust companion to max_percent_error, which a single polling
   /// spike dominates.
   double p95_percent_error = 0.0;
+  /// Holt-smoothed slope of the measured series over the window, in KB/s
+  /// per second — ~0 on a well-measured constant-load window; nonzero
+  /// flags drift or contamination. Same estimator the PredictiveDetector
+  /// uses for early warnings.
+  double trend_kbps_per_s = 0.0;
 };
 
 /// Computes a Table 2 row from a measured series over [begin, end), given

@@ -10,6 +10,7 @@ void StatsDb::attach_metrics(obs::MetricsRegistry& registry) {
       "Octet-counter wraps detected between consecutive samples");
   interfaces_gauge_ = &registry.gauge("netqos_statsdb_interfaces",
                                       "Interfaces currently tracked");
+  history_.attach_metrics(registry, "interfaces");
 }
 
 std::optional<RateSample> StatsDb::update(const InterfaceKey& key,
@@ -32,7 +33,11 @@ std::optional<RateSample> StatsDb::update(const InterfaceKey& key,
   entry.has_sample = true;
   if (rates.has_value()) {
     entry.last_rate = rates;
-    entry.total_series.add(when, rates->total_rate());
+    // compute_rates already corrected any Counter32 wrap via modular
+    // arithmetic, so the store receives one honest rate sample — a wrap
+    // must never show up as a spike in downsampled buckets.
+    history_.append(hist::interface_series_key(key.first, key.second), when,
+                    rates->total_rate());
   }
   entry.last_time = when;
   if (when > last_update_) last_update_ = when;
@@ -50,9 +55,13 @@ std::optional<RateSample> StatsDb::latest_rate(
 }
 
 const TimeSeries* StatsDb::total_rate_series(const InterfaceKey& key) const {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
-  return &it->second.total_series;
+  const hist::Series* series =
+      history_.find(hist::interface_series_key(key.first, key.second));
+  if (series == nullptr) return nullptr;
+  TimeSeries& scratch = series_scratch_[key];
+  scratch = TimeSeries();
+  series->materialize_raw(scratch);
+  return &scratch;
 }
 
 std::optional<SimTime> StatsDb::last_update(const InterfaceKey& key) const {

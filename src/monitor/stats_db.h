@@ -1,8 +1,10 @@
 // Interface statistics database.
 //
 // Stores the latest counter sample per (node, interface), computes rates
-// on update (paper §3.1 differencing), and keeps rate history as time
-// series for the experiment figures. Sample ages are tracked
+// on update (paper §3.1 differencing), and streams rate history into a
+// bounded multi-resolution history store (src/history/) — memory is
+// O(interfaces x retention capacity), flat in run length, instead of the
+// old unbounded per-interface TimeSeries vectors. Sample ages are tracked
 // per-interface: a single fresh agent must never mask the staleness of
 // the others, so freshness queries always name the interface.
 #pragma once
@@ -12,6 +14,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "history/store.h"
 #include "monitor/counter_math.h"
 #include "obs/metrics.h"
 
@@ -22,9 +25,14 @@ using InterfaceKey = std::pair<std::string, std::string>;
 
 class StatsDb {
  public:
+  StatsDb() = default;
+  explicit StatsDb(hist::RetentionPolicy retention)
+      : history_(std::move(retention)) {}
+
   /// Registers the db's instruments (sample updates, detected Counter32
-  /// wraps, tracked-interface gauge) in `registry`. Telemetry is off
-  /// until attached; re-attaching moves it to the new registry.
+  /// wraps, tracked-interface gauge) plus the backing history store's in
+  /// `registry`. Telemetry is off until attached; re-attaching moves it
+  /// to the new registry.
   void attach_metrics(obs::MetricsRegistry& registry);
   /// Records a fresh sample taken at monitor-side time `when`. Returns
   /// the rates vs. the previous sample, or nullopt for the first sample
@@ -35,8 +43,17 @@ class StatsDb {
   /// Most recent rates for an interface.
   std::optional<RateSample> latest_rate(const InterfaceKey& key) const;
 
-  /// History of total (in+out) byte rates.
+  /// History of total (in+out) byte rates, materialized from the bounded
+  /// history ring: a snapshot as of this call (re-fetch after advancing
+  /// the simulation), holding at most the retention policy's raw
+  /// capacity. The reference stays valid until the next call for the
+  /// same interface. Nullptr before the interface's first rate.
   const TimeSeries* total_rate_series(const InterfaceKey& key) const;
+
+  /// The bounded store backing all per-interface rate history. Windowed
+  /// min/mean/max/p95 queries go through here (hist::interface_series_key
+  /// names the series).
+  const hist::HistoryStore& history() const { return history_; }
 
   /// Number of interfaces tracked.
   std::size_t size() const { return entries_.size(); }
@@ -62,11 +79,14 @@ class StatsDb {
     CounterSample last_sample;
     SimTime last_time = 0;
     std::optional<RateSample> last_rate;
-    TimeSeries total_series;
   };
 
   std::map<InterfaceKey, Entry> entries_;
+  hist::HistoryStore history_;
   SimTime last_update_ = 0;
+  /// Scratch for total_rate_series(): the materialized snapshot the
+  /// returned reference points into.
+  mutable std::map<InterfaceKey, TimeSeries> series_scratch_;
 
   obs::Counter* updates_ = nullptr;
   obs::Counter* counter_wraps_ = nullptr;

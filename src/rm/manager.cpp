@@ -53,4 +53,31 @@ void ResourceManager::on_event(const mon::QosEvent& event) {
   if (callback_) callback_(recommendations_.back());
 }
 
+void ResourceManager::attach_predictive(mon::PredictiveDetector& predictive) {
+  predictive.add_event_callback([this](const mon::PredictiveEvent& event) {
+    on_predictive_event(event);
+  });
+}
+
+void ResourceManager::on_predictive_event(const mon::PredictiveEvent& event) {
+  if (event.kind != mon::PredictiveEvent::Kind::kEarlyWarning) return;
+  ++proactive_count_;
+
+  Recommendation rec;
+  rec.time = event.time;
+  rec.path = event.path;
+
+  std::string lead = "unknown";
+  if (event.predicted_in.has_value()) {
+    lead = std::to_string(to_seconds(*event.predicted_in)) + " s";
+  }
+  rec.action = "proactive: forecast for " + event.path.first + " <-> " +
+               event.path.second +
+               " crosses the requirement (predicted in " + lead +
+               "); pre-stage load shedding or rerouting now";
+
+  recommendations_.push_back(rec);
+  if (callback_) callback_(recommendations_.back());
+}
+
 }  // namespace netqos::rm

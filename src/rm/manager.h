@@ -33,6 +33,11 @@ class ResourceManager {
   ResourceManager(mon::NetworkMonitor& monitor,
                   mon::ViolationDetector& detector);
 
+  /// Subscribes to a predictive detector: each early warning becomes a
+  /// proactive recommendation (action prefixed "proactive:") so the
+  /// middleware can move load *before* the requirement is violated.
+  void attach_predictive(mon::PredictiveDetector& predictive);
+
   using RecommendationCallback = std::function<void(const Recommendation&)>;
   void set_recommendation_callback(RecommendationCallback callback) {
     callback_ = std::move(callback);
@@ -45,13 +50,19 @@ class ResourceManager {
   /// Number of paths currently in violation.
   std::size_t active_violations() const { return active_violations_; }
 
+  /// Recommendations issued from predictive warnings rather than actual
+  /// violations.
+  std::size_t proactive_recommendations() const { return proactive_count_; }
+
  private:
   void on_event(const mon::QosEvent& event);
+  void on_predictive_event(const mon::PredictiveEvent& event);
 
   mon::NetworkMonitor& monitor_;
   std::vector<Recommendation> recommendations_;
   RecommendationCallback callback_;
   std::size_t active_violations_ = 0;
+  std::size_t proactive_count_ = 0;
 };
 
 }  // namespace netqos::rm

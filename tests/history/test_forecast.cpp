@@ -1,0 +1,117 @@
+#include "history/forecast.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace netqos::hist {
+namespace {
+
+TEST(Ewma, ConvergesToConstantInput) {
+  EwmaEstimator ewma(0.3);
+  EXPECT_EQ(ewma.samples(), 0u);
+  for (int i = 0; i < 50; ++i) ewma.observe(42.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 42.0);
+  // A step is followed with first-order lag.
+  ewma.observe(100.0);
+  EXPECT_NEAR(ewma.value(), 42.0 + 0.3 * (100.0 - 42.0), 1e-9);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(EwmaEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaEstimator(1.5), std::invalid_argument);
+}
+
+TEST(Holt, SteadyInputHasZeroTrend) {
+  HoltForecaster holt;
+  for (int i = 0; i < 40; ++i) holt.observe(seconds(2 * i), 700.0);
+  EXPECT_NEAR(holt.level(), 700.0, 1e-6);
+  EXPECT_NEAR(holt.trend_per_second(), 0.0, 1e-9);
+  EXPECT_NEAR(holt.forecast_after(seconds(10)), 700.0, 1e-6);
+  // Flat trend: no predicted crossing of a lower threshold.
+  EXPECT_FALSE(holt.time_until_below(500.0).has_value());
+  // Already below: the crossing is "now".
+  EXPECT_EQ(holt.time_until_below(800.0), SimDuration{0});
+}
+
+TEST(Holt, RampRecoversSlopeAndCrossingTime) {
+  HoltForecaster holt;
+  // v(t) = 1000 - 10 t: slope -10 per second.
+  for (int i = 0; i < 40; ++i) {
+    const SimTime t = seconds(i);
+    holt.observe(t, 1000.0 - 10.0 * static_cast<double>(i));
+  }
+  EXPECT_NEAR(holt.trend_per_second(), -10.0, 0.5);
+  const double level = holt.level();
+  EXPECT_NEAR(holt.forecast_after(seconds(10)), level - 100.0, 5.0);
+
+  const auto until = holt.time_until_below(level - 200.0);
+  ASSERT_TRUE(until.has_value());
+  EXPECT_NEAR(to_seconds(*until), 20.0, 1.5);
+}
+
+TEST(Holt, StepResponseConvergesToNewLevel) {
+  HoltForecaster holt;
+  int i = 0;
+  for (; i < 20; ++i) holt.observe(seconds(i), 100.0);
+  for (; i < 80; ++i) holt.observe(seconds(i), 400.0);
+  EXPECT_NEAR(holt.level(), 400.0, 1.0);
+  EXPECT_NEAR(holt.trend_per_second(), 0.0, 0.5);
+}
+
+TEST(Holt, IgnoresDuplicateAndReorderedTimestamps) {
+  HoltForecaster holt;
+  holt.observe(seconds(0), 10.0);
+  holt.observe(seconds(2), 20.0);
+  const double level = holt.level();
+  const double trend = holt.trend_per_second();
+  holt.observe(seconds(2), 999.0);  // duplicate time: no slope info
+  holt.observe(seconds(1), 999.0);  // reordered: ignored
+  EXPECT_DOUBLE_EQ(holt.level(), level);
+  EXPECT_DOUBLE_EQ(holt.trend_per_second(), trend);
+  EXPECT_EQ(holt.samples(), 2u);
+}
+
+TEST(Holt, IrregularIntervalsDoNotBendTheSlope) {
+  // Same underlying line sampled regularly vs irregularly must agree on
+  // the recovered trend: the estimator is time-aware, not index-aware.
+  HoltForecaster regular;
+  HoltForecaster irregular;
+  const auto line = [](double t) { return 500.0 - 5.0 * t; };
+  for (int i = 0; i < 60; ++i) {
+    regular.observe(seconds(i), line(static_cast<double>(i)));
+  }
+  double t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    t += (i % 3 == 0) ? 0.5 : 1.25;
+    irregular.observe(from_seconds(t), line(t));
+  }
+  EXPECT_NEAR(regular.trend_per_second(), -5.0, 0.3);
+  EXPECT_NEAR(irregular.trend_per_second(), -5.0, 0.3);
+}
+
+TEST(Holt, RejectsBadConfig) {
+  EXPECT_THROW(HoltForecaster({0.0, 0.3}), std::invalid_argument);
+  EXPECT_THROW(HoltForecaster({0.5, 1.5}), std::invalid_argument);
+}
+
+TEST(HoltTrendPerSecond, WindowedSeriesEstimate) {
+  TimeSeries series;
+  for (int i = 0; i < 50; ++i) {
+    // Flat until t=25, then dropping 8/s.
+    const double v = i < 25 ? 900.0 : 900.0 - 8.0 * (i - 25);
+    series.add(seconds(i), v);
+  }
+  EXPECT_NEAR(holt_trend_per_second(series, seconds(30), seconds(50)), -8.0,
+              0.5);
+  EXPECT_NEAR(holt_trend_per_second(series, seconds(5), seconds(20)), 0.0,
+              1e-9);
+  // Fewer than two samples in the window: no estimate.
+  EXPECT_DOUBLE_EQ(holt_trend_per_second(series, seconds(5), seconds(6)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      holt_trend_per_second(TimeSeries(), seconds(0), seconds(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace netqos::hist

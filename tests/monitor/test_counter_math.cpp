@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "monitor/stats_db.h"
+#include "obs/metrics.h"
+
 namespace netqos::mon {
 namespace {
 
@@ -55,6 +58,46 @@ TEST(ComputeRates, UptimeWrapDuringInterval) {
   ASSERT_TRUE(rates.has_value());
   EXPECT_DOUBLE_EQ(rates->interval_seconds, 1.0);
   EXPECT_DOUBLE_EQ(rates->in_rate, 1000.0);
+}
+
+TEST(StatsDbWrap, WrapProducesOneCorrectedSampleInHistory) {
+  // Regression for the history store: a Counter32 wrap between polls must
+  // land in the store as the modular-corrected rate (0x200 bytes over
+  // 1 s = 512 B/s), never as a ~4 GB/s spike — neither in the raw ring
+  // nor in any downsampled bucket.
+  obs::MetricsRegistry registry;
+  hist::RetentionPolicy policy;
+  policy.raw_capacity = 16;
+  policy.tiers = {{2 * kSecond, 8}};
+  StatsDb db(policy);
+  db.attach_metrics(registry);
+  const InterfaceKey key{"hub0", "eth0"};
+
+  CounterSample before{/*ticks=*/0, /*in=*/0xffffff00u, /*out=*/0, 0, 0};
+  CounterSample after{/*ticks=*/100, /*in=*/0x100u, /*out=*/0, 0, 0};
+  db.update(key, seconds(0), before);
+  db.update(key, seconds(1), after);
+
+  EXPECT_DOUBLE_EQ(
+      registry.counter("netqos_statsdb_counter_wraps_total", "").value(),
+      1.0);
+
+  const hist::Series* series =
+      db.history().find(hist::interface_series_key("hub0", "eth0"));
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->raw().size(), 1u);
+  EXPECT_DOUBLE_EQ(series->raw().newest().last, 512.0);
+  // Every retained bucket, downsampled tiers included, stays at the
+  // corrected rate.
+  for (const hist::RingTier& tier : series->tiers()) {
+    for (std::size_t i = 0; i < tier.size(); ++i) {
+      EXPECT_DOUBLE_EQ(tier.at(i).max, 512.0);
+    }
+  }
+  const hist::WindowSummary window = db.history().query(
+      hist::interface_series_key("hub0", "eth0"), 0, seconds(10));
+  EXPECT_EQ(window.samples, 1u);
+  EXPECT_DOUBLE_EQ(window.max, 512.0);
 }
 
 TEST(ComputeRates, SubSecondInterval) {
