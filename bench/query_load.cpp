@@ -1,0 +1,242 @@
+// Query service under poll load: throughput, latency, and zero poll-path
+// regression.
+//
+// Two phases over the identical fig5-scale scenario (hub pulse loads,
+// both hub paths monitored, spans on):
+//
+//   baseline  no query server, no clients — poll-round durations from
+//             span telemetry are the reference.
+//   loaded    the query server on L plus N concurrent closed-loop clients
+//             spread across the switch hosts, each issuing windowed and
+//             health queries with ~250 ms think time from t=20 s to
+//             t=95 s. Every request and response crosses the simulated
+//             network, competing with the SNMP poll train for L's link.
+//
+// Reports query throughput and RTT p95, and the poll-round p95 delta
+// between phases — the acceptance bar is within 5% of baseline. Emits
+// query_load.jsonl (one JSON object per phase plus a verdict line) for
+// CI artifact upload.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/lirtss.h"
+#include "query/client.h"
+#include "query/engine.h"
+#include "query/server.h"
+
+using namespace netqos;
+
+namespace {
+
+constexpr SimTime kQueryStart = 20 * kSecond;
+constexpr SimTime kQueryEnd = 95 * kSecond;
+constexpr SimTime kRunEnd = 100 * kSecond;
+
+struct PhaseResult {
+  std::size_t clients = 0;
+  std::uint64_t queries_ok = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  double qps = 0.0;            ///< completed queries per simulated second
+  double query_mean_ms = 0.0;  ///< client-observed RTT
+  double query_p95_ms = 0.0;
+  double poll_mean_ms = 0.0;  ///< poll_round span durations
+  double poll_p95_ms = 0.0;
+  std::size_t poll_rounds = 0;
+  query::QueryServerStats server;
+};
+
+double p95(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t index =
+      (values.size() * 95 + 99) / 100 == 0 ? 0 : (values.size() * 95 + 99) / 100 - 1;
+  return values[std::min(index, values.size() - 1)];
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+PhaseResult run_phase(std::size_t n_clients) {
+  obs::MetricsRegistry registry;
+  obs::SpanRecorder spans;
+  exp::TestbedOptions options;
+  options.metrics = &registry;
+  options.spans = &spans;
+  exp::LirtssTestbed bed(options);
+
+  // The fig5 scenario: both hub paths watched, staggered pulse loads.
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(20), seconds(60),
+                                        kilobytes_per_second(200)));
+  bed.add_load("L", "N2",
+               load::RateProfile::pulse(seconds(40), seconds(80),
+                                        kilobytes_per_second(200)));
+  bed.watch("S1", "N1").watch("S1", "N2");
+  sim::Simulator& simulator = bed.simulator();
+
+  std::unique_ptr<query::QueryEngine> engine;
+  std::unique_ptr<query::QueryServer> server;
+
+  struct ClientState {
+    std::unique_ptr<query::QueryClient> client;
+    std::size_t index = 0;
+    std::uint64_t iteration = 0;
+  };
+  std::vector<std::unique_ptr<ClientState>> clients;
+  std::vector<double> rtts_ms;
+  PhaseResult result;
+  result.clients = n_clients;
+
+  std::function<void(ClientState&)> issue = [&](ClientState& state) {
+    auto on_result = [&state, &issue, &simulator,
+                      &result, &rtts_ms](query::QueryResult r) {
+      if (r.ok()) {
+        result.queries_ok++;
+        rtts_ms.push_back(to_seconds(r.rtt) * 1000.0);
+      } else if (r.status == query::QueryResult::Status::kTimeout) {
+        result.timeouts++;
+      } else {
+        result.errors++;
+      }
+      state.iteration++;
+      if (simulator.now() >= kQueryEnd) return;
+      // Deterministic per-client think time around 250 ms, decorrelated
+      // by client index and iteration so the fleet never locks step.
+      const SimDuration think =
+          (200 + ((state.index * 13 + state.iteration * 7) % 11) * 10) *
+          kMillisecond;
+      simulator.schedule_after(think, [&issue, &simulator, &state] {
+        if (simulator.now() < kQueryEnd) issue(state);
+      });
+    };
+    // 2:1 mix of windowed queries (rotating group) to health snapshots.
+    if ((state.index + state.iteration) % 3 == 2) {
+      state.client->health(on_result);
+    } else {
+      query::WindowRequest request;
+      switch ((state.index + state.iteration) % 3) {
+        case 0: request.group = query::GroupBy::kPath; break;
+        case 1: request.group = query::GroupBy::kInterface; break;
+        default: request.group = query::GroupBy::kHost; break;
+      }
+      request.begin = -seconds(20);  // trailing 20 s window
+      state.client->window(request, on_result);
+    }
+  };
+
+  if (n_clients > 0) {
+    engine = std::make_unique<query::QueryEngine>(bed.monitor());
+    server = std::make_unique<query::QueryServer>(simulator, bed.host("L"),
+                                                  *engine);
+    const char* homes[] = {"S2", "S3", "S4", "S5", "S6"};
+    for (std::size_t i = 0; i < n_clients; ++i) {
+      auto state = std::make_unique<ClientState>();
+      state->index = i;
+      state->client = std::make_unique<query::QueryClient>(
+          simulator, bed.host(homes[i % 5]), bed.host("L").ip());
+      ClientState* raw = state.get();
+      clients.push_back(std::move(state));
+      // Staggered starts: one new client every 37 ms.
+      simulator.schedule_at(
+          kQueryStart + static_cast<SimDuration>(i) * 37 * kMillisecond,
+          [&issue, raw] { issue(*raw); });
+    }
+  }
+
+  bed.run_until(kRunEnd);
+
+  std::vector<double> round_ms;
+  for (const obs::Span& span : spans.spans()) {
+    if (span.name == "poll_round" && span.finished()) {
+      round_ms.push_back(to_seconds(span.duration()) * 1000.0);
+    }
+  }
+  result.poll_rounds = round_ms.size();
+  result.poll_mean_ms = mean(round_ms);
+  result.poll_p95_ms = p95(round_ms);
+  result.query_mean_ms = mean(rtts_ms);
+  result.query_p95_ms = p95(rtts_ms);
+  result.qps = static_cast<double>(result.queries_ok) /
+               to_seconds(kQueryEnd - kQueryStart);
+  if (server != nullptr) result.server = server->stats();
+  return result;
+}
+
+void print_phase(const char* label, const PhaseResult& r) {
+  std::printf("%-9s %2zu clients: %5llu ok, %llu timeout, %llu error, "
+              "%6.1f q/s, rtt mean %.2f ms p95 %.2f ms | poll_round "
+              "mean %.2f ms p95 %.2f ms (%zu rounds)\n",
+              label, r.clients,
+              static_cast<unsigned long long>(r.queries_ok),
+              static_cast<unsigned long long>(r.timeouts),
+              static_cast<unsigned long long>(r.errors), r.qps,
+              r.query_mean_ms, r.query_p95_ms, r.poll_mean_ms, r.poll_p95_ms,
+              r.poll_rounds);
+}
+
+void write_phase_json(std::ostream& out, const char* label,
+                      const PhaseResult& r) {
+  out << "{\"phase\":\"" << label << "\",\"clients\":" << r.clients
+      << ",\"queries_ok\":" << r.queries_ok << ",\"timeouts\":" << r.timeouts
+      << ",\"errors\":" << r.errors << ",\"qps\":" << r.qps
+      << ",\"query_mean_ms\":" << r.query_mean_ms
+      << ",\"query_p95_ms\":" << r.query_p95_ms
+      << ",\"poll_mean_ms\":" << r.poll_mean_ms
+      << ",\"poll_p95_ms\":" << r.poll_p95_ms
+      << ",\"poll_rounds\":" << r.poll_rounds
+      << ",\"server_bytes_in\":" << r.server.bytes_received
+      << ",\"server_bytes_out\":" << r.server.bytes_sent << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_clients = 32;
+  if (argc > 1) n_clients = static_cast<std::size_t>(std::atoi(argv[1]));
+
+  std::printf("=== query_load: %zu concurrent clients under fig5 poll "
+              "load ===\n", n_clients);
+
+  const PhaseResult baseline = run_phase(0);
+  print_phase("baseline", baseline);
+  const PhaseResult loaded = run_phase(n_clients);
+  print_phase("loaded", loaded);
+
+  const double regression_pct =
+      baseline.poll_p95_ms > 0.0
+          ? (loaded.poll_p95_ms - baseline.poll_p95_ms) /
+                baseline.poll_p95_ms * 100.0
+          : 0.0;
+  const bool pass = regression_pct <= 5.0;
+  std::printf("poll_round p95 delta: %+.2f%% (bar: +5%%) -> %s\n",
+              regression_pct, pass ? "PASS" : "FAIL");
+  std::printf("server: %llu window, %llu health, %llu bad, %llu B in, "
+              "%llu B out\n",
+              static_cast<unsigned long long>(loaded.server.window_requests),
+              static_cast<unsigned long long>(loaded.server.health_requests),
+              static_cast<unsigned long long>(loaded.server.bad_requests),
+              static_cast<unsigned long long>(loaded.server.bytes_received),
+              static_cast<unsigned long long>(loaded.server.bytes_sent));
+
+  {
+    std::ofstream out("query_load.jsonl");
+    write_phase_json(out, "baseline", baseline);
+    write_phase_json(out, "loaded", loaded);
+    out << "{\"phase\":\"verdict\",\"poll_p95_regression_pct\":"
+        << regression_pct << ",\"pass\":" << (pass ? "true" : "false")
+        << "}\n";
+  }
+  std::printf("artifact: query_load.jsonl\n");
+  return pass ? 0 : 1;
+}

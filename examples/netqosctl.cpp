@@ -1,0 +1,286 @@
+// netqosctl — CLI client for the monitor's query service.
+//
+// Usage:
+//   netqosctl query  [--group if|path|host] [--select STR] [--last SECS]
+//                    [--seconds N]
+//   netqosctl health [--seconds N]
+//   netqosctl watch  [--seconds N]
+//
+// Stands up the LIRTSS testbed with the monitor (and its query server) on
+// host L, issues the command from host S3 over the simulated network, and
+// prints the transcript — the whole query round trip rides the same links
+// as the SNMP poll train.
+//
+//   query   runs fig5-style pulse loads, then asks for windowed
+//           min/mean/max/p95 rows over the trailing window.
+//   health  prints every agent's scheduler state and every monitored
+//           path's current usage/staleness/detector verdict.
+//   watch   subscribes to the event stream and drives a load heavy enough
+//           to violate the S1 <-> N1 requirement, printing violation,
+//           predictive-warning, and recovery events as they are pushed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/lirtss.h"
+#include "monitor/qos.h"
+#include "query/client.h"
+#include "query/engine.h"
+#include "query/server.h"
+
+using namespace netqos;
+
+namespace {
+
+struct Options {
+  std::string command;
+  query::GroupBy group = query::GroupBy::kPath;
+  std::string selector;
+  double last_s = 30;     // trailing window for `query`
+  double seconds = 40;    // simulated run length
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s query [--group if|path|host] [--select STR] "
+               "[--last SECS] [--seconds N]\n"
+               "       %s health [--seconds N]\n"
+               "       %s watch [--seconds N]\n",
+               argv0, argv0, argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  Options options;
+  options.command = argv[1];
+  if (options.command != "query" && options.command != "health" &&
+      options.command != "watch") {
+    usage(argv[0]);
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (++i >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        usage(argv[0]);
+      }
+      return argv[i];
+    };
+    if (arg == "--group") {
+      const std::string group = next("--group");
+      if (group == "if") {
+        options.group = query::GroupBy::kInterface;
+      } else if (group == "path") {
+        options.group = query::GroupBy::kPath;
+      } else if (group == "host") {
+        options.group = query::GroupBy::kHost;
+      } else {
+        std::fprintf(stderr, "unknown group '%s'\n", group.c_str());
+        usage(argv[0]);
+      }
+    } else if (arg == "--select") {
+      options.selector = next("--select");
+    } else if (arg == "--last") {
+      options.last_s = std::atof(next("--last").c_str());
+    } else if (arg == "--seconds") {
+      options.seconds = std::atof(next("--seconds").c_str());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+const char* health_name(std::uint8_t health) {
+  switch (health) {
+    case 0: return "healthy";
+    case 1: return "degraded";
+    case 2: return "quarantined";
+    default: return "?";
+  }
+}
+
+const char* freshness_label(std::uint8_t freshness) {
+  switch (freshness) {
+    case 0: return "unknown";
+    case 1: return "fresh";
+    case 2: return "stale";
+    default: return "?";
+  }
+}
+
+void print_window(const query::WindowResponse& response) {
+  std::printf("window [%.1fs, %.1fs) at t=%.1fs, %zu rows\n",
+              to_seconds(response.begin), to_seconds(response.end),
+              to_seconds(response.server_now), response.rows.size());
+  std::printf("%-28s %8s %9s %9s %9s %9s %6s %s\n", "key", "samples",
+              "min", "mean", "max", "p95", "res", "complete");
+  for (const query::WindowRow& row : response.rows) {
+    std::printf("%-28s %8u %9.1f %9.1f %9.1f %9.1f %5.0fs %s\n",
+                row.key.c_str(), row.samples,
+                to_kilobytes_per_second(row.min),
+                to_kilobytes_per_second(row.mean),
+                to_kilobytes_per_second(row.max),
+                to_kilobytes_per_second(row.p95),
+                to_seconds(row.resolution), row.complete ? "yes" : "no");
+  }
+  std::printf("(rates in KB/s; res 0s = raw samples)\n");
+}
+
+void print_health(const query::HealthResponse& response) {
+  std::printf("health at t=%.1fs\n", to_seconds(response.server_now));
+  std::printf("%-6s %-12s %8s %9s %12s %8s\n", "agent", "state", "polls",
+              "failures", "quarantines", "due");
+  for (const query::AgentHealthRow& agent : response.agents) {
+    std::printf("%-6s %-12s %8llu %9llu %12llu %7.1fs\n",
+                agent.node.c_str(), health_name(agent.health),
+                static_cast<unsigned long long>(agent.polls),
+                static_cast<unsigned long long>(agent.failures),
+                static_cast<unsigned long long>(agent.quarantines),
+                to_seconds(agent.next_due));
+  }
+  std::printf("%-12s %10s %10s %8s %8s %s\n", "path", "used", "avail",
+              "fresh", "age", "flags");
+  for (const query::PathHealthRow& path : response.paths) {
+    std::string flags;
+    if (!path.complete) flags += " incomplete";
+    if (path.link_down) flags += " link-down";
+    if (path.violated) flags += " VIOLATED";
+    if (path.warning) flags += " warning";
+    if (flags.empty()) flags = " ok";
+    std::printf("%-12s %10.1f %10.1f %8s %7.1fs%s\n",
+                (path.from + "<->" + path.to).c_str(),
+                to_kilobytes_per_second(path.used),
+                to_kilobytes_per_second(path.available),
+                freshness_label(path.freshness),
+                to_seconds(path.max_sample_age), flags.c_str());
+  }
+  std::printf("(rates in KB/s)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+
+  exp::TestbedOptions testbed_options;
+  exp::LirtssTestbed testbed(testbed_options);
+  sim::Simulator& simulator = testbed.simulator();
+
+  // Monitor the spec's qos paths and attach both detectors, exactly as
+  // netqosmon --serve does.
+  mon::ViolationDetector detector(testbed.monitor());
+  mon::PredictiveDetector predictive(testbed.monitor());
+  for (const auto& req : testbed.specfile().qos) {
+    testbed.watch(req.from, req.to);
+    detector.add_requirement(req.from, req.to,
+                             to_bytes_per_second(req.min_available_bps));
+    predictive.add_requirement(req.from, req.to,
+                               to_bytes_per_second(req.min_available_bps));
+  }
+
+  query::QueryEngine engine(testbed.monitor());
+  query::QueryServer server(simulator, testbed.host("L"), engine);
+  server.attach(detector);
+  server.attach(predictive);
+  server.attach_agent_events(testbed.monitor());
+
+  // The client lives on S3: its frames cross sw0 to reach L, competing
+  // with the poll train on L's access link.
+  query::QueryClient client(simulator, testbed.host("S3"),
+                            testbed.host("L").ip());
+
+  if (options.command == "watch") {
+    // Subscribe right away, then push the hub segment into violation:
+    // 800 KB/s toward N1 leaves < 500 KB/s available on the 10 Mbps
+    // segment, crossing the S1 <-> N1 requirement; the load ends at 70%
+    // of the run so recovery events arrive too.
+    simulator.schedule_at(seconds(1), [&] {
+      client.subscribe([&simulator](query::QueryResult result) {
+        std::printf("t=%5.1fs subscribed: %s\n", to_seconds(simulator.now()),
+                    result.ok() ? "ok" : result.error.c_str());
+      });
+    });
+    client.set_event_callback([](const query::Event& event) {
+      std::printf("t=%5.1fs %-17s %s%s%s", to_seconds(event.time),
+                  query::event_kind_name(event.kind),
+                  event.subject_a.c_str(),
+                  event.subject_b.empty() ? "" : " <-> ",
+                  event.subject_b.c_str());
+      if (event.required > 0) {
+        std::printf("  (available %.0f KB/s, required %.0f KB/s)",
+                    to_kilobytes_per_second(event.available),
+                    to_kilobytes_per_second(event.required));
+      }
+      std::printf("\n");
+    });
+    testbed.add_load("S2", "N1",
+                     load::RateProfile::pulse(seconds(8),
+                                              from_seconds(options.seconds *
+                                                           0.7),
+                                              800'000.0));
+    testbed.run_until(from_seconds(options.seconds));
+    std::printf("watched %llu events over %.0fs\n",
+                static_cast<unsigned long long>(
+                    client.stats().events_received),
+                options.seconds);
+    return 0;
+  }
+
+  // query / health: drive fig5-style pulses so the history has shape,
+  // run most of the clock out, then issue the request and run the tail
+  // so the response can cross the network.
+  testbed.add_load("S1", "N1",
+                   load::RateProfile::pulse(seconds(5),
+                                            from_seconds(options.seconds *
+                                                         0.6),
+                                            200'000.0));
+  testbed.add_load("S1", "S2",
+                   load::RateProfile::pulse(seconds(10),
+                                            from_seconds(options.seconds *
+                                                         0.8),
+                                            400'000.0));
+
+  bool answered = false;
+  simulator.schedule_at(from_seconds(options.seconds) - seconds(2), [&] {
+    auto print_result = [&](const query::QueryResult& result,
+                            auto&& printer) {
+      answered = true;
+      if (!result.ok()) {
+        std::printf("query failed: %s\n", result.error.empty()
+                                              ? "timeout"
+                                              : result.error.c_str());
+        return;
+      }
+      std::printf("rtt %.2f ms\n", to_seconds(result.rtt) * 1000.0);
+      printer(result.message);
+    };
+    if (options.command == "query") {
+      query::WindowRequest request;
+      request.group = options.group;
+      request.selector = options.selector;
+      request.begin = -from_seconds(options.last_s);
+      client.window(request, [&, print_result](query::QueryResult result) {
+        print_result(result, [](const query::Message& message) {
+          print_window(message.window_response);
+        });
+      });
+    } else {
+      client.health([&, print_result](query::QueryResult result) {
+        print_result(result, [](const query::Message& message) {
+          print_health(message.health_response);
+        });
+      });
+    }
+  });
+  testbed.run_until(from_seconds(options.seconds));
+  if (!answered) {
+    std::fprintf(stderr, "error: no response before the run ended\n");
+    return 1;
+  }
+  return 0;
+}

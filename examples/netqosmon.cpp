@@ -5,7 +5,9 @@
 //             [--backoff-base X] [--backoff-cap MS] [--stagger MS]
 //             [--load SRC DST KBPS START END]...
 //             [--metrics-out FILE] [--trace-out FILE]
+//             [--metrics-jsonl FILE] [--trace-jsonl FILE]
 //             [--history-retention SECS] [--forecast-horizon SECS]
+//             [--serve]
 //
 // Reads a specification file (default: the built-in LIRTSS testbed),
 // builds the simulated network, deploys agents per the spec, registers
@@ -18,6 +20,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,8 @@
 #include "monitor/report.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "query/engine.h"
+#include "query/server.h"
 #include "spec/testbed.h"
 
 using namespace netqos;
@@ -52,8 +57,13 @@ struct Options {
   double stagger_ms = 0;      // per-agent launch phase within a round
   std::string metrics_out;  // Prometheus text exposition, empty = off
   std::string trace_out;    // Chrome trace-event JSONL, empty = off
+  // JSONL snapshots written by the stop-flush sinks (flushed by
+  // monitor.stop(), not by explicit calls after the run).
+  std::string metrics_jsonl;
+  std::string trace_jsonl;
   double history_retention_s = 0;  // raw-span for the history store, 0 = default
   double forecast_horizon_s = 0;   // predictive warnings, 0 = off
+  bool serve = false;  // bind the query service on the station
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -62,7 +72,9 @@ struct Options {
                "[--poll MS] [--backoff-base X] [--backoff-cap MS] "
                "[--stagger MS] [--load SRC DST KBPS START END]... "
                "[--metrics-out FILE] [--trace-out FILE] "
-               "[--history-retention SECS] [--forecast-horizon SECS]\n",
+               "[--metrics-jsonl FILE] [--trace-jsonl FILE] "
+               "[--history-retention SECS] [--forecast-horizon SECS] "
+               "[--serve]\n",
                argv0);
   std::exit(2);
 }
@@ -101,12 +113,18 @@ Options parse_args(int argc, char** argv) {
       options.metrics_out = next("--metrics-out");
     } else if (arg == "--trace-out") {
       options.trace_out = next("--trace-out");
+    } else if (arg == "--metrics-jsonl") {
+      options.metrics_jsonl = next("--metrics-jsonl");
+    } else if (arg == "--trace-jsonl") {
+      options.trace_jsonl = next("--trace-jsonl");
     } else if (arg == "--history-retention") {
       options.history_retention_s =
           std::atof(next("--history-retention").c_str());
     } else if (arg == "--forecast-horizon") {
       options.forecast_horizon_s =
           std::atof(next("--forecast-horizon").c_str());
+    } else if (arg == "--serve") {
+      options.serve = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -182,7 +200,9 @@ int main(int argc, char** argv) {
       from_seconds(options.backoff_cap_ms / 1000.0);
   config.scheduler.stagger = from_seconds(options.stagger_ms / 1000.0);
   config.metrics = &registry;
-  if (!options.trace_out.empty()) config.spans = &spans;
+  if (!options.trace_out.empty() || !options.trace_jsonl.empty()) {
+    config.spans = &spans;
+  }
   if (options.history_retention_s > 0) {
     config.retention = hist::RetentionPolicy::for_span(
         from_seconds(options.history_retention_s), config.poll_interval);
@@ -260,6 +280,23 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Query service: binds the well-known port on the station so external
+  // tooling (netqosctl) can interrogate the monitor over the simulated
+  // network. Without clients it generates no traffic, so results are
+  // identical with or without --serve.
+  std::unique_ptr<query::QueryEngine> engine;
+  std::unique_ptr<query::QueryServer> server;
+  if (options.serve) {
+    engine = std::make_unique<query::QueryEngine>(monitor);
+    server = std::make_unique<query::QueryServer>(simulator, *station,
+                                                  *engine);
+    server->attach(detector);
+    if (predictive != nullptr) server->attach(*predictive);
+    server->attach_agent_events(monitor);
+    std::printf("# query server: %s udp/%u\n", station->name().c_str(),
+                server->port());
+  }
+
   // Services + loads.
   std::vector<std::unique_ptr<sim::DiscardService>> discards;
   std::vector<sim::Host*> hosts;
@@ -292,6 +329,33 @@ int main(int argc, char** argv) {
   }
 
   mon::CsvSink sink(monitor, std::cout);
+
+  // JSONL sinks flush through monitor.stop() — no explicit render below.
+  std::ofstream metrics_jsonl_out;
+  std::ofstream trace_jsonl_out;
+  std::unique_ptr<mon::MetricsJsonlSink> metrics_jsonl_sink;
+  std::unique_ptr<mon::TraceJsonlSink> trace_jsonl_sink;
+  if (!options.metrics_jsonl.empty()) {
+    metrics_jsonl_out.open(options.metrics_jsonl);
+    if (!metrics_jsonl_out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.metrics_jsonl.c_str());
+      return 1;
+    }
+    metrics_jsonl_sink = std::make_unique<mon::MetricsJsonlSink>(
+        monitor, registry, metrics_jsonl_out);
+  }
+  if (!options.trace_jsonl.empty()) {
+    trace_jsonl_out.open(options.trace_jsonl);
+    if (!trace_jsonl_out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.trace_jsonl.c_str());
+      return 1;
+    }
+    trace_jsonl_sink = std::make_unique<mon::TraceJsonlSink>(
+        monitor, spans, trace_jsonl_out);
+  }
+
   monitor.start();
   simulator.run_until(from_seconds(options.seconds_to_run));
   monitor.stop();
@@ -318,6 +382,14 @@ int main(int argc, char** argv) {
     spans.write_jsonl(out);
     std::printf("# wrote %zu spans to %s\n", spans.spans().size(),
                 options.trace_out.c_str());
+  }
+  if (metrics_jsonl_sink) {
+    std::printf("# wrote metrics JSONL to %s (flushed on stop)\n",
+                options.metrics_jsonl.c_str());
+  }
+  if (trace_jsonl_sink) {
+    std::printf("# wrote trace JSONL to %s (flushed on stop)\n",
+                options.trace_jsonl.c_str());
   }
 
   // Per-agent health summary: anything other than a clean healthy state
@@ -370,6 +442,19 @@ int main(int argc, char** argv) {
   if (predictive != nullptr) {
     std::printf("# predictive: %zu early warnings, %zu events total\n",
                 predictive->warning_count(), predictive->events().size());
+  }
+
+  if (server != nullptr) {
+    const query::QueryServerStats qstats = server->stats();
+    std::printf("# query server: %llu window, %llu health, %llu subscribe, "
+                "%llu bad, %llu events pushed, %llu B in, %llu B out\n",
+                static_cast<unsigned long long>(qstats.window_requests),
+                static_cast<unsigned long long>(qstats.health_requests),
+                static_cast<unsigned long long>(qstats.subscribes),
+                static_cast<unsigned long long>(qstats.bad_requests),
+                static_cast<unsigned long long>(qstats.events_published),
+                static_cast<unsigned long long>(qstats.bytes_received),
+                static_cast<unsigned long long>(qstats.bytes_sent));
   }
 
   const auto& stats = monitor.stats();

@@ -658,4 +658,13 @@ const topo::Path& NetworkMonitor::path_of(const std::string& from,
   return find_path_entry(from, to).path;
 }
 
+std::vector<PathKey> NetworkMonitor::monitored_paths() const {
+  std::vector<PathKey> keys;
+  keys.reserve(paths_.size());
+  for (const MonitoredPath& entry : paths_) {
+    keys.push_back(entry.key);
+  }
+  return keys;
+}
+
 }  // namespace netqos::mon

@@ -172,6 +172,10 @@ class NetworkMonitor {
   const topo::Path& path_of(const std::string& from,
                             const std::string& to) const;
 
+  /// Host pairs registered via add_path, in registration order. The query
+  /// engine enumerates these for health snapshots and path grouping.
+  std::vector<PathKey> monitored_paths() const;
+
   const PollPlan& plan() const { return plan_; }
   const StatsDb& stats_db() const { return *db_; }
   /// Per-agent health/backoff state machine driving poll launches.

@@ -32,6 +32,34 @@ CsvSink::CsvSink(NetworkMonitor& monitor, std::ostream& out,
   monitor.add_stop_callback([this] { out_.flush(); });
 }
 
+MetricsJsonlSink::MetricsJsonlSink(NetworkMonitor& monitor,
+                                   obs::MetricsRegistry& registry,
+                                   std::ostream& out)
+    : out_(out) {
+  monitor.add_stop_callback([this, &registry] {
+    registry.render_jsonl(out_);
+    out_.flush();
+    if (out_.bad()) {
+      NETQOS_WARN_C("report")
+          << "metrics JSONL stream failed (badbit); snapshot lost";
+    }
+  });
+}
+
+TraceJsonlSink::TraceJsonlSink(NetworkMonitor& monitor,
+                               const obs::SpanRecorder& spans,
+                               std::ostream& out)
+    : out_(out) {
+  monitor.add_stop_callback([this, &spans] {
+    spans.write_jsonl(out_);
+    out_.flush();
+    if (out_.bad()) {
+      NETQOS_WARN_C("report")
+          << "trace JSONL stream failed (badbit); timeline lost";
+    }
+  });
+}
+
 LoadWindowStats analyze_window(const TimeSeries& measured, SimTime begin,
                                SimTime end, BytesPerSecond generated,
                                BytesPerSecond background,

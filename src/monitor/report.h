@@ -25,6 +25,32 @@ class CsvSink {
   bool warned_bad_stream_ = false;
 };
 
+/// Writes the registry's JSONL snapshot (one object per series) when the
+/// monitor stops, so a run's final metrics land on disk even when the
+/// caller forgets an explicit render — the same stop-flush contract
+/// CsvSink has for sample rows.
+class MetricsJsonlSink {
+ public:
+  /// `registry` and `out` must outlive the monitor's stop.
+  MetricsJsonlSink(NetworkMonitor& monitor, obs::MetricsRegistry& registry,
+                   std::ostream& out);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Writes the span timeline as trace-event JSONL when the monitor stops;
+/// companion to MetricsJsonlSink for the tracing side.
+class TraceJsonlSink {
+ public:
+  /// `spans` and `out` must outlive the monitor's stop.
+  TraceJsonlSink(NetworkMonitor& monitor, const obs::SpanRecorder& spans,
+                 std::ostream& out);
+
+ private:
+  std::ostream& out_;
+};
+
 /// One row of a Table 2 style summary for a constant-load window.
 struct LoadWindowStats {
   double generated_kbps = 0.0;        ///< KB/s, paper's "Generated Load"

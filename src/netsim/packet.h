@@ -34,6 +34,9 @@ inline constexpr std::uint16_t kEchoPort = 7;     // RFC 862
 inline constexpr std::uint16_t kDiscardPort = 9;  // RFC 863 (paper §4.2)
 inline constexpr std::uint16_t kSnmpPort = 161;      // RFC 1157
 inline constexpr std::uint16_t kSnmpTrapPort = 162;  // RFC 1157
+/// Monitor query service (src/query): the wire API over the history
+/// store. Unprivileged and project-assigned, like CoMo's query port.
+inline constexpr std::uint16_t kQueryPort = 9161;
 
 struct UdpDatagram {
   std::uint16_t src_port = 0;

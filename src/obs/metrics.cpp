@@ -41,6 +41,21 @@ std::string escape_label(const std::string& value) {
   return out;
 }
 
+/// HELP-text escaping per the exposition format: backslash and newline
+/// only (quotes stay literal on HELP lines).
+std::string escape_help(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string render_labels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -155,7 +170,7 @@ void MetricsRegistry::collect() {
 void MetricsRegistry::render_prometheus(std::ostream& out) {
   collect();
   for (const auto& [name, fam] : families_) {
-    out << "# HELP " << name << ' ' << fam.help << '\n';
+    out << "# HELP " << name << ' ' << escape_help(fam.help) << '\n';
     out << "# TYPE " << name << ' ' << metric_type_name(fam.type) << '\n';
     for (const auto& [labels, series] : fam.series) {
       switch (fam.type) {

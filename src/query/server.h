@@ -1,0 +1,108 @@
+// The monitor's query service: the wire endpoint over a QueryEngine.
+//
+// Binds the well-known query port on the monitoring station's UDP stack,
+// answers window/health requests, and streams violation / predictive /
+// agent-health events to subscribers — all over the simulated network,
+// so query traffic and the SNMP poll train compete for the station's
+// link like a real deployment. The server instruments itself through the
+// shared MetricsRegistry (per-endpoint request counters, a query-latency
+// histogram fed by each request's sender timestamp, an active-subscriber
+// gauge, and bytes on the wire), making the monitor observable through
+// its own API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.h"
+#include "monitor/qos.h"
+#include "netsim/host.h"
+#include "obs/metrics.h"
+#include "query/engine.h"
+#include "query/proto.h"
+
+namespace netqos::query {
+
+struct QueryServerConfig {
+  std::uint16_t port = sim::kQueryPort;
+  /// Registry for the server's instruments; null = the monitor's own.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Subscription slots; further kSubscribe requests are refused with a
+  /// kError frame so a subscriber flood cannot grow server state.
+  std::size_t max_subscribers = 64;
+};
+
+/// Snapshot of the server's counters (read back from the registry).
+struct QueryServerStats {
+  std::uint64_t window_requests = 0;
+  std::uint64_t health_requests = 0;
+  std::uint64_t subscribes = 0;
+  std::uint64_t unsubscribes = 0;
+  std::uint64_t bad_requests = 0;  ///< undecodable or refused frames
+  std::uint64_t events_published = 0;  ///< event frames sent, all subscribers
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class QueryServer {
+ public:
+  /// Binds config.port on `station`'s UDP stack; throws
+  /// std::runtime_error when the port is taken. The engine, station, and
+  /// registry must outlive the server.
+  QueryServer(sim::Simulator& sim, sim::Host& station, QueryEngine& engine,
+              QueryServerConfig config = {});
+  ~QueryServer();
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Forwards reactive violation/recovery events to subscribers and marks
+  /// the detector for health rows. The detector must outlive the server.
+  void attach(mon::ViolationDetector& detector);
+  /// Forwards predictive warning/all-clear events likewise.
+  void attach(mon::PredictiveDetector& detector);
+  /// Forwards the monitor's quarantine enter/leave transitions as
+  /// agent-health events.
+  void attach_agent_events(mon::NetworkMonitor& monitor);
+
+  /// Publishes an event frame to every subscriber.
+  void publish(const Event& event);
+
+  std::size_t subscriber_count() const { return subscribers_.size(); }
+  QueryServerStats stats() const;
+  std::uint16_t port() const { return config_.port; }
+
+ private:
+  struct Subscriber {
+    sim::Ipv4Address address;
+    std::uint16_t port = 0;
+    bool operator==(const Subscriber&) const = default;
+  };
+
+  void on_packet(const sim::Ipv4Packet& packet);
+  void handle(const Message& request, const sim::Ipv4Packet& packet);
+  void reply(const sim::Ipv4Packet& request, const Message& response);
+  bool send_to(sim::Ipv4Address address, std::uint16_t port,
+               const Message& message);
+  obs::Counter& endpoint_counter(const std::string& endpoint);
+
+  sim::Simulator& sim_;
+  sim::Host& station_;
+  QueryEngine& engine_;
+  QueryServerConfig config_;
+  std::vector<Subscriber> subscribers_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* window_requests_ = nullptr;
+  obs::Counter* health_requests_ = nullptr;
+  obs::Counter* subscribes_ = nullptr;
+  obs::Counter* unsubscribes_ = nullptr;
+  obs::Counter* bad_requests_ = nullptr;
+  obs::Counter* events_published_ = nullptr;
+  obs::Counter* bytes_received_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Gauge* subscriber_gauge_ = nullptr;
+  obs::HistogramMetric* latency_ = nullptr;
+};
+
+}  // namespace netqos::query

@@ -1,0 +1,172 @@
+// Windowed queries interleaved with appends — what the query service
+// does live: every request races the poll loop's appends, so the
+// complete/resolution flags must be honest at every intermediate store
+// state, not just after a settled run. Three regimes are pinned: the
+// initial fill (trailing window reaches before the first sample), the
+// steady state (raw tier covers the window), and post-eviction fallback
+// (coarser tiers answer, or nothing covers the window start at all).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "history/store.h"
+#include "obs/metrics.h"
+
+namespace netqos::hist {
+namespace {
+
+RetentionPolicy small_policy() {
+  RetentionPolicy policy;
+  policy.raw_capacity = 16;
+  policy.tiers = {{8 * kSecond, 16}, {32 * kSecond, 8}};
+  return policy;
+}
+
+constexpr SimDuration kPoll = 2 * kSecond;
+
+TEST(StoreUnderAppend, TrailingWindowHonestDuringInitialFill) {
+  Series series(small_policy());
+  const SimDuration window = 20 * kSecond;
+
+  for (int i = 0; i < 40; ++i) {
+    const SimTime now = seconds(1) + i * kPoll;
+    series.add(now, 100.0 + i);
+
+    const SimTime begin = now - window;
+    const WindowSummary summary = series.query(begin, now + 1);
+
+    // Every appended sample is in the trailing window until eviction
+    // kicks in (raw capacity 16 at one sample per poll).
+    if (i < 10) {
+      EXPECT_EQ(summary.samples, static_cast<std::size_t>(i + 1))
+          << "poll " << i;
+    }
+    if (begin < seconds(1)) {
+      // The window tail is still filling: no tier can prove retention
+      // back to `begin`, so the answer must say so even though zero
+      // samples have been lost.
+      EXPECT_FALSE(summary.complete) << "poll " << i;
+    } else if (i < 16) {
+      // Window fully inside raw retention: raw answers, exactly.
+      EXPECT_TRUE(summary.complete) << "poll " << i;
+      EXPECT_EQ(summary.resolution, 0) << "poll " << i;
+      EXPECT_EQ(summary.max, 100.0 + i);
+    }
+  }
+}
+
+TEST(StoreUnderAppend, ResolutionDegradesThroughTiersAfterEviction) {
+  Series series(small_policy());
+  // 200 polls at 2 s: raw keeps the last 16 samples (32 s), the 8 s tier
+  // the last 16 buckets (128 s), the 32 s tier the last 8 (256 s).
+  SimTime now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now = i * kPoll;
+    series.add(now, static_cast<double>(i));
+  }
+
+  // Recent window: raw still covers it, full precision.
+  WindowSummary recent = series.query(now - 20 * kSecond, now + 1);
+  EXPECT_TRUE(recent.complete);
+  EXPECT_EQ(recent.resolution, 0);
+
+  // Mid-age window: raw evicted its start, the 8 s tier answers.
+  WindowSummary mid = series.query(now - 100 * kSecond, now + 1);
+  EXPECT_TRUE(mid.complete);
+  EXPECT_EQ(mid.resolution, 8 * kSecond);
+
+  // Old window: only the 32 s tier reaches back that far.
+  WindowSummary old = series.query(now - 200 * kSecond, now + 1);
+  EXPECT_TRUE(old.complete);
+  EXPECT_EQ(old.resolution, 32 * kSecond);
+
+  // Ancient window: beyond every tier — answered from the surviving
+  // suffix, flagged incomplete.
+  WindowSummary ancient = series.query(now - 350 * kSecond, now + 1);
+  EXPECT_FALSE(ancient.complete);
+  EXPECT_EQ(ancient.resolution, 32 * kSecond);
+  EXPECT_GT(ancient.samples, 0u);
+
+  // Extremes survive the downsample on every tier that answered.
+  EXPECT_EQ(recent.max, 199.0);
+  EXPECT_EQ(mid.max, 199.0);
+  EXPECT_EQ(old.max, 199.0);
+}
+
+TEST(StoreUnderAppend, CompleteFlagExactAtRetentionBoundary) {
+  Series series(small_policy());
+  SimTime now = 0;
+  for (int i = 0; i < 64; ++i) {
+    now = i * kPoll;
+    series.add(now, 1.0);
+  }
+  const SimTime raw_oldest = *series.raw().oldest_start();
+
+  EXPECT_TRUE(series.query(raw_oldest, now + 1).complete);
+  EXPECT_EQ(series.query(raw_oldest, now + 1).resolution, 0);
+  // One nanosecond earlier and raw can no longer vouch for the window
+  // start; the next tier down takes over.
+  const WindowSummary just_before = series.query(raw_oldest - 1, now + 1);
+  EXPECT_EQ(just_before.resolution, 8 * kSecond);
+  EXPECT_TRUE(just_before.complete);
+}
+
+TEST(StoreUnderAppend, InterleavedQueriesDoNotPerturbTheSeries) {
+  // A reader issuing a query between every append must observe the same
+  // final state as a pure writer — queries are pure reads, and the
+  // store's footprint stays fixed throughout.
+  HistoryStore queried{small_policy()};
+  HistoryStore silent{small_policy()};
+  const std::string key = path_series_key("S1", "N1", "avail");
+
+  const std::size_t footprint_before = queried.footprint_bytes();
+  SimTime now = 0;
+  for (int i = 0; i < 120; ++i) {
+    now = i * kPoll;
+    const double v = 500.0 - (i % 7);
+    queried.append(key, now, v);
+    silent.append(key, now, v);
+    (void)queried.query(key, now - 30 * kSecond, now + 1);
+    (void)queried.query(key, now - 300 * kSecond, now + 1);
+  }
+  EXPECT_GT(queried.footprint_bytes(), footprint_before);  // one new series
+  EXPECT_EQ(queried.footprint_bytes(), silent.footprint_bytes());
+
+  for (SimDuration window : {10 * kSecond, 60 * kSecond, 200 * kSecond}) {
+    const WindowSummary a = queried.query(key, now - window, now + 1);
+    const WindowSummary b = silent.query(key, now - window, now + 1);
+    EXPECT_EQ(a.samples, b.samples) << "window " << to_seconds(window);
+    EXPECT_EQ(a.buckets, b.buckets);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.resolution, b.resolution);
+    EXPECT_EQ(a.complete, b.complete);
+  }
+}
+
+TEST(StoreUnderAppend, QueryCounterTracksInterleavedReads) {
+  obs::MetricsRegistry registry;
+  HistoryStore store{small_policy()};
+  store.attach_metrics(registry, "test");
+  const std::string key = interface_series_key("sw0", "port1");
+
+  for (int i = 0; i < 10; ++i) {
+    store.append(key, i * kPoll, 1.0);
+    (void)store.query(key, 0, i * kPoll + 1);
+  }
+  const obs::Counter* queries =
+      registry.find_counter("netqos_history_queries_total",
+                            {{"store", "test"}});
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->value(), 10u);
+  const obs::Counter* samples =
+      registry.find_counter("netqos_history_samples_total",
+                            {{"store", "test"}});
+  ASSERT_NE(samples, nullptr);
+  EXPECT_EQ(samples->value(), 10u);
+}
+
+}  // namespace
+}  // namespace netqos::hist

@@ -101,6 +101,18 @@ TEST(NetqosLint, R4SimTimePurityFlagsBadFixture) {
   expect_flags("r4_bad.cpp", "R4", 4);
 }
 
+TEST(NetqosLint, R4QueryServiceFlagsWallClockAndEntropy) {
+  // Query-server flavor: wall-clock response stamps, steady_clock
+  // latency, rand() jitter, random_device tokens.
+  expect_flags("r4_query_bad.cpp", "R4", 4);
+}
+
+TEST(NetqosLint, R4QueryServiceAcceptsSimTimeLatency) {
+  // The idiom src/query actually uses: latency = sim now - header
+  // sent_at, deterministic think-time, seeded substream jitter.
+  expect_clean("r4_query_good.cpp");
+}
+
 TEST(NetqosLint, R4SimTimePurityAcceptsGoodFixture) {
   expect_clean("r4_good.cpp");
 }

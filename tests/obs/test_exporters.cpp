@@ -61,6 +61,43 @@ TEST(PrometheusExporter, EscapesLabelValues) {
             std::string::npos);
 }
 
+TEST(PrometheusExporter, EscapesHelpText) {
+  // Backslash and newline must be escaped on HELP lines (quotes stay
+  // literal there, unlike label values) or a multi-line help string
+  // breaks the exposition's line framing.
+  MetricsRegistry registry;
+  registry.counter("netqos_weird_total", "first\nsecond \\ \"q\"").inc();
+  std::ostringstream out;
+  registry.render_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP netqos_weird_total "
+                      "first\\nsecond \\\\ \"q\"\n"),
+            std::string::npos)
+      << text;
+  // Exactly one physical line may start with "# HELP".
+  std::size_t help_lines = 0;
+  for (std::size_t pos = text.find("# HELP"); pos != std::string::npos;
+       pos = text.find("# HELP", pos + 1)) {
+    help_lines++;
+  }
+  EXPECT_EQ(help_lines, 1u);
+}
+
+TEST(PrometheusExporter, LabelAndHelpEscapingDisagreeOnQuotes) {
+  // The same payload goes through both paths: quoted in the label value,
+  // untouched in the help text.
+  MetricsRegistry registry;
+  registry.counter("netqos_mixed_total", "say \"hi\"",
+                   {{"who", "say \"hi\""}}).inc();
+  std::ostringstream out;
+  registry.render_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP netqos_mixed_total say \"hi\"\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("netqos_mixed_total{who=\"say \\\"hi\\\"\"} 1\n"),
+            std::string::npos);
+}
+
 TEST(JsonlExporter, OneObjectPerSeries) {
   MetricsRegistry registry;
   registry.counter("netqos_polls_total", "h", {{"station", "L"}}).inc(5);

@@ -1,0 +1,35 @@
+// Known-bad fixture for R4 (simulated-time purity), query-service
+// flavor: the tempting mistakes when writing a server — stamping
+// responses with the host's wall clock, timing requests with
+// steady_clock, jittering replies with rand(), seeding per-connection
+// state from std::random_device. Each breaks determinism: the same run
+// would answer queries differently twice. Expected findings: at least
+// four [R4].
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+
+namespace netqos::query {
+
+/// Response stamped with the machine's clock instead of sim time.
+std::int64_t response_timestamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+/// "Latency" measured against the host, not the simulation.
+std::int64_t request_latency_ns(std::int64_t started_ns) {
+  return std::chrono::steady_clock::now().time_since_epoch().count() -
+         started_ns;
+}
+
+/// Reply jitter from the global unseeded RNG.
+int reply_jitter_ms() { return rand() % 50; }
+
+/// Per-subscriber token from ambient hardware entropy.
+std::uint32_t subscriber_token() {
+  std::random_device entropy;
+  return entropy();
+}
+
+}  // namespace netqos::query
