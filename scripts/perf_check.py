@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate scale_monitor results against a committed baseline.
+
+Both files are scale_monitor JSONL artifacts (one object per line with
+interfaces / shards / poll_round_p95 / rss_per_interface). Rows are
+matched by (interfaces, shards). The metrics are *simulated* quantities
+from a deterministic discrete-event run, so they are machine-independent;
+the tolerance only absorbs intentional-but-small behaviour drift. A
+current value more than --tolerance above baseline fails; improvements
+are reported and always pass.
+
+Usage:
+  scripts/perf_check.py --baseline bench/baselines/scale_monitor_1k.jsonl \
+      --current artifacts/scale_monitor.jsonl [--tolerance 0.10]
+"""
+import argparse
+import json
+import sys
+
+METRICS = ("poll_round_p95", "rss_per_interface")
+
+
+def load(path):
+    rows = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("bench") != "scale_monitor":
+                continue
+            rows[(row["interfaces"], row["shards"])] = row
+    if not rows:
+        sys.exit(f"error: no scale_monitor rows in {path}")
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative regression (default 0.10)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        if cur_row is None:
+            failures.append(f"{key}: missing from current results")
+            continue
+        for metric in METRICS:
+            base, cur = base_row[metric], cur_row[metric]
+            if base <= 0:
+                continue
+            delta = (cur - base) / base
+            status = "FAIL" if delta > args.tolerance else "ok"
+            print(f"{key} {metric}: baseline {base:.6g} current {cur:.6g} "
+                  f"({delta:+.1%}) {status}")
+            if status == "FAIL":
+                failures.append(f"{key} {metric} regressed {delta:+.1%} "
+                                f"(tolerance {args.tolerance:.0%})")
+
+    if failures:
+        print("\nperf_check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf_check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,15 @@ class BufferUnderflow : public std::runtime_error {
 /// Appends big-endian integers and raw bytes to an owned buffer.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Writes into `buffer`, reusing its heap capacity (contents are
+  /// discarded). Pairs with BufferPool to make encoding allocation-free.
+  explicit ByteWriter(Bytes buffer) : out_(std::move(buffer)) {
+    out_.clear();
+  }
+
+  void reserve(std::size_t n) { out_.reserve(n); }
+
   void put_u8(std::uint8_t v) { out_.push_back(v); }
   void put_u16(std::uint16_t v);
   void put_u32(std::uint32_t v);

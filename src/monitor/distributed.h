@@ -2,24 +2,61 @@
 //
 // A single monitoring station's polling traffic grows with the number of
 // agents; distributing the poller spreads that load. This coordinator
-// partitions the poll plan's agents round-robin across several station
-// hosts. Every station runs its own SNMP client and polls only its
-// partition, but all samples land in one shared StatsDb; the coordinator
-// station evaluates the monitored paths against the merged view, so path
-// results are identical to the centralized monitor's (modulo poll phase).
+// partitions the poll plan's agents across several station hosts — each
+// a poller shard. Every station runs its own SNMP client and polls only
+// its partition, but all samples land in one shared StatsDb; the
+// coordinator station evaluates the monitored paths against the merged
+// view, so path results are identical to the centralized monitor's
+// (modulo poll phase).
+//
+// Two partitioning strategies: round-robin in plan order (the original
+// behaviour, balanced by agent count) and interface-weighted (greedy
+// longest-processing-time by per-agent interface count, balanced by
+// varbind volume — a 48-port spine switch costs a shard 48 interfaces'
+// worth of polling, not one agent's).
+//
+// Ownership handoff (opt-in): each station's own host agent is pinned to
+// the *next* shard, so a station going dark is observed by a healthy
+// peer. When that observer quarantines a station's agent, the dark
+// shard's whole partition is handed off to the least-loaded running
+// shards; when the agent heals, the partition returns home. Handoffs are
+// deferred one simulator event (schedule_after(0)) because the
+// quarantine callback fires from inside the scheduler's record_result,
+// which still holds a pointer into the agent list being edited.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "monitor/monitor.h"
 
 namespace netqos::mon {
 
+enum class PartitionStrategy {
+  kRoundRobin,          ///< plan order, i % shards (balanced by count)
+  kInterfaceWeighted,   ///< greedy LPT by interface count (balanced by load)
+};
+
+struct DistributedConfig {
+  MonitorConfig base;
+  PartitionStrategy partition = PartitionStrategy::kRoundRobin;
+  /// Enable station-failure handoff: pin each station's own agent to the
+  /// next shard and migrate a dark shard's partition to running peers.
+  bool ownership_handoff = false;
+};
+
 class DistributedMonitor {
  public:
   /// `stations` must be non-empty; stations[0] is the coordinator that
-  /// evaluates paths. Agents are assigned round-robin in plan order.
+  /// evaluates paths.
+  DistributedMonitor(sim::Simulator& sim, const topo::NetworkTopology& topo,
+                     std::vector<sim::Host*> stations,
+                     DistributedConfig config);
+
+  /// Round-robin, no handoff — the original interface.
   DistributedMonitor(sim::Simulator& sim, const topo::NetworkTopology& topo,
                      std::vector<sim::Host*> stations,
                      MonitorConfig base = {});
@@ -37,6 +74,12 @@ class DistributedMonitor {
   }
   const StatsDb& stats_db() const { return db_; }
 
+  /// Agents currently owned by shard `s`, in plan order (tracks
+  /// handoffs).
+  std::vector<std::string> shard_agents(std::size_t s) const;
+  /// True while shard `s`'s partition is handed off to its peers.
+  bool shard_dark(std::size_t s) const { return shard_dark_[s]; }
+
   /// Sum of per-worker poll counts (for load-sharing analysis).
   MonitorStats aggregate_stats() const;
 
@@ -46,8 +89,26 @@ class DistributedMonitor {
   }
 
  private:
+  void assign(std::size_t shard, const std::string& node,
+              std::vector<std::vector<std::string>>& partitions,
+              std::vector<std::size_t>& load);
+  void on_quarantine(std::size_t observer, const std::string& node,
+                     bool entered);
+  void handoff_shard(std::size_t dark);
+  void restore_shard(std::size_t home);
+
+  sim::Simulator& sim_;
+  DistributedConfig config_;
   StatsDb db_;
   std::vector<std::unique_ptr<NetworkMonitor>> workers_;
+
+  std::map<std::string, std::size_t> station_shard_;  ///< host name -> shard
+  std::vector<std::string> plan_order_;               ///< agents, plan order
+  std::map<std::string, std::size_t> weight_;   ///< node -> interface count
+  std::map<std::string, std::size_t> home_owner_;
+  std::map<std::string, std::size_t> current_owner_;
+  std::vector<bool> shard_dark_;
+  std::vector<bool> started_;
 };
 
 }  // namespace netqos::mon

@@ -205,10 +205,8 @@ void NetworkMonitor::set_failure_detector(FailureDetector* detector) {
 }
 
 const AgentTask* NetworkMonitor::task_for(const std::string& node) const {
-  for (const AgentTask* task : polled_agents_) {
-    if (task->node == node) return task;
-  }
-  return nullptr;
+  auto it = task_index_.find(node);
+  return it != task_index_.end() ? it->second : nullptr;
 }
 
 void NetworkMonitor::on_link_event(const LinkEvent& event) {
@@ -295,6 +293,54 @@ void NetworkMonitor::select_agents() {
       }
     }
   }
+  for (const AgentTask* task : polled_agents_) {
+    task_index_.emplace(task->node, task);
+  }
+}
+
+bool NetworkMonitor::adopt_agent(const std::string& node) {
+  if (task_index_.count(node) != 0) return false;
+  const AgentTask* adopted = nullptr;
+  for (const AgentTask& task : plan_.agents()) {
+    if (task.node == node) {
+      adopted = &task;
+      break;
+    }
+  }
+  if (adopted == nullptr) return false;
+  polled_agents_.push_back(adopted);
+  task_index_.emplace(node, adopted);
+  scheduler_->add_agent(node);
+  health_gauge(node).set(0.0);
+  backoff_gauge(node).set(0.0);
+  recompute_extra_interfaces();
+  // A first-time adoption still needs its ifIndexes; a re-adoption (or a
+  // pre-start adoption, resolved with everyone else) polls immediately.
+  if (running_ && !has_resolved_indexes(node)) {
+    resolve_queue_.push_back(adopted);
+    pump_resolve_queue();
+  }
+  return true;
+}
+
+bool NetworkMonitor::release_agent(const std::string& node) {
+  auto it = task_index_.find(node);
+  if (it == task_index_.end()) return false;
+  polled_agents_.erase(
+      std::find(polled_agents_.begin(), polled_agents_.end(), it->second));
+  std::erase(resolve_queue_, it->second);
+  task_index_.erase(it);
+  // Keep if_indexes_ (and any table poller): re-adoption then resumes
+  // without a new resolution walk. An in-flight poll's callback finds no
+  // scheduler entry and drops its result on the floor.
+  scheduler_->remove_agent(node);
+  recompute_extra_interfaces();
+  return true;
+}
+
+bool NetworkMonitor::has_resolved_indexes(const std::string& node) const {
+  auto it = if_indexes_.lower_bound({node, std::string()});
+  return it != if_indexes_.end() && it->first.first == node;
 }
 
 void NetworkMonitor::add_path(const std::string& from,
@@ -316,11 +362,16 @@ void NetworkMonitor::start() {
   if (polled_agents_.empty()) {
     throw std::logic_error("no SNMP-capable nodes to poll");
   }
+  // Batch mode also pre-sizes resolution walks from the agent's reported
+  // ifNumber; both wire-traffic changes ride the one opt-in flag.
+  walker_.set_prefetch_if_number(config_.batch_table_polls);
   for (const AgentTask* task : polled_agents_) {
     health_gauge(task->node).set(0.0);
     backoff_gauge(task->node).set(0.0);
   }
-  resolve_next_agent(0);
+  rounds_scheduled_ = false;
+  resolve_queue_.assign(polled_agents_.begin(), polled_agents_.end());
+  pump_resolve_queue();
 }
 
 void NetworkMonitor::stop() {
@@ -333,20 +384,26 @@ void NetworkMonitor::stop() {
   for (const auto& callback : stop_callbacks_) callback();
 }
 
-void NetworkMonitor::resolve_next_agent(std::size_t index) {
-  if (!running_) return;
-  if (index >= polled_agents_.size()) {
-    // All ifIndexes resolved; begin polling (the distributed extension
-    // phases stations apart via start_offset).
-    schedule_round(sim_.now() + config_.scheduler.start_offset);
+void NetworkMonitor::pump_resolve_queue() {
+  if (!running_ || resolving_) return;
+  if (resolve_queue_.empty()) {
+    if (!rounds_scheduled_) {
+      // All ifIndexes resolved; begin polling (the distributed extension
+      // phases stations apart via start_offset).
+      rounds_scheduled_ = true;
+      schedule_round(sim_.now() + config_.scheduler.start_offset);
+    }
     return;
   }
-  const AgentTask& task = *polled_agents_[index];
+  const AgentTask& task = *resolve_queue_.front();
+  resolve_queue_.pop_front();
+  resolving_ = true;
   const snmp::Oid descr_column =
       snmp::mib2::kIfEntry.child(snmp::mib2::kIfDescrColumn);
   walker_.walk(
       task.address, task.community, descr_column,
-      [this, index, &task](snmp::WalkResult result) {
+      [this, &task](snmp::WalkResult result) {
+        resolving_ = false;
         if (!result.ok) {
           resolve_failures_->inc();
           NETQOS_WARN_C("monitor") << "ifTable walk failed on " << task.node
@@ -360,7 +417,7 @@ void NetworkMonitor::resolve_next_agent(std::size_t index) {
             }
           }
         }
-        resolve_next_agent(index + 1);
+        pump_resolve_queue();
       });
 }
 
@@ -419,6 +476,16 @@ void NetworkMonitor::run_round() {
 void NetworkMonitor::poll_agent(const AgentTask& task,
                                 const std::shared_ptr<Round>& round) {
   using snmp::mib2::if_column;
+
+  if (config_.batch_table_polls) {
+    // The poller serves one sweep at a time; an out-of-round re-probe
+    // overlapping a round's sweep falls through to the GET path instead
+    // of being dropped.
+    if (!table_poller_for(task).busy()) {
+      poll_agent_batched(task, round);
+      return;
+    }
+  }
 
   // Static plan interfaces plus any §4.1 fallback ports this agent
   // covers while a host agent is quarantined.
@@ -541,6 +608,130 @@ void NetworkMonitor::poll_agent(const AgentTask& task,
             poll_ok = false;
             if (round != nullptr) round->failed_any = true;
           }
+        }
+        scheduler_->record_result(node, poll_ok, sim_.now());
+        if (const auto* state = scheduler_->find(node)) {
+          backoff_gauge(node).set(
+              static_cast<double>(state->consecutive_failures));
+        }
+        if (round != nullptr && --round->outstanding == 0) {
+          finish_round(round);
+        }
+      });
+}
+
+snmp::TablePoller& NetworkMonitor::table_poller_for(const AgentTask& task) {
+  auto it = table_pollers_.find(task.node);
+  if (it == table_pollers_.end()) {
+    using snmp::mib2::kIfEntry;
+    using snmp::mib2::kIfXEntry;
+    std::vector<snmp::Oid> columns;
+    columns.reserve(6);
+    if (config_.use_hc_counters) {
+      columns.push_back(kIfXEntry.child(snmp::mib2::kIfHCInOctetsColumn));
+      columns.push_back(kIfXEntry.child(snmp::mib2::kIfHCOutOctetsColumn));
+    } else {
+      columns.push_back(kIfEntry.child(snmp::mib2::kIfInOctetsColumn));
+      columns.push_back(kIfEntry.child(snmp::mib2::kIfOutOctetsColumn));
+    }
+    columns.push_back(kIfEntry.child(snmp::mib2::kIfInUcastPktsColumn));
+    columns.push_back(kIfEntry.child(snmp::mib2::kIfOutUcastPktsColumn));
+    columns.push_back(kIfEntry.child(snmp::mib2::kIfInDiscardsColumn));
+    columns.push_back(kIfEntry.child(snmp::mib2::kIfOutDiscardsColumn));
+    it = table_pollers_
+             .emplace(task.node, std::make_unique<snmp::TablePoller>(
+                                     client_, task.address, task.community,
+                                     std::move(columns)))
+             .first;
+  }
+  return *it->second;
+}
+
+void NetworkMonitor::poll_agent_batched(const AgentTask& task,
+                                        const std::shared_ptr<Round>& round) {
+  std::vector<std::string> wanted = task.interfaces;
+  if (auto it = extra_interfaces_.find(task.node);
+      it != extra_interfaces_.end()) {
+    wanted.insert(wanted.end(), it->second.begin(), it->second.end());
+  }
+  // Resolved (ifDescr, ifIndex) targets; the sweep returns whole rows, so
+  // unlike the GET path the request itself does not depend on these.
+  std::vector<std::pair<std::string, std::uint32_t>> targets;
+  targets.reserve(wanted.size());
+  for (const auto& if_name : wanted) {
+    auto it = if_indexes_.find({task.node, if_name});
+    if (it == if_indexes_.end()) continue;
+    targets.emplace_back(if_name, it->second);
+  }
+  if (targets.empty()) {
+    if (round != nullptr && --round->outstanding == 0) finish_round(round);
+    return;
+  }
+
+  const SimTime sample_time = round != nullptr ? round->started : sim_.now();
+
+  agent_polls_->inc();
+  obs::SpanRecorder::SpanId poll_span = 0;
+  const bool has_poll_span = config_.spans != nullptr;
+  if (has_poll_span) {
+    poll_span = config_.spans->begin("poll_agent", "monitor", sim_.now(),
+                                     {{"agent", task.node}});
+  }
+  table_poller_for(task).collect(
+      [this, node = task.node, targets = std::move(targets), round,
+       sample_time, poll_span, has_poll_span](snmp::TableResult table) {
+        if (has_poll_span) config_.spans->end(poll_span, sim_.now());
+        bool poll_ok = table.ok;
+        if (poll_ok) {
+          for (const auto& [if_name, index] : targets) {
+            if (index == 0 || index > table.rows.size() ||
+                !table.complete_row(index - 1, 6)) {
+              poll_ok = false;
+              continue;  // complete rows are still ingested below
+            }
+            const auto& cells = table.rows[index - 1].cells;
+            CounterSample sample;
+            sample.sys_uptime_ticks =
+                static_cast<std::uint32_t>(table.uptime_ticks);
+            sample.high_capacity = config_.use_hc_counters;
+            if (config_.use_hc_counters) {
+              const auto* in_oct = std::get_if<snmp::Counter64>(&cells[0]);
+              const auto* out_oct = std::get_if<snmp::Counter64>(&cells[1]);
+              if (in_oct == nullptr || out_oct == nullptr) {
+                poll_ok = false;
+                continue;
+              }
+              sample.in_octets = in_oct->value;
+              sample.out_octets = out_oct->value;
+            } else {
+              const auto* in_oct = std::get_if<snmp::Counter32>(&cells[0]);
+              const auto* out_oct = std::get_if<snmp::Counter32>(&cells[1]);
+              if (in_oct == nullptr || out_oct == nullptr) {
+                poll_ok = false;
+                continue;
+              }
+              sample.in_octets = in_oct->value;
+              sample.out_octets = out_oct->value;
+            }
+            const auto* in_pkt = std::get_if<snmp::Counter32>(&cells[2]);
+            const auto* out_pkt = std::get_if<snmp::Counter32>(&cells[3]);
+            const auto* in_disc = std::get_if<snmp::Counter32>(&cells[4]);
+            const auto* out_disc = std::get_if<snmp::Counter32>(&cells[5]);
+            if (in_pkt == nullptr || out_pkt == nullptr ||
+                in_disc == nullptr || out_disc == nullptr) {
+              poll_ok = false;
+              continue;
+            }
+            sample.in_packets = in_pkt->value;
+            sample.out_packets = out_pkt->value;
+            sample.in_discards = in_disc->value;
+            sample.out_discards = out_disc->value;
+            db_->update({node, if_name}, sample_time, sample);
+          }
+        }
+        if (!poll_ok) {
+          agent_poll_failures_->inc();
+          if (round != nullptr) round->failed_any = true;
         }
         scheduler_->record_result(node, poll_ok, sim_.now());
         if (const auto* state = scheduler_->find(node)) {

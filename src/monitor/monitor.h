@@ -8,10 +8,12 @@
 // §3.3 hub/switch rules.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
@@ -25,6 +27,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "snmp/client.h"
+#include "snmp/table.h"
 #include "snmp/walker.h"
 #include "topology/path.h"
 
@@ -40,6 +43,13 @@ struct MonitorConfig {
   /// the paper's Counter32 ones — immune to the ~6-minute wrap at
   /// 100 Mbps. Requires agents that serve the ifXTable (ours do).
   bool use_hc_counters = false;
+  /// Batch each agent's poll as one whole-ifTable GETBULK sweep
+  /// (TablePoller) instead of one GET naming every resolved interface.
+  /// O(1) request size per agent, no per-request varbind cap, and the
+  /// interface-resolution walk prefetches ifNumber to pre-size its
+  /// result. Changes wire traffic, so it is opt-in; the default GET path
+  /// reproduces the paper's byte-exact poll exchange.
+  bool batch_table_polls = false;
   /// Registry all monitor telemetry (and, unless overridden via
   /// client.metrics, the SNMP client's) lands in. Null means the monitor
   /// owns a private registry; pass a shared one to export a process-wide
@@ -162,6 +172,16 @@ class NetworkMonitor {
   /// without touching the local scheduler's health state.
   void apply_external_quarantine(const std::string& node, bool quarantined);
 
+  /// Takes over polling an agent mid-run (shard ownership handoff): the
+  /// agent joins this station's scheduler healthy and immediately due,
+  /// and its ifIndexes are resolved on first contact if unknown. Returns
+  /// false when the agent is unknown to the plan or already polled here.
+  bool adopt_agent(const std::string& node);
+  /// Stops polling an agent handed off to another station. Resolved
+  /// ifIndexes are kept so a later re-adoption polls without a new walk.
+  /// Returns false when the agent is not polled here.
+  bool release_agent(const std::string& node);
+
   /// Per-connection usage history (bytes/sec used) for connections on
   /// monitored paths, materialized from the bounded store like
   /// used_series. Returns nullptr before the first completed round
@@ -192,6 +212,8 @@ class NetworkMonitor {
   /// The registry the monitor's instruments live in (own or shared).
   obs::MetricsRegistry& metrics() { return *metrics_; }
   const topo::NetworkTopology& topology() const { return topo_; }
+  /// Name of the station host this monitor polls from.
+  const std::string& station() const { return station_label_; }
 
  private:
   struct MonitoredPath {
@@ -213,12 +235,20 @@ class NetworkMonitor {
   obs::HistogramMetric& rtt_histogram(const std::string& node);
   obs::Gauge& health_gauge(const std::string& node);
   obs::Gauge& backoff_gauge(const std::string& node);
-  void resolve_next_agent(std::size_t index);
+  /// Walks the next queued agent's ifDescr column; when the queue drains
+  /// for the first time, schedules the first poll round.
+  void pump_resolve_queue();
+  bool has_resolved_indexes(const std::string& node) const;
   void schedule_round(SimTime when);
   void run_round();
   /// Launches one poll of `task`. `round` may be null for an out-of-round
   /// re-probe (the sample is then stamped with the launch time).
   void poll_agent(const AgentTask& task, const std::shared_ptr<Round>& round);
+  /// Batched variant: one whole-table GETBULK sweep via the agent's
+  /// TablePoller instead of a per-interface GET.
+  void poll_agent_batched(const AgentTask& task,
+                          const std::shared_ptr<Round>& round);
+  snmp::TablePoller& table_poller_for(const AgentTask& task);
   void finish_round(const std::shared_ptr<Round>& round);
   void on_health_transition(const std::string& node, AgentHealth from,
                             AgentHealth to);
@@ -265,6 +295,12 @@ class NetworkMonitor {
   StatsDb own_db_;
   StatsDb* db_;  ///< &own_db_ or the shared db
   std::vector<const AgentTask*> polled_agents_;
+  // node -> task mirror of polled_agents_: task_for runs per poll launch,
+  // which is O(agents^2) per round on a fabric with a linear scan.
+  std::unordered_map<std::string, const AgentTask*> task_index_;
+  // Lazily built per-agent whole-table collectors (batch mode only).
+  std::unordered_map<std::string, std::unique_ptr<snmp::TablePoller>>
+      table_pollers_;
   // Built in the constructor body over polled_agents_ (hence the
   // indirection); never null after construction.
   std::unique_ptr<PollScheduler> scheduler_;
@@ -277,6 +313,12 @@ class NetworkMonitor {
   std::map<InterfaceKey, std::uint32_t> if_indexes_;
 
   bool running_ = false;
+  // Agents awaiting their ifDescr resolution walk. The walker serves one
+  // walk at a time, so the queue is pumped from each walk's callback;
+  // agents adopted mid-run join the same queue.
+  std::deque<const AgentTask*> resolve_queue_;
+  bool resolving_ = false;
+  bool rounds_scheduled_ = false;
   sim::EventId next_round_event_ = 0;
   std::vector<SampleCallback> sample_callbacks_;
   std::vector<StopCallback> stop_callbacks_;

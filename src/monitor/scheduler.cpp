@@ -28,6 +28,25 @@ PollScheduler::PollScheduler(SchedulerConfig config,
   }
 }
 
+void PollScheduler::add_agent(const std::string& node) {
+  if (find(node) != nullptr) return;
+  AgentState agent;
+  agent.node = node;
+  agent.phase =
+      static_cast<SimDuration>(agents_.size()) * config_.stagger;
+  agents_.push_back(std::move(agent));
+}
+
+bool PollScheduler::remove_agent(const std::string& node) {
+  for (auto it = agents_.begin(); it != agents_.end(); ++it) {
+    if (it->node == node) {
+      agents_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 SimDuration PollScheduler::effective_cap() const {
   return config_.backoff_cap > 0 ? config_.backoff_cap
                                  : 8 * config_.poll_interval;

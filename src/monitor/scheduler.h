@@ -81,6 +81,16 @@ class PollScheduler {
 
   PollScheduler(SchedulerConfig config, std::vector<std::string> nodes);
 
+  /// Registers an agent mid-run (shard ownership handoff). It joins
+  /// healthy, immediately due, with the next free stagger phase. No-op if
+  /// already registered. Must not be called from inside a transition
+  /// callback: record_result holds a pointer across the callback, so
+  /// membership changes there must be deferred (schedule_after(0)).
+  void add_agent(const std::string& node);
+  /// Unregisters an agent (handed off to another station). Same
+  /// no-reentrancy rule as add_agent. Returns false when unknown.
+  bool remove_agent(const std::string& node);
+
   void set_transition_callback(TransitionCallback callback) {
     transition_ = std::move(callback);
   }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/buffer_pool.h"
 #include "common/byte_buffer.h"
 #include "netsim/address.h"
 
@@ -75,6 +76,17 @@ using Frame = std::shared_ptr<const EthernetFrame>;
 
 inline Frame make_frame(EthernetFrame frame) {
   return std::make_shared<const EthernetFrame>(std::move(frame));
+}
+
+/// Like make_frame, but the payload buffer returns to `pool` when the
+/// last reference drops — closing the recycle loop for poll traffic.
+/// `pool` must outlive every frame (the simulator owns both).
+inline Frame make_pooled_frame(EthernetFrame frame, BufferPool* pool) {
+  auto* raw = new EthernetFrame(std::move(frame));
+  return Frame(raw, [pool](EthernetFrame* f) {
+    pool->release(std::move(f->ip.udp.payload));
+    delete f;
+  });
 }
 
 }  // namespace netqos::sim

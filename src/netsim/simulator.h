@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/sim_time.h"
 #include "obs/metrics.h"
 
@@ -59,6 +60,10 @@ class Simulator {
   /// collector holds a reference to this object.
   void attach_metrics(obs::MetricsRegistry& registry);
 
+  /// Shared recycler for packet payload buffers. Everything that encodes
+  /// into or frees a UDP payload on this simulator draws from here.
+  BufferPool& buffer_pool() { return buffer_pool_; }
+
  private:
   struct Event {
     SimTime when;
@@ -69,6 +74,10 @@ class Simulator {
       return when != o.when ? when > o.when : seq > o.seq;
     }
   };
+
+  // First member: destroyed last, so frame deleters inside still-queued
+  // callbacks can release their payloads during teardown.
+  BufferPool buffer_pool_;
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

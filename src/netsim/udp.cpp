@@ -40,9 +40,12 @@ bool UdpStack::send(Ipv4Address dst, std::uint16_t dst_port,
     packet.udp.payload = std::move(payload);
     packet.udp.padding = padding;
     ++stats_.datagrams_sent;
-    sim_.schedule_after(10 * kMicrosecond, [this, packet = std::move(packet)] {
-      deliver(packet);
-    });
+    sim_.schedule_after(10 * kMicrosecond,
+                        [this, packet = std::move(packet)]() mutable {
+                          deliver(packet);
+                          sim_.buffer_pool().release(
+                              std::move(packet.udp.payload));
+                        });
     return true;
   }
   const auto dst_mac = arp_.resolve(dst);
@@ -60,7 +63,7 @@ bool UdpStack::send(Ipv4Address dst, std::uint16_t dst_port,
   frame.ip.udp.dst_port = dst_port;
   frame.ip.udp.payload = std::move(payload);
   frame.ip.udp.padding = padding;
-  if (!sender_(make_frame(std::move(frame)))) {
+  if (!sender_(make_pooled_frame(std::move(frame), &sim_.buffer_pool()))) {
     ++stats_.send_failures;
     return false;
   }

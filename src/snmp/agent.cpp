@@ -118,7 +118,7 @@ void SnmpAgent::handle(const sim::Ipv4Packet& packet) {
 
   const sim::Ipv4Address reply_to = packet.src;
   const std::uint16_t reply_port = packet.udp.src_port;
-  Bytes wire = encode_message(response);
+  Bytes wire = encode_message(response, sim_.buffer_pool().acquire());
   sim_.schedule_after(delay, [this, reply_to, reply_port,
                               wire = std::move(wire)]() mutable {
     if (stack_.send(reply_to, reply_port, sim::kSnmpPort, std::move(wire))) {

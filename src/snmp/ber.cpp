@@ -147,6 +147,57 @@ void write_wrapped(ByteWriter& out, std::uint8_t tag, const Bytes& content) {
   out.put_bytes(content);
 }
 
+std::size_t header_size(std::size_t content_length) {
+  if (content_length < 0x80) return 2;
+  std::size_t n = 0;
+  while (content_length != 0) {
+    ++n;
+    content_length >>= 8;
+  }
+  return 2 + n;
+}
+
+std::size_t integer_size(std::int64_t value) {
+  const std::size_t n = signed_length(value);
+  return header_size(n) + n;
+}
+
+std::size_t unsigned_size(std::uint64_t value) {
+  const std::size_t n = unsigned_length(value);
+  return header_size(n) + n;
+}
+
+std::size_t octet_string_size(const std::string& value) {
+  return header_size(value.size()) + value.size();
+}
+
+std::size_t oid_size(const Oid& oid) {
+  const std::size_t n = oid_content_length(oid);
+  return header_size(n) + n;
+}
+
+std::size_t value_size(const SnmpValue& value) {
+  struct Visitor {
+    std::size_t operator()(Null) const { return 2; }
+    std::size_t operator()(std::int64_t v) const { return integer_size(v); }
+    std::size_t operator()(const std::string& v) const {
+      return octet_string_size(v);
+    }
+    std::size_t operator()(const Oid& v) const { return oid_size(v); }
+    std::size_t operator()(IpAddressValue) const { return header_size(4) + 4; }
+    std::size_t operator()(Counter32 v) const { return unsigned_size(v.value); }
+    std::size_t operator()(Gauge32 v) const { return unsigned_size(v.value); }
+    std::size_t operator()(TimeTicks v) const {
+      return unsigned_size(v.value);
+    }
+    std::size_t operator()(Counter64 v) const {
+      return unsigned_size(v.value);
+    }
+    std::size_t operator()(VarBindException) const { return 2; }
+  };
+  return std::visit(Visitor{}, value);
+}
+
 std::uint8_t read_header(ByteReader& in, std::size_t& length) {
   const std::uint8_t tag = in.get_u8();
   const std::uint8_t first = in.get_u8();

@@ -58,6 +58,16 @@ void write_value(ByteWriter& out, const SnmpValue& value);
 /// Wraps already-encoded content in a constructed TLV.
 void write_wrapped(ByteWriter& out, std::uint8_t tag, const Bytes& content);
 
+/// Encoded sizes, for computing nested lengths ahead of a single-pass
+/// encode (no scratch buffers). Each *_size returns the full TLV size
+/// (tag + length octets + content) the matching write_* would emit.
+std::size_t header_size(std::size_t content_length);
+std::size_t integer_size(std::int64_t value);
+std::size_t unsigned_size(std::uint64_t value);
+std::size_t octet_string_size(const std::string& value);
+std::size_t oid_size(const Oid& oid);
+std::size_t value_size(const SnmpValue& value);
+
 /// Reads a TLV header; returns the tag and sets `length`.
 std::uint8_t read_header(ByteReader& in, std::size_t& length);
 /// Reads a header and demands a specific tag.

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "snmp/ber.h"
+#include "snmp/ber_view.h"
 
 namespace netqos::snmp {
 
@@ -65,6 +66,7 @@ ClientStats SnmpClient::stats() const {
 SnmpClient::~SnmpClient() {
   for (auto& [id, pending] : pending_) {
     sim_.cancel(pending.timeout_event);
+    sim_.buffer_pool().release(std::move(pending.wire));
   }
   stack_.unbind(src_port_);
 }
@@ -110,7 +112,7 @@ void SnmpClient::send_request(sim::Ipv4Address agent,
   message.pdu = std::move(pdu);
 
   Pending pending;
-  pending.wire = encode_message(message);
+  pending.wire = encode_message(message, sim_.buffer_pool().acquire());
   pending.agent = agent;
   pending.callback = std::move(callback);
   pending_.emplace(request_id, std::move(pending));
@@ -124,11 +126,17 @@ void SnmpClient::transmit(std::int32_t request_id) {
 
   ++pending.attempts;
   pending.last_send = sim_.now();
-  if (!stack_.send(pending.agent, sim::kSnmpPort, src_port_, pending.wire)) {
+  // The stack consumes its payload (the frame owns it until delivery), so
+  // each transmit ships a pooled copy; `pending.wire` stays for retries.
+  Bytes copy = sim_.buffer_pool().acquire();
+  copy.assign(pending.wire.begin(), pending.wire.end());
+  if (!stack_.send(pending.agent, sim::kSnmpPort, src_port_,
+                   std::move(copy))) {
     SnmpResult result;
     result.status = SnmpResult::Status::kSendFailed;
     result.attempts = pending.attempts;
     Callback callback = std::move(pending.callback);
+    sim_.buffer_pool().release(std::move(pending.wire));
     pending_.erase(it);
     callback(std::move(result));
     return;
@@ -154,15 +162,19 @@ void SnmpClient::on_timeout(std::int32_t request_id) {
   result.status = SnmpResult::Status::kTimeout;
   result.attempts = pending.attempts;
   Callback callback = std::move(pending.callback);
+  sim_.buffer_pool().release(std::move(pending.wire));
   pending_.erase(it);
   callback(std::move(result));
 }
 
 void SnmpClient::on_packet(const sim::Ipv4Packet& packet) {
   bytes_received_->inc(packet.udp.payload.size());
-  Message message;
+  // Zero-copy fast path: parse only the envelope to route the response.
+  // Mismatched ids and foreign PDU types are dropped without ever
+  // materializing an OID or value.
+  MessageHeadView head;
   try {
-    message = decode_message(packet.udp.payload);
+    head = decode_message_head(packet.udp.payload);
   } catch (const BerError& e) {
     NETQOS_DEBUG() << "client decode error: " << e.what();
     return;
@@ -172,30 +184,46 @@ void SnmpClient::on_packet(const sim::Ipv4Packet& packet) {
     NETQOS_DEBUG() << "client decode error: " << e.what();
     return;
   }
-  if (message.pdu.type != PduType::kGetResponse) return;
+  if (head.pdu_tag != static_cast<std::uint8_t>(PduType::kGetResponse)) {
+    return;
+  }
 
-  auto it = pending_.find(message.pdu.request_id);
+  auto it = pending_.find(head.request_id);
   if (it == pending_.end()) {
     // Late duplicate after a retry already completed the request.
     mismatched_->inc();
     return;
   }
+
+  // Materialize the varbinds before committing: a response whose envelope
+  // parsed but whose varbinds are malformed is dropped like any other
+  // garbage datagram, leaving the request pending for retry.
+  SnmpResult result;
+  try {
+    result.varbinds = decode_varbinds(head.varbinds);
+  } catch (const BerError& e) {
+    NETQOS_DEBUG() << "client decode error: " << e.what();
+    return;
+  } catch (const BufferUnderflow& e) {
+    NETQOS_DEBUG() << "client decode error: " << e.what();
+    return;
+  }
+
   Pending& pending = it->second;
   sim_.cancel(pending.timeout_event);
   responses_->inc();
 
-  SnmpResult result;
-  result.status = message.pdu.error_status == ErrorStatus::kNoError
+  result.status = head.error_status == ErrorStatus::kNoError
                       ? SnmpResult::Status::kOk
                       : SnmpResult::Status::kErrorResponse;
-  result.error_status = message.pdu.error_status;
-  result.error_index = message.pdu.error_index;
-  result.varbinds = std::move(message.pdu.varbinds);
+  result.error_status = head.error_status;
+  result.error_index = head.error_index;
   result.rtt = sim_.now() - pending.last_send;
   result.attempts = pending.attempts;
   rtt_histogram_->observe(to_seconds(result.rtt));
 
   Callback callback = std::move(pending.callback);
+  sim_.buffer_pool().release(std::move(pending.wire));
   pending_.erase(it);
   callback(std::move(result));
 }

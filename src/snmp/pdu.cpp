@@ -18,55 +18,48 @@ const char* error_status_name(ErrorStatus status) {
 
 namespace {
 
-Bytes encode_varbind(const VarBind& vb) {
-  ByteWriter content;
-  ber::write_oid(content, vb.oid);
-  ber::write_value(content, vb.value);
-  ByteWriter out;
-  ber::write_wrapped(out, ber::kTagSequence, content.bytes());
-  return std::move(out).take();
+// Encoding is single-pass: sizes of the nested TLVs are computed first,
+// then every header is written with its final length, innermost content
+// last. The byte stream is identical to a back-patching encoder's; the
+// win is one exact-size reserve and zero scratch buffers per message.
+
+std::size_t varbind_content_size(const VarBind& vb) {
+  return ber::oid_size(vb.oid) + ber::value_size(vb.value);
 }
 
-Bytes encode_pdu(const Pdu& pdu) {
-  ByteWriter vbl;
-  for (const auto& vb : pdu.varbinds) {
-    const Bytes encoded = encode_varbind(vb);
-    vbl.put_bytes(encoded);
+std::size_t varbind_list_content_size(const std::vector<VarBind>& varbinds) {
+  std::size_t size = 0;
+  for (const auto& vb : varbinds) {
+    const std::size_t content = varbind_content_size(vb);
+    size += ber::header_size(content) + content;
   }
-
-  ByteWriter content;
-  ber::write_integer(content, pdu.request_id);
-  ber::write_integer(content, static_cast<std::int64_t>(pdu.error_status));
-  ber::write_integer(content, pdu.error_index);
-  ber::write_wrapped(content, ber::kTagSequence, vbl.bytes());
-
-  ByteWriter out;
-  ber::write_wrapped(out, static_cast<std::uint8_t>(pdu.type),
-                     content.bytes());
-  return std::move(out).take();
+  return size;
 }
 
-Bytes encode_trap_v1(const TrapV1Pdu& trap) {
-  ByteWriter vbl;
-  for (const auto& vb : trap.varbinds) {
-    const Bytes encoded = encode_varbind(vb);
-    vbl.put_bytes(encoded);
+void write_varbind_list(ByteWriter& out, const std::vector<VarBind>& varbinds,
+                        std::size_t list_content_size) {
+  ber::write_header(out, ber::kTagSequence, list_content_size);
+  for (const auto& vb : varbinds) {
+    ber::write_header(out, ber::kTagSequence, varbind_content_size(vb));
+    ber::write_oid(out, vb.oid);
+    ber::write_value(out, vb.value);
   }
+}
 
-  ByteWriter content;
-  ber::write_oid(content, trap.enterprise);
-  ber::write_header(content, ber::kTagIpAddress, 4);
-  content.put_u32(trap.agent_addr);
-  ber::write_integer(content,
-                     static_cast<std::int64_t>(trap.generic_trap));
-  ber::write_integer(content, trap.specific_trap);
-  ber::write_unsigned(content, ber::kTagTimeTicks, trap.time_stamp_ticks);
-  ber::write_wrapped(content, ber::kTagSequence, vbl.bytes());
+std::size_t pdu_content_size(const Pdu& pdu, std::size_t vbl_content) {
+  return ber::integer_size(pdu.request_id) +
+         ber::integer_size(static_cast<std::int64_t>(pdu.error_status)) +
+         ber::integer_size(pdu.error_index) + ber::header_size(vbl_content) +
+         vbl_content;
+}
 
-  ByteWriter out;
-  ber::write_wrapped(out, static_cast<std::uint8_t>(PduType::kTrapV1),
-                     content.bytes());
-  return std::move(out).take();
+std::size_t trap_v1_content_size(const TrapV1Pdu& trap,
+                                 std::size_t vbl_content) {
+  return ber::oid_size(trap.enterprise) + ber::header_size(4) + 4 +
+         ber::integer_size(static_cast<std::int64_t>(trap.generic_trap)) +
+         ber::integer_size(trap.specific_trap) +
+         ber::unsigned_size(trap.time_stamp_ticks) +
+         ber::header_size(vbl_content) + vbl_content;
 }
 
 TrapV1Pdu decode_trap_v1(ByteReader& in) {
@@ -134,18 +127,43 @@ Pdu decode_pdu(ByteReader& in) {
 
 }  // namespace
 
-Bytes encode_message(const Message& message) {
-  ByteWriter content;
-  ber::write_integer(content, static_cast<std::int64_t>(message.version));
-  ber::write_octet_string(content, message.community);
-  if (message.trap_v1.has_value()) {
-    content.put_bytes(encode_trap_v1(*message.trap_v1));
-  } else {
-    content.put_bytes(encode_pdu(message.pdu));
-  }
+Bytes encode_message(const Message& message, Bytes reuse) {
+  const bool is_trap = message.trap_v1.has_value();
+  const std::vector<VarBind>& varbinds =
+      is_trap ? message.trap_v1->varbinds : message.pdu.varbinds;
+  const std::size_t vbl_content = varbind_list_content_size(varbinds);
+  const std::uint8_t body_tag =
+      is_trap ? static_cast<std::uint8_t>(PduType::kTrapV1)
+              : static_cast<std::uint8_t>(message.pdu.type);
+  const std::size_t body_content =
+      is_trap ? trap_v1_content_size(*message.trap_v1, vbl_content)
+              : pdu_content_size(message.pdu, vbl_content);
+  const std::size_t message_content =
+      ber::integer_size(static_cast<std::int64_t>(message.version)) +
+      ber::octet_string_size(message.community) +
+      ber::header_size(body_content) + body_content;
 
-  ByteWriter out;
-  ber::write_wrapped(out, ber::kTagSequence, content.bytes());
+  ByteWriter out(std::move(reuse));
+  out.reserve(ber::header_size(message_content) + message_content);
+  ber::write_header(out, ber::kTagSequence, message_content);
+  ber::write_integer(out, static_cast<std::int64_t>(message.version));
+  ber::write_octet_string(out, message.community);
+  ber::write_header(out, body_tag, body_content);
+  if (is_trap) {
+    const TrapV1Pdu& trap = *message.trap_v1;
+    ber::write_oid(out, trap.enterprise);
+    ber::write_header(out, ber::kTagIpAddress, 4);
+    out.put_u32(trap.agent_addr);
+    ber::write_integer(out, static_cast<std::int64_t>(trap.generic_trap));
+    ber::write_integer(out, trap.specific_trap);
+    ber::write_unsigned(out, ber::kTagTimeTicks, trap.time_stamp_ticks);
+  } else {
+    ber::write_integer(out, message.pdu.request_id);
+    ber::write_integer(out,
+                       static_cast<std::int64_t>(message.pdu.error_status));
+    ber::write_integer(out, message.pdu.error_index);
+  }
+  write_varbind_list(out, varbinds, vbl_content);
   return std::move(out).take();
 }
 

@@ -93,7 +93,13 @@ struct Message {
 };
 
 /// Serializes a complete SNMP message (the UDP payload).
-Bytes encode_message(const Message& message);
+///
+/// Single-pass: nested lengths are computed up front with the ber::*_size
+/// helpers, so the encoder performs exactly one reserve and no scratch
+/// buffers. Pass a recycled buffer (e.g. from BufferPool::acquire) as
+/// `reuse` to make steady-state encoding allocation-free; its contents
+/// are discarded but its capacity is kept.
+Bytes encode_message(const Message& message, Bytes reuse = {});
 
 /// Parses a complete SNMP message; throws BerError on malformed input.
 Message decode_message(const Bytes& wire);

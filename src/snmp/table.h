@@ -1,0 +1,100 @@
+// Whole-table batched GETBULK collection.
+//
+// The monitor's per-interface GET path costs one request per agent per
+// round with 6 varbinds per interface — fine for hosts, quadratic pain
+// for a 48-port switch. TablePoller collects entire MIB-II table columns
+// with a handful of GETBULK sweeps instead: the first request also
+// fetches sysUpTime.0 and ifNumber.0 as non-repeaters, so one round trip
+// usually yields the complete table for small agents, and large tables
+// finish in ceil(rows * columns / budget) requests regardless of row
+// count per request cap.
+//
+// The parser is deliberately tolerant of GETBULK realities: responses
+// are column-major, may be truncated by the agent's varbind cap, and
+// repeaters overshoot into sibling columns once their own is exhausted.
+// Every varbind is routed by column-root prefix and deduplicated against
+// that column's cursor, so overshoot rows are either fresh same-snapshot
+// data (accepted) or repeats (skipped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/address.h"
+#include "snmp/client.h"
+#include "snmp/oid.h"
+#include "snmp/value.h"
+
+namespace netqos::snmp {
+
+struct TableResult {
+  bool ok = false;
+  std::string error;
+
+  std::uint64_t uptime_ticks = 0;  ///< sysUpTime.0 (hundredths of seconds)
+  std::uint32_t if_number = 0;     ///< agent-reported row count
+
+  /// One row per ifIndex (rows[i] is ifIndex i+1). `cells[c]` holds the
+  /// value of the c-th requested column; `seen` bit c says whether the
+  /// agent actually returned that cell.
+  struct Row {
+    std::vector<SnmpValue> cells;
+    std::uint32_t seen = 0;
+
+    bool has(std::size_t column) const {
+      return (seen >> column & 1u) != 0;
+    }
+  };
+  std::vector<Row> rows;
+
+  int requests = 0;  ///< GETBULK round trips consumed
+
+  /// True when every requested column of row `i` arrived.
+  bool complete_row(std::size_t i, std::size_t columns) const {
+    return rows[i].seen + 1 == (1u << columns);
+  }
+};
+
+/// Collects a set of table columns from one agent via chained GETBULKs.
+/// One collection at a time per instance; the instance must outlive the
+/// collection (the monitor keeps one per polled agent).
+class TablePoller {
+ public:
+  using Callback = std::function<void(TableResult)>;
+
+  /// `columns` are column roots (e.g. ifEntry.10); at most 32.
+  /// `varbind_budget` bounds the repeater varbinds requested per GETBULK
+  /// and must stay under the agents' response cap.
+  TablePoller(SnmpClient& client, sim::Ipv4Address agent,
+              std::string community, std::vector<Oid> columns,
+              std::size_t varbind_budget = 120);
+
+  /// Starts a collection; `callback` fires exactly once.
+  void collect(Callback callback);
+
+  bool busy() const { return busy_; }
+
+ private:
+  void step();
+  void on_response(SnmpResult result);
+  void finish(TableResult result);
+  void fail(const std::string& why);
+
+  SnmpClient& client_;
+  sim::Ipv4Address agent_;
+  std::string community_;
+  std::vector<Oid> columns_;
+  std::size_t varbind_budget_;
+
+  bool busy_ = false;
+  bool first_request_ = false;
+  Callback callback_;
+  TableResult result_;
+  std::vector<Oid> cursors_;     ///< last accepted OID per column
+  std::vector<bool> done_;       ///< column fully collected
+  std::vector<std::uint32_t> row_cursor_;  ///< last accepted ifIndex
+};
+
+}  // namespace netqos::snmp

@@ -19,7 +19,26 @@ void SubtreeWalker::walk(sim::Ipv4Address agent, const std::string& community,
   cursor_ = root_;
   collected_ = WalkResult{};
   callback_ = std::move(callback);
-  step();
+  if (prefetch_if_number_) {
+    prefetch();
+  } else {
+    step();
+  }
+}
+
+void SubtreeWalker::prefetch() {
+  client_.get(agent_, community_, {mib2::kIfNumber.child(0)},
+              [this](SnmpResult result) {
+                if (result.ok() && result.varbinds.size() == 1) {
+                  if (const auto* rows = std::get_if<std::int64_t>(
+                          &result.varbinds[0].value);
+                      rows != nullptr && *rows > 0) {
+                    collected_.varbinds.reserve(
+                        static_cast<std::size_t>(*rows));
+                  }
+                }
+                step();
+              });
 }
 
 void SubtreeWalker::step() {

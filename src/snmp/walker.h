@@ -31,18 +31,27 @@ class SubtreeWalker {
 
   explicit SubtreeWalker(SnmpClient& client, std::size_t bulk_size = 16);
 
+  /// Opt-in: GET ifNumber.0 first and reserve the result vector from the
+  /// agent's reported row count, so a 1k-row column walk performs no
+  /// reallocation while collecting. Adds one request per walk (extra
+  /// wire traffic), hence off by default. A failed prefetch degrades to
+  /// an unreserved walk rather than failing it.
+  void set_prefetch_if_number(bool on) { prefetch_if_number_ = on; }
+
   void walk(sim::Ipv4Address agent, const std::string& community, Oid root,
             Callback callback);
 
   bool busy() const { return busy_; }
 
  private:
+  void prefetch();
   void step();
   void on_result(SnmpResult result);
   void finish(std::string error);
 
   SnmpClient& client_;
   std::size_t bulk_size_;
+  bool prefetch_if_number_ = false;
   bool busy_ = false;
 
   sim::Ipv4Address agent_;

@@ -1,0 +1,166 @@
+#include "topology/generator.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace netqos::topo {
+namespace {
+
+/// Ordinal -> unique dotted quad in 10/8. Ordinals start at 1 so no
+/// address ends in .0; the fabric never exceeds 2^24 - 1 endpoints.
+std::string ordinal_ipv4(std::size_t ordinal) {
+  return "10." + std::to_string(ordinal / 65536 % 256) + "." +
+         std::to_string(ordinal / 256 % 256) + "." +
+         std::to_string(ordinal % 256);
+}
+
+const char* draw_os(Xoshiro256& rng) {
+  // The paper's three platforms, weighted towards the common case.
+  const std::uint64_t pick = rng.next() % 4;
+  if (pick == 0) return "Solaris 7";
+  if (pick == 1) return "Windows NT";
+  return "Linux";
+}
+
+}  // namespace
+
+std::size_t projected_interface_count(const FabricConfig& config,
+                                      std::size_t leaves) {
+  // Every connection contributes two interfaces: spine0 <-> spine s
+  // trunks, leaf uplinks, host access links, and the hub segments.
+  const std::size_t hubs =
+      config.hub_every > 0 ? leaves / config.hub_every : 0;
+  const std::size_t edges = (config.spines - 1) +
+                            leaves * (1 + config.hosts_per_leaf) +
+                            hubs * (1 + config.hub_hosts);
+  return 2 * edges;
+}
+
+std::size_t fabric_leaf_count(const FabricConfig& config) {
+  if (config.spines == 0) {
+    throw std::invalid_argument("fabric needs at least one spine");
+  }
+  std::size_t leaves = 1;
+  while (projected_interface_count(config, leaves) <
+         config.target_interfaces) {
+    ++leaves;
+  }
+  return leaves;
+}
+
+NetworkTopology generate_fabric(const FabricConfig& config) {
+  const std::size_t leaves = fabric_leaf_count(config);
+  NetworkTopology topo;
+  Xoshiro256 rng(config.seed);
+  std::size_t next_address = 1;
+
+  // Spines, SNMP-managed: one 1 Gbps port per attached leaf. The
+  // simulator's learning switches flood unknown destinations with no
+  // spanning tree, so the fabric must be loop-free: each leaf uplinks
+  // to exactly one spine (round-robin) and spines 1..S-1 trunk to
+  // spine0, which roots the tree.
+  for (std::size_t s = 0; s < config.spines; ++s) {
+    NodeSpec spine;
+    spine.name = "spine" + std::to_string(s);
+    spine.kind = NodeKind::kSwitch;
+    spine.snmp_enabled = true;
+    spine.management_ipv4 = ordinal_ipv4(next_address++);
+    spine.default_speed = mbps(1000);
+    if (s == 0) {
+      for (std::size_t peer = 1; peer < config.spines; ++peer) {
+        spine.interfaces.push_back({"s" + std::to_string(peer), 0, ""});
+      }
+    } else {
+      spine.interfaces.push_back({"u0", 0, ""});
+    }
+    // Leaf l attaches to spine l % spines as its (l / spines)-th port.
+    for (std::size_t l = s; l < leaves; l += config.spines) {
+      spine.interfaces.push_back(
+          {"p" + std::to_string(l / config.spines), 0, ""});
+    }
+    topo.add_node(std::move(spine));
+    if (s > 0) {
+      topo.add_connection({{"spine0", "s" + std::to_string(s)},
+                           {"spine" + std::to_string(s), "u0"}});
+    }
+  }
+
+  for (std::size_t l = 0; l < leaves; ++l) {
+    const std::string leaf_name = "leaf" + std::to_string(l);
+    const bool has_hub =
+        config.hub_every > 0 && (l + 1) % config.hub_every == 0;
+
+    NodeSpec leaf;
+    leaf.name = leaf_name;
+    leaf.kind = NodeKind::kSwitch;
+    leaf.snmp_enabled = true;
+    leaf.management_ipv4 = ordinal_ipv4(next_address++);
+    leaf.default_speed = mbps(100);
+    leaf.interfaces.push_back({"u0", mbps(1000), ""});
+    for (std::size_t h = 0; h < config.hosts_per_leaf; ++h) {
+      leaf.interfaces.push_back({"p" + std::to_string(h), 0, ""});
+    }
+    if (has_hub) {
+      leaf.interfaces.push_back({"hub", mbps(10), ""});
+    }
+    topo.add_node(std::move(leaf));
+
+    topo.add_connection(
+        {{"spine" + std::to_string(l % config.spines),
+          "p" + std::to_string(l / config.spines)},
+         {leaf_name, "u0"}});
+
+    for (std::size_t h = 0; h < config.hosts_per_leaf; ++h) {
+      NodeSpec host;
+      host.name = leaf_name + "h" + std::to_string(h);
+      host.kind = NodeKind::kHost;
+      host.snmp_enabled = true;
+      host.os = draw_os(rng);
+      host.interfaces.push_back(
+          {"eth0", mbps(100), ordinal_ipv4(next_address++)});
+      topo.add_node(std::move(host));
+      topo.add_connection({{leaf_name + "h" + std::to_string(h), "eth0"},
+                           {leaf_name, "p" + std::to_string(h)}});
+    }
+
+    if (has_hub) {
+      const std::string hub_name = "hub" + std::to_string(l);
+      NodeSpec hub;
+      hub.name = hub_name;
+      hub.kind = NodeKind::kHub;
+      hub.default_speed = mbps(10);
+      hub.interfaces.push_back({"h0", 0, ""});  // uplink to the leaf
+      for (std::size_t h = 0; h < config.hub_hosts; ++h) {
+        hub.interfaces.push_back({"h" + std::to_string(h + 1), 0, ""});
+      }
+      topo.add_node(std::move(hub));
+      topo.add_connection({{hub_name, "h0"}, {leaf_name, "hub"}});
+
+      for (std::size_t h = 0; h < config.hub_hosts; ++h) {
+        NodeSpec legacy;
+        legacy.name = hub_name + "n" + std::to_string(h);
+        legacy.kind = NodeKind::kHost;
+        legacy.snmp_enabled = true;
+        legacy.os = draw_os(rng);
+        legacy.interfaces.push_back(
+            {"e0", mbps(10), ordinal_ipv4(next_address++)});
+        topo.add_node(std::move(legacy));
+        topo.add_connection({{hub_name + "n" + std::to_string(h), "e0"},
+                             {hub_name, "h" + std::to_string(h + 1)}});
+      }
+    }
+  }
+  return topo;
+}
+
+std::string fabric_network_name(const NetworkTopology& topo) {
+  std::size_t interfaces = 0;
+  for (const NodeSpec& node : topo.nodes()) {
+    interfaces += node.interfaces.size();
+  }
+  return "fabric" + std::to_string(interfaces);
+}
+
+}  // namespace netqos::topo

@@ -1,0 +1,58 @@
+// Synthetic hierarchical fabric generation.
+//
+// The paper's Figure 3 testbed tops out at ten nodes; exercising the
+// sharded pollers and the batched SNMP hot path needs fabrics in the
+// hundreds to thousands of interfaces. This generator grows a two-tier
+// spine/leaf core with the paper's mixed edge hanging off it: every
+// hub_every-th leaf carries a shared 10 Mbps hub segment with legacy
+// hosts behind it, exactly the §4.1 accounting case (hub traffic
+// measured at the switch port feeding it). The fabric is a tree — each
+// leaf uplinks to one spine (round-robin) and spines trunk to spine0 —
+// because the simulated learning switches flood unknown destinations
+// with no spanning tree, so any redundant path would loop broadcasts.
+//
+// Everything is deterministic: node names and addresses are ordinal,
+// and the only randomness (OS labels on hosts) draws from a
+// Xoshiro256 stream seeded by FabricConfig::seed, so the same config
+// always yields a bit-identical topology.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "topology/model.h"
+
+namespace netqos::topo {
+
+struct FabricConfig {
+  /// The generator picks the smallest leaf count whose fabric reaches
+  /// at least this many interfaces (see projected_interface_count).
+  std::size_t target_interfaces = 1000;
+  std::size_t spines = 4;
+  std::size_t hosts_per_leaf = 24;
+  /// Every hub_every-th leaf gets a hub edge segment (0 = none).
+  std::size_t hub_every = 8;
+  /// Legacy hosts behind each hub.
+  std::size_t hub_hosts = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Interfaces a fabric with `leaves` leaf switches will contain: two
+/// per connection, over spines-1 spine trunks, one uplink plus
+/// hosts_per_leaf access links per leaf, and 1 + hub_hosts links per
+/// hub segment.
+std::size_t projected_interface_count(const FabricConfig& config,
+                                      std::size_t leaves);
+
+/// Smallest leaf count reaching config.target_interfaces (at least 1).
+std::size_t fabric_leaf_count(const FabricConfig& config);
+
+/// Generates the fabric. The result passes NetworkTopology::validate().
+NetworkTopology generate_fabric(const FabricConfig& config);
+
+/// Conventional name for a generated fabric's spec ("fabric<N>" where N
+/// is the interface count) — used by benches when writing spec files.
+std::string fabric_network_name(const NetworkTopology& topo);
+
+}  // namespace netqos::topo

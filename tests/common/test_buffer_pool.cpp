@@ -1,0 +1,68 @@
+// BufferPool: recycled byte buffers for the SNMP hot path.
+#include "common/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace netqos {
+namespace {
+
+TEST(BufferPool, FirstAcquireReturnsEmptyBuffer) {
+  BufferPool pool;
+  Bytes b = pool.acquire();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(pool.stats().acquires, 1u);
+  EXPECT_EQ(pool.stats().reuses, 0u);
+}
+
+TEST(BufferPool, ReleasedCapacityIsReused) {
+  BufferPool pool;
+  Bytes b = pool.acquire();
+  b.resize(512);
+  const auto* data = b.data();
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  Bytes again = pool.acquire();
+  EXPECT_TRUE(again.empty());          // cleared on release
+  EXPECT_GE(again.capacity(), 512u);   // but capacity retained
+  EXPECT_EQ(again.data(), data);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, DiscardsBuffersBeyondMaxPooled) {
+  BufferPool pool(/*max_pooled=*/2);
+  for (int i = 0; i < 4; ++i) {
+    Bytes b;
+    b.resize(16);
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.pooled(), 2u);
+  EXPECT_EQ(pool.stats().discards, 2u);
+}
+
+TEST(BufferPool, DiscardsOversizedAndEmptyBuffers) {
+  BufferPool pool(/*max_pooled=*/8, /*max_capacity=*/64);
+  Bytes big;
+  big.resize(1024);  // would pin 1 KiB forever
+  pool.release(std::move(big));
+  pool.release(Bytes{});  // no capacity — pooling it gains nothing
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_EQ(pool.stats().discards, 2u);
+}
+
+TEST(BufferPool, SteadyStateLoopAllocatesOnce) {
+  BufferPool pool;
+  for (int i = 0; i < 100; ++i) {
+    Bytes b = pool.acquire();
+    b.resize(256);
+    pool.release(std::move(b));
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires, 100u);
+  EXPECT_EQ(s.reuses, 99u);  // everything after the first is recycled
+  EXPECT_EQ(s.discards, 0u);
+}
+
+}  // namespace
+}  // namespace netqos

@@ -79,6 +79,16 @@ TEST(NetqosLint, R1DecodeSafetyAcceptsGoodFixture) {
   expect_clean("r1_good.cpp");
 }
 
+// Zero-copy flavor: the span-based BerReader / decode_message_head path
+// throws the same exception pair, so R1 must police it identically.
+TEST(NetqosLint, R1DecodeSafetyFlagsBadViewFixture) {
+  expect_flags("r1_view_bad.cpp", "R1", 1);
+}
+
+TEST(NetqosLint, R1DecodeSafetyAcceptsGoodViewFixture) {
+  expect_clean("r1_view_good.cpp");
+}
+
 TEST(NetqosLint, R2OidMonotonicityFlagsBadFixture) {
   // Both the synchronous chain and the async walk step must be caught.
   expect_flags("r2_bad.cpp", "R2", 2);

@@ -1,0 +1,104 @@
+// Fabric generator: determinism, structural validity, size targeting,
+// and diff self-consistency of generated topologies.
+#include "topology/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/parser.h"
+#include "spec/writer.h"
+#include "topology/diff.h"
+
+namespace netqos::topo {
+namespace {
+
+std::size_t count_interfaces(const NetworkTopology& topo) {
+  std::size_t n = 0;
+  for (const NodeSpec& node : topo.nodes()) n += node.interfaces.size();
+  return n;
+}
+
+TEST(FabricGenerator, SameSeedYieldsBitIdenticalSpec) {
+  FabricConfig config;
+  config.target_interfaces = 300;
+  config.seed = 77;
+  const NetworkTopology a = generate_fabric(config);
+  const NetworkTopology b = generate_fabric(config);
+  const std::string spec_a =
+      spec::write_spec({fabric_network_name(a), a, {}});
+  const std::string spec_b =
+      spec::write_spec({fabric_network_name(b), b, {}});
+  EXPECT_EQ(spec_a, spec_b);
+}
+
+TEST(FabricGenerator, DifferentSeedsDifferButOnlyInLabels) {
+  FabricConfig config;
+  config.target_interfaces = 300;
+  config.seed = 1;
+  const NetworkTopology a = generate_fabric(config);
+  config.seed = 2;
+  const NetworkTopology b = generate_fabric(config);
+  EXPECT_NE(spec::write_spec({"f", a, {}}), spec::write_spec({"f", b, {}}));
+  // Structure is seed-independent: only host OS labels draw randomness.
+  EXPECT_EQ(a.nodes().size(), b.nodes().size());
+  EXPECT_EQ(a.connections().size(), b.connections().size());
+  EXPECT_TRUE(diff_topologies(a, b).empty());  // diff ignores os labels
+}
+
+TEST(FabricGenerator, GeneratedFabricValidates) {
+  for (const std::size_t target : {100u, 1000u}) {
+    FabricConfig config;
+    config.target_interfaces = target;
+    const NetworkTopology topo = generate_fabric(config);
+    EXPECT_TRUE(topo.validate().empty());
+    EXPECT_GE(count_interfaces(topo), target);
+  }
+}
+
+TEST(FabricGenerator, ProjectionMatchesGeneratedCount) {
+  FabricConfig config;
+  config.target_interfaces = 1000;
+  const std::size_t leaves = fabric_leaf_count(config);
+  const NetworkTopology topo = generate_fabric(config);
+  EXPECT_EQ(count_interfaces(topo),
+            projected_interface_count(config, leaves));
+}
+
+TEST(FabricGenerator, SpecRoundTripsThroughParser) {
+  FabricConfig config;
+  config.target_interfaces = 200;
+  const NetworkTopology topo = generate_fabric(config);
+  const std::string text =
+      spec::write_spec({fabric_network_name(topo), topo, {}});
+  const spec::SpecFile parsed = spec::parse_spec(text);
+  EXPECT_TRUE(diff_topologies(topo, parsed.topology).empty());
+  EXPECT_TRUE(diff_topologies(parsed.topology, topo).empty());
+  EXPECT_EQ(parsed.topology.nodes().size(), topo.nodes().size());
+}
+
+TEST(FabricGenerator, DiffAgainstItselfIsEmpty) {
+  FabricConfig config;
+  config.target_interfaces = 500;
+  const NetworkTopology topo = generate_fabric(config);
+  EXPECT_TRUE(diff_topologies(topo, topo).empty());
+}
+
+TEST(FabricGenerator, HubSegmentsAppearAtConfiguredCadence) {
+  FabricConfig config;
+  config.target_interfaces = 1000;
+  config.hub_every = 4;
+  const NetworkTopology topo = generate_fabric(config);
+  std::size_t hubs = 0;
+  for (const NodeSpec& node : topo.nodes()) {
+    if (node.kind == NodeKind::kHub) ++hubs;
+  }
+  EXPECT_EQ(hubs, fabric_leaf_count(config) / 4);
+  // Hubless configuration generates none.
+  config.hub_every = 0;
+  const NetworkTopology flat = generate_fabric(config);
+  for (const NodeSpec& node : flat.nodes()) {
+    EXPECT_NE(node.kind, NodeKind::kHub);
+  }
+}
+
+}  // namespace
+}  // namespace netqos::topo

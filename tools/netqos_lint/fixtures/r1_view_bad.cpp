@@ -1,0 +1,26 @@
+// Known-bad fixture for R1 (decode-safety), zero-copy view flavor.
+//
+// A poll-response handler walks the varbind views with a handler for
+// BerError only. BerReader validates TLV lengths against the span, so a
+// truncated datagram throws BufferUnderflow from next_varbind — and it
+// escapes, the PR 3 bug class on the new span path. Expected findings:
+// at least one [R1] on the view decode calls.
+#include "snmp/ber_view.h"
+
+namespace netqos::snmp {
+
+std::uint64_t sum_counters(const Bytes& payload, const Oid& column) {
+  std::uint64_t sum = 0;
+  try {
+    MessageHeadView head = decode_message_head(payload);
+    VarBindView vb;
+    while (next_varbind(head.varbinds, vb)) {
+      if (vb.oid.starts_with(column)) sum += vb.value.to_unsigned();
+    }
+  } catch (const BerError& e) {
+    return 0;  // malformed BER dropped — but BufferUnderflow escapes!
+  }
+  return sum;
+}
+
+}  // namespace netqos::snmp

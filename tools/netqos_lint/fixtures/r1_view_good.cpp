@@ -1,0 +1,46 @@
+// Known-good fixture for R1 (decode-safety), zero-copy view flavor.
+//
+// The span-based BerReader surface throws the same BerError /
+// BufferUnderflow pair as the materializing decoder, so the accepted
+// shapes are identical: (1) a boundary handler catching both around
+// decode_message_head / next_varbind / the view accessors, (2) a
+// propagating decode_*-named helper. Expected findings: none.
+#include "snmp/ber_view.h"
+
+namespace netqos::snmp {
+
+std::uint64_t sum_counters(const Bytes& payload, const Oid& column) {
+  std::uint64_t sum = 0;
+  try {
+    MessageHeadView head = decode_message_head(payload);
+    VarBindView vb;
+    while (next_varbind(head.varbinds, vb)) {
+      if (vb.oid.starts_with(column)) sum += vb.value.to_unsigned();
+    }
+  } catch (const BerError& e) {
+    return 0;
+  } catch (const BufferUnderflow& e) {
+    return 0;  // truncated datagram: same drop as malformed BER
+  }
+  return sum;
+}
+
+std::uint64_t sum_counters_base_class(const Bytes& payload) {
+  std::uint64_t sum = 0;
+  try {
+    MessageHeadView head = decode_message_head(payload);
+    VarBindView vb;
+    while (next_varbind(head.varbinds, vb)) sum += vb.value.to_unsigned();
+  } catch (const std::runtime_error& e) {
+    // BerError and BufferUnderflow both derive from runtime_error.
+    return 0;
+  }
+  return sum;
+}
+
+Tlv read_next_tlv(BerReader& reader) {
+  // Propagating decoder: the read_ prefix marks it; callers catch.
+  return reader.read_tlv();
+}
+
+}  // namespace netqos::snmp

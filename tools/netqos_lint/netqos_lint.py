@@ -70,6 +70,7 @@ RULES = {
 R1_CODEC_FILES = (
     "common/byte_buffer.h", "common/byte_buffer.cpp",
     "snmp/ber.h", "snmp/ber.cpp",
+    "snmp/ber_view.h", "snmp/ber_view.cpp",
     "snmp/pdu.cpp",
 )
 R3_UNITS_FILES = ("common/units.h", "common/sim_time.h")
@@ -83,8 +84,11 @@ R1_PROPAGATOR_PREFIXES = ("decode_", "read_", "parse_", "expect_", "peek_")
 
 R1_CALL_RE = re.compile(
     r"\bber::(?:read|expect)_\w+\s*\("
-    r"|\bdecode_(?:message|pdu|trap_v1)\s*\("
-    r"|\.(?:get|peek)_(?:u8|u16|u32|u64|bytes|string)\s*\(")
+    r"|\bdecode_(?:message|pdu|trap_v1|message_head|varbinds)\s*\("
+    r"|\bnext_varbind\s*\("
+    r"|\.(?:get|peek)_(?:u8|u16|u32|u64|bytes|string)\s*\("
+    r"|\.(?:read|expect)_tlv\s*\("
+    r"|\.to_(?:oid|value|unsigned|integer|text)\s*\(")
 
 R2_STEP_RE = re.compile(r"\b(?:get_next|get_bulk)\s*\(")
 R2_RANGE_FOR_RE = re.compile(
