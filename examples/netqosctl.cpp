@@ -5,6 +5,7 @@
 //                    [--seconds N]
 //   netqosctl health [--seconds N]
 //   netqosctl watch  [--seconds N]
+//   netqosctl modules [--modules LIST] [--seconds N]
 //
 // Stands up the LIRTSS testbed with the monitor (and its query server) on
 // host L, issues the command from host S3 over the simulated network, and
@@ -18,6 +19,9 @@
 //   watch   subscribes to the event stream and drives a load heavy enough
 //           to violate the S1 <-> N1 requirement, printing violation,
 //           predictive-warning, and recovery events as they are pushed.
+//   modules enables measurement modules on the monitor (default: every
+//           registry module) and prints each module's telemetry and
+//           self-description as reported over the wire.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "experiments/lirtss.h"
+#include "monitor/modules/registry.h"
 #include "monitor/qos.h"
 #include "query/client.h"
 #include "query/engine.h"
@@ -41,6 +46,7 @@ struct Options {
   std::string selector;
   double last_s = 30;     // trailing window for `query`
   double seconds = 40;    // simulated run length
+  std::string modules;    // `modules` command: names to enable, ""=all
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -48,8 +54,9 @@ struct Options {
                "usage: %s query [--group if|path|host] [--select STR] "
                "[--last SECS] [--seconds N]\n"
                "       %s health [--seconds N]\n"
-               "       %s watch [--seconds N]\n",
-               argv0, argv0, argv0);
+               "       %s watch [--seconds N]\n"
+               "       %s modules [--modules LIST] [--seconds N]\n",
+               argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -58,7 +65,7 @@ Options parse_args(int argc, char** argv) {
   Options options;
   options.command = argv[1];
   if (options.command != "query" && options.command != "health" &&
-      options.command != "watch") {
+      options.command != "watch" && options.command != "modules") {
     usage(argv[0]);
   }
   for (int i = 2; i < argc; ++i) {
@@ -86,6 +93,8 @@ Options parse_args(int argc, char** argv) {
       options.selector = next("--select");
     } else if (arg == "--last") {
       options.last_s = std::atof(next("--last").c_str());
+    } else if (arg == "--modules") {
+      options.modules = next("--modules");
     } else if (arg == "--seconds") {
       options.seconds = std::atof(next("--seconds").c_str());
     } else {
@@ -162,6 +171,21 @@ void print_health(const query::HealthResponse& response) {
   std::printf("(rates in KB/s)\n");
 }
 
+void print_modules(const query::ModulesResponse& response) {
+  std::printf("modules at t=%.1fs: %zu registered\n",
+              to_seconds(response.server_now), response.modules.size());
+  for (const query::ModuleStatusRow& row : response.modules) {
+    std::printf("%-14s %8llu samples %4llu errors %8llu B state\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(row.samples),
+                static_cast<unsigned long long>(row.errors),
+                static_cast<unsigned long long>(row.footprint_bytes));
+    for (const auto& [key, value] : row.notes) {
+      std::printf("  %-22s %s\n", key.c_str(), value.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,6 +205,26 @@ int main(int argc, char** argv) {
                              to_bytes_per_second(req.min_available_bps));
     predictive.add_requirement(req.from, req.to,
                                to_bytes_per_second(req.min_available_bps));
+  }
+
+  // The `modules` command enables measurement modules before any
+  // samples flow, so their telemetry covers the whole run.
+  if (options.command == "modules") {
+    try {
+      std::string list = options.modules;
+      if (list.empty()) {
+        for (const mon::ModuleSpec& spec : mon::available_modules()) {
+          if (!list.empty()) list += ",";
+          list += spec.name;
+        }
+      }
+      for (auto& module : mon::make_modules(list)) {
+        testbed.monitor().add_module(std::move(module));
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
 
   query::QueryEngine engine(testbed.monitor());
@@ -267,6 +311,12 @@ int main(int argc, char** argv) {
       client.window(request, [&, print_result](query::QueryResult result) {
         print_result(result, [](const query::Message& message) {
           print_window(message.window_response);
+        });
+      });
+    } else if (options.command == "modules") {
+      client.modules([&, print_result](query::QueryResult result) {
+        print_result(result, [](const query::Message& message) {
+          print_modules(message.modules_response);
         });
       });
     } else {

@@ -7,7 +7,7 @@
 //             [--metrics-out FILE] [--trace-out FILE]
 //             [--metrics-jsonl FILE] [--trace-jsonl FILE]
 //             [--history-retention SECS] [--forecast-horizon SECS]
-//             [--serve]
+//             [--serve] [--modules LIST]
 //
 // Reads a specification file (default: the built-in LIRTSS testbed),
 // builds the simulated network, deploys agents per the spec, registers
@@ -15,6 +15,7 @@
 // synthetic loads, runs for N simulated seconds, and prints per-path CSV
 // plus a summary. Demonstrates using the library from configuration
 // rather than code.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +29,7 @@
 #include "experiments/lirtss.h"
 #include "history/forecast.h"
 #include "history/store.h"
+#include "monitor/modules/registry.h"
 #include "monitor/qos.h"
 #include "monitor/report.h"
 #include "obs/metrics.h"
@@ -64,6 +66,10 @@ struct Options {
   double history_retention_s = 0;  // raw-span for the history store, 0 = default
   double forecast_horizon_s = 0;   // predictive warnings, 0 = off
   bool serve = false;  // bind the query service on the station
+  /// Comma-separated measurement modules to enable ("all" = every
+  /// registry module). Empty leaves the default pipeline untouched, so
+  /// output stays bit-identical to runs predating the module layer.
+  std::string modules;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -74,7 +80,7 @@ struct Options {
                "[--metrics-out FILE] [--trace-out FILE] "
                "[--metrics-jsonl FILE] [--trace-jsonl FILE] "
                "[--history-retention SECS] [--forecast-horizon SECS] "
-               "[--serve]\n",
+               "[--serve] [--modules LIST]\n",
                argv0);
   std::exit(2);
 }
@@ -125,6 +131,8 @@ Options parse_args(int argc, char** argv) {
           std::atof(next("--forecast-horizon").c_str());
     } else if (arg == "--serve") {
       options.serve = true;
+    } else if (arg == "--modules") {
+      options.modules = next("--modules");
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -229,6 +237,31 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
+  }
+
+  // Opt-in measurement modules. Resolved by name through the registry;
+  // with no --modules the pipeline (and its stdout) is exactly the
+  // pre-module-layer one.
+  std::vector<std::string> module_names;
+  if (!options.modules.empty()) {
+    std::string list = options.modules;
+    if (list == "all") {
+      list.clear();
+      for (const mon::ModuleSpec& spec : mon::available_modules()) {
+        if (!list.empty()) list += ",";
+        list += spec.name;
+      }
+    }
+    try {
+      for (auto& module : mon::make_modules(list)) {
+        module_names.push_back(module->name());
+        monitor.add_module(std::move(module));
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("# modules enabled: %zu\n", module_names.size());
   }
 
   // QoS requirements from the spec drive violation reporting.
@@ -442,6 +475,25 @@ int main(int argc, char** argv) {
   if (predictive != nullptr) {
     std::printf("# predictive: %zu early warnings, %zu events total\n",
                 predictive->warning_count(), predictive->events().size());
+  }
+
+  // End-of-run module summary — printed only when --modules enabled
+  // something, so a plain run's stdout stays bit-identical.
+  if (!module_names.empty()) {
+    for (const mon::ModuleStatus& status : monitor.modules().statuses()) {
+      if (std::find(module_names.begin(), module_names.end(), status.name) ==
+          module_names.end()) {
+        continue;
+      }
+      std::printf("# module %s: %llu samples, %llu errors, %zu B state\n",
+                  status.name.c_str(),
+                  static_cast<unsigned long long>(status.samples),
+                  static_cast<unsigned long long>(status.errors),
+                  status.footprint_bytes);
+      for (const mon::ModuleNote& note : status.notes) {
+        std::printf("#   %s: %s\n", note.key.c_str(), note.value.c_str());
+      }
+    }
   }
 
   if (server != nullptr) {

@@ -191,6 +191,45 @@ void DistributedMonitor::add_sample_callback(
   workers_.front()->add_sample_callback(std::move(callback));
 }
 
+namespace {
+
+/// Streams a worker shard's interface samples into the coordinator's
+/// module host. Installed on every non-coordinator shard once an
+/// interface-consuming module registers, so coordinator modules see the
+/// whole fabric's rate stream no matter which shard polls an interface
+/// — including after an ownership handoff migrates agents.
+class InterfaceForwarder final : public Module {
+ public:
+  explicit InterfaceForwarder(ModuleHost& target)
+      : Module("shard-forwarder"), target_(target) {}
+
+  bool wants_interface_samples() const override { return true; }
+  void on_interface_sample(const InterfaceKey& interface, SimTime time,
+                           const RateSample& rate) override {
+    target_.dispatch_interface_sample(interface, time, rate);
+  }
+
+ private:
+  ModuleHost& target_;
+};
+
+}  // namespace
+
+Module& DistributedMonitor::add_module(std::unique_ptr<Module> module) {
+  const bool wants_interfaces = module->wants_interface_samples();
+  Module& registered = workers_.front()->add_module(std::move(module));
+  if (wants_interfaces && !forwarding_) {
+    // Lazy: shards pay the interface-dispatch cost only once a module
+    // actually consumes that stream.
+    forwarding_ = true;
+    for (std::size_t s = 1; s < workers_.size(); ++s) {
+      workers_[s]->add_module(std::make_unique<InterfaceForwarder>(
+          workers_.front()->modules()));
+    }
+  }
+  return registered;
+}
+
 void DistributedMonitor::start() {
   // Start non-coordinator workers first so their samples are flowing by
   // the time the coordinator evaluates paths.

@@ -65,6 +65,14 @@ class DistributedMonitor {
   void add_path(const std::string& from, const std::string& to);
   void add_sample_callback(NetworkMonitor::SampleCallback callback);
 
+  /// Registers a measurement module on the coordinator. If the module
+  /// consumes interface samples, every worker shard gets a forwarder
+  /// streaming its partition's rates to the coordinator's host, so the
+  /// module sees the whole fabric and keeps its stream across
+  /// adopt_agent/release_agent handoffs.
+  Module& add_module(std::unique_ptr<Module> module);
+  ModuleHost& modules() { return workers_.front()->modules(); }
+
   void start();
   void stop();
 
@@ -109,6 +117,7 @@ class DistributedMonitor {
   std::map<std::string, std::size_t> current_owner_;
   std::vector<bool> shard_dark_;
   std::vector<bool> started_;
+  bool forwarding_ = false;  ///< shard->coordinator interface forwarders up
 };
 
 }  // namespace netqos::mon

@@ -73,7 +73,11 @@ void LatencyProbe::on_reply(const sim::Ipv4Packet& packet) {
   if (it == in_flight_.end()) return;  // late duplicate
   const SimTime sent_at = it->second;
   in_flight_.erase(it);
-  rtts_.add(sim_.now(), to_seconds(sim_.now() - sent_at));
+  const double rtt_seconds = to_seconds(sim_.now() - sent_at);
+  rtts_.add(sim_.now(), rtt_seconds);
+  for (const auto& callback : sample_callbacks_) {
+    callback(sim_.now(), rtt_seconds);
+  }
 }
 
 RunningStats LatencyProbe::rtt_stats() const {

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/stats.h"
 #include "netsim/host.h"
@@ -35,6 +37,14 @@ class LatencyProbe {
   /// RTT samples in seconds over time.
   const TimeSeries& rtt_series() const { return rtts_; }
   RunningStats rtt_stats() const;
+
+  /// Streams every RTT observation (reply time, RTT in seconds) as it
+  /// lands — the hook the latency measurement module aggregates through.
+  /// Subscribers must outlive the probe's last reply.
+  using SampleCallback = std::function<void(SimTime, double)>;
+  void add_sample_callback(SampleCallback callback) {
+    sample_callbacks_.push_back(std::move(callback));
+  }
   std::uint64_t probes_sent() const { return sent_; }
   std::uint64_t probes_lost() const { return lost_; }
 
@@ -54,6 +64,7 @@ class LatencyProbe {
   // sequence -> send time of in-flight probes
   std::unordered_map<std::uint32_t, SimTime> in_flight_;
   TimeSeries rtts_;
+  std::vector<SampleCallback> sample_callbacks_;
   std::uint64_t sent_ = 0;
   std::uint64_t lost_ = 0;
 };

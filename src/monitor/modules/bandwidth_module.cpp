@@ -1,0 +1,57 @@
+#include "monitor/modules/bandwidth_module.h"
+
+#include <set>
+
+#include "history/store.h"
+
+namespace netqos::mon {
+
+void BandwidthModule::produce(ModuleCore& core, SimTime round_start) {
+  ++rounds_;
+
+  // Per-connection usage first: each connection on any watched path gets
+  // one point per round (paths may share connections).
+  std::set<std::size_t> touched;
+  for (const WatchedPath& watched : core.watched_paths()) {
+    touched.insert(watched.path->begin(), watched.path->end());
+  }
+  for (std::size_t ci : touched) {
+    const ConnectionUsage usage =
+        core.calculator().connection_usage(ci, core.samples());
+    if (usage.measured) {
+      core.emit_connection_sample(ci, round_start, usage.used);
+    }
+  }
+
+  for (const WatchedPath& watched : core.watched_paths()) {
+    PathUsage usage = core.calculator().path_usage(
+        *watched.path, core.samples(), round_start, core.stale_after());
+    core.observe_path_age(usage.max_sample_age);
+
+    // Trap-driven link state overrides counters: a downed connection
+    // means zero availability now, however fresh the last rates look.
+    for (std::size_t ci : *watched.path) {
+      if (core.connection_down(ci)) {
+        usage.link_down = true;
+        usage.complete = true;
+        usage.available = 0.0;
+        usage.bottleneck = ci;
+        break;
+      }
+    }
+    if (!usage.complete) {  // first round has no rates yet
+      ++paths_incomplete_;
+      continue;
+    }
+    ++paths_emitted_;
+    core.emit_path_sample(watched.key, round_start, usage);
+  }
+}
+
+std::vector<ModuleNote> BandwidthModule::notes() const {
+  return {{"rounds", std::to_string(rounds_)},
+          {"paths_emitted", std::to_string(paths_emitted_)},
+          {"paths_incomplete", std::to_string(paths_incomplete_)}};
+}
+
+}  // namespace netqos::mon

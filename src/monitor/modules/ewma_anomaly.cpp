@@ -1,0 +1,63 @@
+#include "monitor/modules/ewma_anomaly.h"
+
+#include <cmath>
+
+namespace netqos::mon {
+
+void EwmaAnomalyModule::on_path_sample(const PathKey& key, SimTime time,
+                                       const PathUsage& usage) {
+  PathState& state = paths_[key];
+  const double value = usage.used_at_bottleneck;
+
+  if (state.samples == 0) {
+    // Seed the forecast with the first observation — CoMo's estimator
+    // does the same instead of decaying up from zero.
+    state.forecast = value;
+  }
+  const double error = value - state.forecast;
+  const double squared = error * error;
+
+  // Anomaly check against the *previous* state: the deviating sample
+  // must not first soften the variance it is judged by.
+  if (state.samples >= config_.warmup && state.variance > 0.0 &&
+      squared > config_.threshold * state.variance) {
+    ++state.anomalies;
+    AnomalyEvent event;
+    event.path = key;
+    event.time = time;
+    event.value = value;
+    event.forecast = state.forecast;
+    event.score = std::sqrt(squared / state.variance);
+    // The journal is a bounded window, not an archive: soaks run for
+    // simulated hours and module memory must stay flat.
+    if (events_.size() >= config_.max_events) {
+      events_.erase(events_.begin());
+    }
+    events_.push_back(event);
+    for (const auto& callback : callbacks_) callback(events_.back());
+  }
+
+  state.forecast = config_.alpha * value + (1.0 - config_.alpha) * state.forecast;
+  state.variance =
+      config_.alpha * squared + (1.0 - config_.alpha) * state.variance;
+  ++state.samples;
+}
+
+std::size_t EwmaAnomalyModule::footprint_bytes() const {
+  return paths_.size() * (sizeof(PathKey) + sizeof(PathState)) +
+         events_.capacity() * sizeof(AnomalyEvent);
+}
+
+std::vector<ModuleNote> EwmaAnomalyModule::notes() const {
+  std::vector<ModuleNote> notes;
+  notes.push_back({"paths", std::to_string(paths_.size())});
+  notes.push_back({"anomalies", std::to_string(events_.size())});
+  for (const auto& [key, state] : paths_) {
+    notes.push_back({key.first + "<->" + key.second,
+                     std::to_string(state.anomalies) + " anomalies / " +
+                         std::to_string(state.samples) + " samples"});
+  }
+  return notes;
+}
+
+}  // namespace netqos::mon

@@ -1,0 +1,79 @@
+// EWMA anomaly detection module (CoMo's anomaly-ewma.c technique).
+//
+// Per watched path, the module keeps an exponentially weighted moving
+// forecast of the used bandwidth and an EWMA of the squared forecast
+// error. A sample whose squared deviation from the forecast exceeds
+// `threshold` times the error variance is an anomaly — a shift the
+// requirement-based detectors cannot see (they only compare against a
+// fixed minimum; this flags *change*, up or down, relative to the path's
+// own recent behaviour).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "monitor/module.h"
+
+namespace netqos::mon {
+
+struct EwmaAnomalyConfig {
+  /// Forecast weight of the newest sample (CoMo's `weight`).
+  double alpha = 0.125;
+  /// Squared-deviation multiple of the error variance that flags an
+  /// anomaly.
+  double threshold = 9.0;
+  /// Samples absorbed per path before anomalies may fire — cold-start
+  /// forecasts are meaningless.
+  std::uint64_t warmup = 8;
+  /// Retained anomaly journal entries; the oldest is dropped once full
+  /// so module memory stays bounded over arbitrarily long runs.
+  std::size_t max_events = 256;
+};
+
+struct AnomalyEvent {
+  PathKey path;
+  SimTime time = 0;
+  BytesPerSecond value = 0.0;     ///< observed used bandwidth
+  BytesPerSecond forecast = 0.0;  ///< EWMA forecast it deviated from
+  /// Deviation in standard-deviation multiples (sqrt of the squared-
+  /// deviation over variance ratio).
+  double score = 0.0;
+};
+
+class EwmaAnomalyModule final : public Module {
+ public:
+  using EventCallback = std::function<void(const AnomalyEvent&)>;
+
+  explicit EwmaAnomalyModule(EwmaAnomalyConfig config = {})
+      : Module("ewma-anomaly"), config_(config) {}
+
+  void on_path_sample(const PathKey& key, SimTime time,
+                      const PathUsage& usage) override;
+
+  void add_event_callback(EventCallback callback) {
+    callbacks_.push_back(std::move(callback));
+  }
+
+  const std::vector<AnomalyEvent>& events() const { return events_; }
+  const EwmaAnomalyConfig& config() const { return config_; }
+
+  std::size_t footprint_bytes() const override;
+  std::vector<ModuleNote> notes() const override;
+
+ private:
+  struct PathState {
+    double forecast = 0.0;   ///< EWMA of the observed values
+    double variance = 0.0;   ///< EWMA of squared forecast errors
+    std::uint64_t samples = 0;
+    std::uint64_t anomalies = 0;
+  };
+
+  EwmaAnomalyConfig config_;
+  std::map<PathKey, PathState> paths_;
+  std::vector<AnomalyEvent> events_;
+  std::vector<EventCallback> callbacks_;
+};
+
+}  // namespace netqos::mon

@@ -1,0 +1,47 @@
+#include "monitor/modules/latency_module.h"
+
+#include <cstdio>
+
+namespace netqos::mon {
+namespace {
+
+std::string format_ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+void LatencyModule::track(const std::string& label, LatencyProbe& probe) {
+  targets_.push_back({label, {}, 0.0, 0});
+  const std::size_t index = targets_.size() - 1;
+  probe.add_sample_callback([this, index](SimTime time, double rtt_seconds) {
+    TargetStats& target = targets_[index];
+    target.rtt.add(rtt_seconds);
+    target.last_rtt = rtt_seconds;
+    target.last_time = time;
+    count_external_sample();
+  });
+}
+
+std::size_t LatencyModule::footprint_bytes() const {
+  std::size_t labels = 0;
+  for (const TargetStats& target : targets_) labels += target.label.size();
+  return labels + targets_.capacity() * sizeof(TargetStats);
+}
+
+std::vector<ModuleNote> LatencyModule::notes() const {
+  std::vector<ModuleNote> notes;
+  notes.push_back({"targets", std::to_string(targets_.size())});
+  for (const TargetStats& target : targets_) {
+    notes.push_back(
+        {target.label,
+         std::to_string(target.rtt.count()) + " probes, mean " +
+             format_ms(target.rtt.mean()) + ", max " +
+             format_ms(target.rtt.max())});
+  }
+  return notes;
+}
+
+}  // namespace netqos::mon

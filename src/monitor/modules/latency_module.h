@@ -1,0 +1,42 @@
+// Latency aggregation as a measurement module.
+//
+// Active probing stays outside the module layer — a LatencyProbe owns
+// its UDP echo traffic, because modules may not touch the network. This
+// module subscribes to any number of probes' RTT streams and aggregates
+// them per target, giving latency the same telemetry, query visibility,
+// and lifecycle every other metric has.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "monitor/latency.h"
+#include "monitor/module.h"
+
+namespace netqos::mon {
+
+class LatencyModule final : public Module {
+ public:
+  LatencyModule() : Module("latency") {}
+
+  /// Subscribes to `probe`'s RTT samples under `label` (e.g. "L->S2").
+  /// The module must outlive the probe's last sample delivery.
+  void track(const std::string& label, LatencyProbe& probe);
+
+  struct TargetStats {
+    std::string label;
+    RunningStats rtt;           ///< seconds
+    double last_rtt = 0.0;      ///< seconds
+    SimTime last_time = 0;
+  };
+  const std::vector<TargetStats>& targets() const { return targets_; }
+
+  std::size_t footprint_bytes() const override;
+  std::vector<ModuleNote> notes() const override;
+
+ private:
+  std::vector<TargetStats> targets_;
+};
+
+}  // namespace netqos::mon

@@ -1,0 +1,90 @@
+#include "monitor/modules/top_talkers.h"
+
+#include <algorithm>
+
+namespace netqos::mon {
+
+void TopTalkersModule::init(ModuleCore& core) {
+  poll_interval_ = core.poll_interval();
+}
+
+void TopTalkersModule::on_interface_sample(const InterfaceKey& interface,
+                                           SimTime time,
+                                           const RateSample& rate) {
+  (void)time;
+  // Rate integrated over its own measurement interval = exact byte count
+  // the counters moved between the two polls.
+  interface_bytes_[interface.first + "/" + interface.second] +=
+      rate.total_rate() * rate.interval_seconds;
+}
+
+void TopTalkersModule::on_path_sample(const PathKey& key, SimTime time,
+                                      const PathUsage& usage) {
+  (void)time;
+  // Path samples arrive once per poll round; the bottleneck rate held
+  // for roughly one poll interval of traffic.
+  path_bytes_[key.first + "<->" + key.second] +=
+      usage.used_at_bottleneck * to_seconds(poll_interval_);
+}
+
+std::vector<TalkerEntry> TopTalkersModule::ranked(
+    const std::map<std::string, double>& tally, std::size_t n) {
+  std::vector<TalkerEntry> entries;
+  entries.reserve(tally.size());
+  for (const auto& [label, bytes] : tally) entries.push_back({label, bytes});
+  std::sort(entries.begin(), entries.end(),
+            [](const TalkerEntry& a, const TalkerEntry& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.label < b.label;
+            });
+  if (entries.size() > n) entries.resize(n);
+  return entries;
+}
+
+std::vector<TalkerEntry> TopTalkersModule::top_interfaces(
+    std::size_t n) const {
+  return ranked(interface_bytes_, n > 0 ? n : config_.top_n);
+}
+
+std::vector<TalkerEntry> TopTalkersModule::top_paths(std::size_t n) const {
+  return ranked(path_bytes_, n > 0 ? n : config_.top_n);
+}
+
+std::size_t TopTalkersModule::footprint_bytes() const {
+  std::size_t labels = 0;
+  for (const auto& [label, bytes] : interface_bytes_) {
+    (void)bytes;
+    labels += label.size();
+  }
+  for (const auto& [label, bytes] : path_bytes_) {
+    (void)bytes;
+    labels += label.size();
+  }
+  return labels + (interface_bytes_.size() + path_bytes_.size()) *
+                      (sizeof(std::string) + sizeof(double));
+}
+
+std::vector<ModuleNote> TopTalkersModule::notes() const {
+  std::vector<ModuleNote> notes;
+  notes.push_back({"interfaces", std::to_string(interface_bytes_.size())});
+  notes.push_back({"paths", std::to_string(path_bytes_.size())});
+  int rank = 1;
+  for (const TalkerEntry& entry : top_interfaces()) {
+    notes.push_back({"if#" + std::to_string(rank++),
+                     entry.label + " " +
+                         std::to_string(static_cast<std::uint64_t>(
+                             entry.bytes)) +
+                         " B"});
+  }
+  rank = 1;
+  for (const TalkerEntry& entry : top_paths()) {
+    notes.push_back({"path#" + std::to_string(rank++),
+                     entry.label + " " +
+                         std::to_string(static_cast<std::uint64_t>(
+                             entry.bytes)) +
+                         " B"});
+  }
+  return notes;
+}
+
+}  // namespace netqos::mon

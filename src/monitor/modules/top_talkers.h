@@ -1,0 +1,60 @@
+// Top-talker accounting module (CoMo's topports.c / topdest.c style).
+//
+// Consumes the interface-sample hot path: every rate the core computes
+// from a poll response adds `total_rate * interval` bytes to that
+// interface's tally, so the module ranks interfaces by actual byte
+// volume, whole-fabric, without ever touching SNMP. Watched paths are
+// tallied from the path-sample stream the bandwidth producer emits
+// (used-at-bottleneck integrated over the poll interval).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "monitor/module.h"
+
+namespace netqos::mon {
+
+struct TopTalkersConfig {
+  /// Entries reported by top_interfaces()/top_paths() and notes().
+  std::size_t top_n = 10;
+};
+
+/// One ranked entry: an interface ("node/ifDescr") or path ("A<->B")
+/// label with its accumulated byte volume.
+struct TalkerEntry {
+  std::string label;
+  double bytes = 0.0;
+};
+
+class TopTalkersModule final : public Module {
+ public:
+  explicit TopTalkersModule(TopTalkersConfig config = {})
+      : Module("top-talkers"), config_(config) {}
+
+  bool wants_interface_samples() const override { return true; }
+  void on_interface_sample(const InterfaceKey& interface, SimTime time,
+                           const RateSample& rate) override;
+  void on_path_sample(const PathKey& key, SimTime time,
+                      const PathUsage& usage) override;
+  void init(ModuleCore& core) override;
+
+  /// Top interfaces by byte volume, descending (ties break on label so
+  /// the ranking is deterministic).
+  std::vector<TalkerEntry> top_interfaces(std::size_t n = 0) const;
+  std::vector<TalkerEntry> top_paths(std::size_t n = 0) const;
+
+  std::size_t footprint_bytes() const override;
+  std::vector<ModuleNote> notes() const override;
+
+ private:
+  static std::vector<TalkerEntry> ranked(
+      const std::map<std::string, double>& tally, std::size_t n);
+
+  TopTalkersConfig config_;
+  SimDuration poll_interval_ = 0;
+  std::map<std::string, double> interface_bytes_;
+  std::map<std::string, double> path_bytes_;
+};
+
+}  // namespace netqos::mon

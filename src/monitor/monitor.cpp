@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "monitor/modules/bandwidth_module.h"
 
 namespace netqos::mon {
 namespace {
@@ -53,12 +54,14 @@ NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
       calculator_(topo, plan_),
       own_db_(config_.retention),
       db_(&own_db_),
-      history_(config_.retention) {
+      history_(config_.retention),
+      modules_(*this, *metrics_, station_label_) {
   init_metrics(station_label_);
   own_db_.attach_metrics(*metrics_);
   history_.attach_metrics(*metrics_, "paths");
   select_agents();
   init_scheduler();
+  modules_.add(std::make_unique<BandwidthModule>());
 }
 
 NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
@@ -81,13 +84,15 @@ NetworkMonitor::NetworkMonitor(sim::Simulator& sim,
       calculator_(topo, plan_),
       own_db_(config_.retention),
       db_(&shared_db),
-      history_(config_.retention) {
+      history_(config_.retention),
+      modules_(*this, *metrics_, station_label_) {
   // The shared db is not attached here: its owner (e.g. the distributed
   // coordinator) decides which registry exports it.
   init_metrics(station_label_);
   history_.attach_metrics(*metrics_, "paths");
   select_agents();
   init_scheduler();
+  modules_.add(std::make_unique<BandwidthModule>());
 }
 
 void NetworkMonitor::init_scheduler() {
@@ -354,6 +359,13 @@ void NetworkMonitor::add_path(const std::string& from,
   entry.key = {from, to};
   entry.path = std::move(*path);
   paths_.push_back(std::move(entry));
+  // Rebuild the module-facing view: the push_back may have reallocated
+  // the Path storage the old views pointed into.
+  watched_paths_.clear();
+  watched_paths_.reserve(paths_.size());
+  for (const MonitoredPath& p : paths_) {
+    watched_paths_.push_back({p.key, &p.path});
+  }
 }
 
 void NetworkMonitor::start() {
@@ -381,6 +393,9 @@ void NetworkMonitor::stop() {
     sim_.cancel(next_round_event_);
     next_round_event_ = 0;
   }
+  // Modules finalize their aggregates before the stop callbacks flush
+  // output streams.
+  modules_.flush();
   for (const auto& callback : stop_callbacks_) callback();
 }
 
@@ -601,7 +616,11 @@ void NetworkMonitor::poll_agent(const AgentTask& task,
             sample.out_packets = out_pkt->value;
             sample.in_discards = in_disc->value;
             sample.out_discards = out_disc->value;
-            db_->update({node, interfaces[i]}, sample_time, sample);
+            const InterfaceKey key{node, interfaces[i]};
+            if (const auto rate = db_->update(key, sample_time, sample);
+                rate.has_value() && modules_.has_interface_consumers()) {
+              modules_.dispatch_interface_sample(key, sample_time, *rate);
+            }
           }
           if (!parse_ok) {
             agent_poll_failures_->inc();
@@ -726,7 +745,11 @@ void NetworkMonitor::poll_agent_batched(const AgentTask& task,
             sample.out_packets = out_pkt->value;
             sample.in_discards = in_disc->value;
             sample.out_discards = out_disc->value;
-            db_->update({node, if_name}, sample_time, sample);
+            const InterfaceKey key{node, if_name};
+            if (const auto rate = db_->update(key, sample_time, sample);
+                rate.has_value() && modules_.has_interface_consumers()) {
+              modules_.dispatch_interface_sample(key, sample_time, *rate);
+            }
           }
         }
         if (!poll_ok) {
@@ -750,50 +773,30 @@ void NetworkMonitor::finish_round(const std::shared_ptr<Round>& round) {
   round_duration_->observe(to_seconds(sim_.now() - round->started));
   if (round->has_span) config_.spans->end(round->span, sim_.now());
 
-  // Per-connection history: each connection on any monitored path gets
-  // one point per round (paths may share connections).
-  std::set<std::size_t> touched;
-  for (const MonitoredPath& entry : paths_) {
-    touched.insert(entry.path.begin(), entry.path.end());
-  }
-  for (std::size_t ci : touched) {
-    const ConnectionUsage usage = calculator_.connection_usage(ci, *db_);
-    if (usage.measured) {
-      history_.append(hist::connection_series_key(ci), round->started,
-                      usage.used);
-    }
-  }
+  // Metric computation is entirely the modules' job: the bandwidth
+  // producer evaluates every watched path and emits the round's sample
+  // stream, which routes back through emit_* below to history storage
+  // and the consumer modules.
+  modules_.run_round(round->started);
+}
 
-  for (MonitoredPath& entry : paths_) {
-    PathUsage usage = calculator_.path_usage(entry.path, *db_, round->started,
-                                             effective_stale_after());
-    path_sample_age_->observe(to_seconds(usage.max_sample_age));
+void NetworkMonitor::emit_path_sample(const PathKey& key, SimTime time,
+                                      const PathUsage& usage) {
+  history_.append(hist::path_series_key(key.first, key.second, "used"), time,
+                  usage.used_at_bottleneck);
+  history_.append(hist::path_series_key(key.first, key.second, "avail"),
+                  time, usage.available);
+  modules_.dispatch_path_sample(key, time, usage);
+}
 
-    // Trap-driven link state overrides counters: a downed connection
-    // means zero availability now, however fresh the last rates look.
-    if (failure_detector_ != nullptr) {
-      for (std::size_t ci : entry.path) {
-        if (failure_detector_->connection_down(ci)) {
-          usage.link_down = true;
-          usage.complete = true;
-          usage.available = 0.0;
-          usage.bottleneck = ci;
-          break;
-        }
-      }
-    }
-    if (!usage.complete) continue;  // first round has no rates yet
+void NetworkMonitor::emit_connection_sample(std::size_t connection,
+                                            SimTime time,
+                                            BytesPerSecond used) {
+  history_.append(hist::connection_series_key(connection), time, used);
+}
 
-    history_.append(
-        hist::path_series_key(entry.key.first, entry.key.second, "used"),
-        round->started, usage.used_at_bottleneck);
-    history_.append(
-        hist::path_series_key(entry.key.first, entry.key.second, "avail"),
-        round->started, usage.available);
-    for (const auto& callback : sample_callbacks_) {
-      callback(entry.key, round->started, usage);
-    }
-  }
+void NetworkMonitor::observe_path_age(SimDuration age) {
+  path_sample_age_->observe(to_seconds(age));
 }
 
 const TimeSeries& NetworkMonitor::materialized_series(

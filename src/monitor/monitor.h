@@ -20,6 +20,7 @@
 #include "history/store.h"
 #include "monitor/bandwidth.h"
 #include "monitor/failure.h"
+#include "monitor/module.h"
 #include "monitor/plan.h"
 #include "monitor/scheduler.h"
 #include "monitor/stats_db.h"
@@ -86,10 +87,7 @@ struct MonitorStats {
   std::uint64_t quarantine_transitions = 0;
 };
 
-/// A monitored host pair, as given to add_path.
-using PathKey = std::pair<std::string, std::string>;
-
-class NetworkMonitor {
+class NetworkMonitor : private ModuleCore {
  public:
   /// `station` is the host the monitor runs on; all SNMP traffic leaves
   /// through its UDP stack and therefore consumes real bandwidth.
@@ -123,11 +121,26 @@ class NetworkMonitor {
 
   /// Invoked after every completed poll round, once per monitored path.
   /// Multiple consumers (reporting sinks, the QoS detector, the RM
-  /// middleware) may subscribe.
+  /// middleware) may subscribe. Each callback registers as an anonymous
+  /// consumer module, so legacy subscribers and measurement modules
+  /// share one delivery list ordered by registration — the subscription
+  /// order the seed pipeline fired callbacks in.
   using SampleCallback =
       std::function<void(const PathKey&, SimTime, const PathUsage&)>;
   void add_sample_callback(SampleCallback callback) {
-    sample_callbacks_.push_back(std::move(callback));
+    modules_.add(std::make_unique<CallbackModule>("callback",
+                                                  std::move(callback)));
+  }
+
+  /// The measurement-module registry: the built-in bandwidth producer is
+  /// always first; detectors, sinks, and observer modules follow in
+  /// registration order. Use add(unique_ptr) for monitor-owned modules
+  /// and attach(ref) for externally owned ones.
+  ModuleHost& modules() { return modules_; }
+  const ModuleHost& modules() const { return modules_; }
+  /// Shorthand for modules().add — registers a monitor-owned module.
+  Module& add_module(std::unique_ptr<Module> module) {
+    return modules_.add(std::move(module));
   }
 
   /// Bytes/sec used at the path bottleneck over time (the paper's
@@ -211,11 +224,38 @@ class NetworkMonitor {
   snmp::ClientStats client_stats() const { return client_.stats(); }
   /// The registry the monitor's instruments live in (own or shared).
   obs::MetricsRegistry& metrics() { return *metrics_; }
-  const topo::NetworkTopology& topology() const { return topo_; }
+  const topo::NetworkTopology& topology() const override { return topo_; }
   /// Name of the station host this monitor polls from.
-  const std::string& station() const { return station_label_; }
+  const std::string& station() const override { return station_label_; }
 
  private:
+  // ModuleCore: the read-only state and emission hooks measurement
+  // modules see. Emissions route through the core so modules never touch
+  // the HistoryStore (or each other) directly.
+  const PollPlan& poll_plan() const override { return plan_; }
+  const StatsDb& samples() const override { return *db_; }
+  const BandwidthCalculator& calculator() const override {
+    return calculator_;
+  }
+  const std::vector<WatchedPath>& watched_paths() const override {
+    return watched_paths_;
+  }
+  SimDuration poll_interval() const override {
+    return config_.poll_interval;
+  }
+  SimDuration stale_after() const override {
+    return effective_stale_after();
+  }
+  bool connection_down(std::size_t connection) const override {
+    return failure_detector_ != nullptr &&
+           failure_detector_->connection_down(connection);
+  }
+  void emit_path_sample(const PathKey& key, SimTime time,
+                        const PathUsage& usage) override;
+  void emit_connection_sample(std::size_t connection, SimTime time,
+                              BytesPerSecond used) override;
+  void observe_path_age(SimDuration age) override;
+
   struct MonitoredPath {
     PathKey key;
     topo::Path path;
@@ -320,7 +360,6 @@ class NetworkMonitor {
   bool resolving_ = false;
   bool rounds_scheduled_ = false;
   sim::EventId next_round_event_ = 0;
-  std::vector<SampleCallback> sample_callbacks_;
   std::vector<StopCallback> stop_callbacks_;
   std::vector<QuarantineCallback> quarantine_callbacks_;
   const FailureDetector* failure_detector_ = nullptr;
@@ -329,6 +368,14 @@ class NetworkMonitor {
   hist::HistoryStore history_;
   /// Scratch for the materialized TimeSeries views over store rings.
   mutable std::map<std::string, TimeSeries> series_scratch_;
+  /// paths_ re-expressed for modules; rebuilt whenever paths_ changes
+  /// (push_back may reallocate the Path storage the views point into).
+  std::vector<WatchedPath> watched_paths_;
+  /// The measurement modules: bandwidth producer first (registered by
+  /// the constructor), then detectors/sinks/observers in registration
+  /// order. Declared last so modules may hold references into the core
+  /// during destruction.
+  ModuleHost modules_;
 };
 
 }  // namespace netqos::mon

@@ -4,11 +4,10 @@ namespace netqos::mon {
 
 ViolationDetector::ViolationDetector(NetworkMonitor& monitor,
                                      double recovery_margin)
-    : monitor_(monitor), recovery_margin_(recovery_margin) {
-  monitor_.add_sample_callback(
-      [this](const PathKey& key, SimTime time, const PathUsage& usage) {
-        on_sample(key, time, usage);
-      });
+    : Module("qos.violation"),
+      monitor_(monitor),
+      recovery_margin_(recovery_margin) {
+  monitor_.modules().attach(*this);
 }
 
 bool ViolationDetector::same_pair(const PathKey& a, const PathKey& b) {
@@ -27,8 +26,8 @@ void ViolationDetector::add_requirement(const std::string& from,
   requirements_.push_back({{from, to}, min_available, false});
 }
 
-void ViolationDetector::on_sample(const PathKey& key, SimTime time,
-                                  const PathUsage& usage) {
+void ViolationDetector::on_path_sample(const PathKey& key, SimTime time,
+                                       const PathUsage& usage) {
   for (Requirement& req : requirements_) {
     if (!same_pair(req.key, key)) continue;
 
@@ -71,6 +70,19 @@ bool ViolationDetector::in_violation(const std::string& from,
   return false;
 }
 
+std::size_t ViolationDetector::footprint_bytes() const {
+  return requirements_.capacity() * sizeof(Requirement) +
+         events_.capacity() * sizeof(QosEvent);
+}
+
+std::vector<ModuleNote> ViolationDetector::notes() const {
+  std::size_t active = 0;
+  for (const Requirement& req : requirements_) active += req.violated;
+  return {{"requirements", std::to_string(requirements_.size())},
+          {"events", std::to_string(events_.size())},
+          {"active_violations", std::to_string(active)}};
+}
+
 namespace {
 
 bool unordered_pair_equal(const PathKey& a, const PathKey& b) {
@@ -82,11 +94,8 @@ bool unordered_pair_equal(const PathKey& a, const PathKey& b) {
 
 PredictiveDetector::PredictiveDetector(NetworkMonitor& monitor,
                                        PredictiveConfig config)
-    : monitor_(monitor), config_(config) {
-  monitor_.add_sample_callback(
-      [this](const PathKey& key, SimTime time, const PathUsage& usage) {
-        on_sample(key, time, usage);
-      });
+    : Module("qos.predictive"), monitor_(monitor), config_(config) {
+  monitor_.modules().attach(*this);
 }
 
 void PredictiveDetector::add_requirement(const std::string& from,
@@ -104,8 +113,8 @@ void PredictiveDetector::add_requirement(const std::string& from,
   requirements_.push_back(std::move(req));
 }
 
-void PredictiveDetector::on_sample(const PathKey& key, SimTime time,
-                                   const PathUsage& usage) {
+void PredictiveDetector::on_path_sample(const PathKey& key, SimTime time,
+                                        const PathUsage& usage) {
   observe(key, time, usage.available);
 }
 
@@ -213,6 +222,23 @@ std::size_t PredictiveDetector::warning_count() const {
     if (event.kind == PredictiveEvent::Kind::kEarlyWarning) ++count;
   }
   return count;
+}
+
+std::size_t PredictiveDetector::footprint_bytes() const {
+  std::size_t recent = 0;
+  for (const Requirement& req : requirements_) {
+    recent += req.recent.capacity() * sizeof(TimePoint);
+  }
+  return requirements_.capacity() * sizeof(Requirement) + recent +
+         events_.capacity() * sizeof(PredictiveEvent);
+}
+
+std::vector<ModuleNote> PredictiveDetector::notes() const {
+  std::size_t warnings = 0;
+  for (const Requirement& req : requirements_) warnings += req.warning;
+  return {{"requirements", std::to_string(requirements_.size())},
+          {"warnings", std::to_string(warning_count())},
+          {"active_warnings", std::to_string(warnings)}};
 }
 
 }  // namespace netqos::mon

@@ -30,12 +30,17 @@ struct QosEvent {
   std::string bottleneck_description;
 };
 
-class ViolationDetector {
+/// Reactive violation detection, expressed as a measurement module: the
+/// detector registers itself with the monitor's module host ("qos" name
+/// family) and consumes the path-sample stream the bandwidth producer
+/// emits.
+class ViolationDetector : public Module {
  public:
   using EventCallback = std::function<void(const QosEvent&)>;
 
   /// `recovery_margin` is the fractional headroom above the requirement
-  /// needed before a violated path is declared recovered.
+  /// needed before a violated path is declared recovered. Registers with
+  /// `monitor`'s module host; deregisters on destruction.
   explicit ViolationDetector(NetworkMonitor& monitor,
                              double recovery_margin = 0.05);
 
@@ -56,6 +61,9 @@ class ViolationDetector {
   /// True while the given path is in violation.
   bool in_violation(const std::string& from, const std::string& to) const;
 
+  std::size_t footprint_bytes() const override;
+  std::vector<ModuleNote> notes() const override;
+
  private:
   struct Requirement {
     PathKey key;
@@ -63,7 +71,8 @@ class ViolationDetector {
     bool violated = false;
   };
 
-  void on_sample(const PathKey& key, SimTime time, const PathUsage& usage);
+  void on_path_sample(const PathKey& key, SimTime time,
+                      const PathUsage& usage) override;
   static bool same_pair(const PathKey& a, const PathKey& b);
 
   NetworkMonitor& monitor_;
@@ -116,8 +125,10 @@ struct PredictiveEvent {
 /// the trend says the requirement will be crossed within `horizon` —
 /// before the reactive ViolationDetector can see the actual violation.
 /// Once the real violation happens the warning state retires silently
-/// (the reactive event owns the incident from there).
-class PredictiveDetector {
+/// (the reactive event owns the incident from there). Like the reactive
+/// detector, this is a measurement module consuming the path-sample
+/// stream.
+class PredictiveDetector : public Module {
  public:
   using EventCallback = std::function<void(const PredictiveEvent&)>;
 
@@ -150,6 +161,9 @@ class PredictiveDetector {
 
   const PredictiveConfig& config() const { return config_; }
 
+  std::size_t footprint_bytes() const override;
+  std::vector<ModuleNote> notes() const override;
+
  private:
   struct Requirement {
     PathKey key;
@@ -163,7 +177,8 @@ class PredictiveDetector {
     bool violated = false;  ///< actual violation observed; warning retired
   };
 
-  void on_sample(const PathKey& key, SimTime time, const PathUsage& usage);
+  void on_path_sample(const PathKey& key, SimTime time,
+                      const PathUsage& usage) override;
 
   NetworkMonitor& monitor_;
   PredictiveConfig config_;

@@ -28,6 +28,12 @@ void QueryClient::health(Callback callback) {
   send_request(std::move(message), std::move(callback));
 }
 
+void QueryClient::modules(Callback callback) {
+  Message message;
+  message.header.type = MessageType::kModulesRequest;
+  send_request(std::move(message), std::move(callback));
+}
+
 void QueryClient::subscribe(Callback callback) {
   Message message;
   message.header.type = MessageType::kSubscribe;

@@ -65,6 +65,8 @@ class QueryClient {
 
   void window(const WindowRequest& request, Callback callback);
   void health(Callback callback);
+  /// Fetches the monitor's registered measurement modules + telemetry.
+  void modules(Callback callback);
   /// Registers this client's port for event pushes; the ack (or refusal)
   /// arrives through `callback`.
   void subscribe(Callback callback);

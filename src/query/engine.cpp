@@ -176,4 +176,21 @@ HealthResponse QueryEngine::health(SimTime now) const {
   return response;
 }
 
+ModulesResponse QueryEngine::modules(SimTime now) const {
+  ModulesResponse response;
+  response.server_now = now;
+  for (const mon::ModuleStatus& status : monitor_.modules().statuses()) {
+    ModuleStatusRow row;
+    row.name = status.name;
+    row.samples = status.samples;
+    row.errors = status.errors;
+    row.footprint_bytes = status.footprint_bytes;
+    for (const mon::ModuleNote& note : status.notes) {
+      row.notes.emplace_back(note.key, note.value);
+    }
+    response.modules.push_back(std::move(row));
+  }
+  return response;
+}
+
 }  // namespace netqos::query

@@ -43,6 +43,10 @@ class QueryEngine {
   /// every monitored path's current usage, staleness, and detector state.
   HealthResponse health(SimTime now) const;
 
+  /// Registered measurement modules with their delivery/error telemetry
+  /// and self-description notes.
+  ModulesResponse modules(SimTime now) const;
+
   const mon::NetworkMonitor& monitor() const { return monitor_; }
 
  private:

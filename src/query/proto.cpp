@@ -100,6 +100,23 @@ void encode_body(ByteWriter& out, const Message& m) {
       put_f64(out, e.required);
       break;
     }
+    case MessageType::kModulesResponse: {
+      const ModulesResponse& r = m.modules_response;
+      put_time(out, r.server_now);
+      out.put_u16(static_cast<std::uint16_t>(r.modules.size()));
+      for (const ModuleStatusRow& row : r.modules) {
+        put_str(out, row.name);
+        out.put_u64(row.samples);
+        out.put_u64(row.errors);
+        out.put_u64(row.footprint_bytes);
+        out.put_u16(static_cast<std::uint16_t>(row.notes.size()));
+        for (const auto& [key, value] : row.notes) {
+          put_str(out, key);
+          put_str(out, value);
+        }
+      }
+      break;
+    }
     case MessageType::kError:
       put_str(out, m.error);
       break;
@@ -107,6 +124,7 @@ void encode_body(ByteWriter& out, const Message& m) {
     case MessageType::kSubscribe:
     case MessageType::kSubscribeAck:
     case MessageType::kUnsubscribe:
+    case MessageType::kModulesRequest:
       break;  // header-only frames
   }
 }
@@ -196,6 +214,28 @@ void decode_body(ByteReader& in, Message& m) {
       e.required = read_f64(in);
       break;
     }
+    case MessageType::kModulesResponse: {
+      ModulesResponse& r = m.modules_response;
+      r.server_now = read_time(in);
+      const std::uint16_t modules = in.get_u16();
+      r.modules.reserve(modules);
+      for (std::uint16_t i = 0; i < modules; ++i) {
+        ModuleStatusRow row;
+        row.name = read_str(in);
+        row.samples = in.get_u64();
+        row.errors = in.get_u64();
+        row.footprint_bytes = in.get_u64();
+        const std::uint16_t notes = in.get_u16();
+        row.notes.reserve(notes);
+        for (std::uint16_t j = 0; j < notes; ++j) {
+          std::string key = read_str(in);
+          std::string value = read_str(in);
+          row.notes.emplace_back(std::move(key), std::move(value));
+        }
+        r.modules.push_back(std::move(row));
+      }
+      break;
+    }
     case MessageType::kError:
       m.error = read_str(in);
       break;
@@ -203,6 +243,7 @@ void decode_body(ByteReader& in, Message& m) {
     case MessageType::kSubscribe:
     case MessageType::kSubscribeAck:
     case MessageType::kUnsubscribe:
+    case MessageType::kModulesRequest:
       break;
   }
 }
@@ -220,6 +261,8 @@ const char* message_type_name(MessageType type) {
     case MessageType::kUnsubscribe: return "unsubscribe";
     case MessageType::kEvent: return "event";
     case MessageType::kError: return "error";
+    case MessageType::kModulesRequest: return "modules-request";
+    case MessageType::kModulesResponse: return "modules-response";
   }
   return "?";
 }
@@ -277,7 +320,7 @@ Message decode_message(std::span<const std::uint8_t> wire) {
   Message m;
   const std::uint8_t type = in.get_u8();
   if (type < static_cast<std::uint8_t>(MessageType::kWindowRequest) ||
-      type > static_cast<std::uint8_t>(MessageType::kError)) {
+      type > static_cast<std::uint8_t>(MessageType::kModulesResponse)) {
     throw ProtocolError("unknown message type " + std::to_string(type));
   }
   m.header.type = static_cast<MessageType>(type);

@@ -22,6 +22,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/byte_buffer.h"
@@ -52,6 +53,8 @@ enum class MessageType : std::uint8_t {
   kUnsubscribe = 7,     ///< acked with kSubscribeAck as well
   kEvent = 8,           ///< pushed to subscribers, no request id
   kError = 9,
+  kModulesRequest = 10,  ///< registered measurement modules + telemetry
+  kModulesResponse = 11,
 };
 
 const char* message_type_name(MessageType type);
@@ -133,6 +136,22 @@ struct HealthResponse {
   std::vector<PathHealthRow> paths;
 };
 
+/// One registered measurement module: host-side telemetry plus the
+/// module's own key/value self-description (mon::ModuleStatus on the
+/// wire).
+struct ModuleStatusRow {
+  std::string name;
+  std::uint64_t samples = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t footprint_bytes = 0;
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+struct ModulesResponse {
+  SimTime server_now = 0;
+  std::vector<ModuleStatusRow> modules;
+};
+
 /// One pushed notification on the subscription channel.
 struct Event {
   enum class Kind : std::uint8_t {
@@ -162,6 +181,7 @@ struct Message {
   WindowRequest window_request;
   WindowResponse window_response;
   HealthResponse health_response;
+  ModulesResponse modules_response;
   Event event;
   std::string error;
 };

@@ -27,6 +27,7 @@ QueryServer::QueryServer(sim::Simulator& sim, sim::Host& station,
   const obs::Labels labels = {{"server", station_.name()}};
   window_requests_ = &endpoint_counter("window");
   health_requests_ = &endpoint_counter("health");
+  modules_requests_ = &endpoint_counter("modules");
   subscribes_ = &endpoint_counter("subscribe");
   unsubscribes_ = &endpoint_counter("unsubscribe");
   bad_requests_ = &metrics_->counter(
@@ -166,6 +167,13 @@ void QueryServer::handle(const Message& request,
       response.health_response = engine_.health(sim_.now());
       break;
     }
+    case MessageType::kModulesRequest: {
+      modules_requests_->inc();
+      latency_->observe(to_seconds(std::max<SimDuration>(upstream, 0)));
+      response.header.type = MessageType::kModulesResponse;
+      response.modules_response = engine_.modules(sim_.now());
+      break;
+    }
     case MessageType::kSubscribe: {
       subscribes_->inc();
       const Subscriber subscriber{packet.src, packet.udp.src_port};
@@ -225,6 +233,7 @@ QueryServerStats QueryServer::stats() const {
   QueryServerStats stats;
   stats.window_requests = window_requests_->value();
   stats.health_requests = health_requests_->value();
+  stats.modules_requests = modules_requests_->value();
   stats.subscribes = subscribes_->value();
   stats.unsubscribes = unsubscribes_->value();
   stats.bad_requests = bad_requests_->value();

@@ -37,6 +37,7 @@ struct QueryServerConfig {
 struct QueryServerStats {
   std::uint64_t window_requests = 0;
   std::uint64_t health_requests = 0;
+  std::uint64_t modules_requests = 0;
   std::uint64_t subscribes = 0;
   std::uint64_t unsubscribes = 0;
   std::uint64_t bad_requests = 0;  ///< undecodable or refused frames
@@ -95,6 +96,7 @@ class QueryServer {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* window_requests_ = nullptr;
   obs::Counter* health_requests_ = nullptr;
+  obs::Counter* modules_requests_ = nullptr;
   obs::Counter* subscribes_ = nullptr;
   obs::Counter* unsubscribes_ = nullptr;
   obs::Counter* bad_requests_ = nullptr;

@@ -127,6 +127,26 @@ TEST(NetqosLint, R4SimTimePurityAcceptsGoodFixture) {
   expect_clean("r4_good.cpp");
 }
 
+TEST(NetqosLint, R5ModulePurityFlagsBadFixture) {
+  // SNMP include, SnmpClient member + poll call, mutable StatsDb handle,
+  // and a StatsDb mutator call must all be caught.
+  expect_flags("r5_bad.cpp", "R5", 4);
+}
+
+TEST(NetqosLint, R5ModulePurityAcceptsGoodFixture) {
+  expect_clean("r5_good.cpp");
+}
+
+// The rule is content-scoped too: any Module subclass outside the core
+// is a measurement module, wherever the file lives. The shipped module
+// directory itself must be clean (also covered by the src-tree gate,
+// but this keeps the failure message precise).
+TEST(NetqosLint, R5ShippedModuleDirectoryIsClean) {
+  const LintResult result =
+      run_lint(source_dir() + "/src/monitor/modules");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
 // The PR 3 bug: TrapListener::handle caught BerError but not
 // BufferUnderflow, so a truncated trap datagram crashed the listener.
 // The fixture preserves that handler's exact shape; R1 must reject it.

@@ -1,0 +1,58 @@
+// Latency module: probe RTT streams aggregate per target, flow into the
+// module's telemetry via count_external_sample, and surface in notes.
+#include "monitor/modules/latency_module.h"
+
+#include <gtest/gtest.h>
+
+#include "experiments/lirtss.h"
+#include "netsim/services.h"
+
+namespace netqos::mon {
+namespace {
+
+TEST(LatencyModule, AggregatesPerTargetRtt) {
+  exp::LirtssTestbed bed;
+  sim::EchoService echo_s1(bed.host("S1"));
+  sim::EchoService echo_n1(bed.host("N1"));
+  LatencyProbe fast(bed.simulator(), bed.host("L"), bed.host("S1").ip());
+  LatencyProbe slow(bed.simulator(), bed.host("L"), bed.host("N1").ip());
+
+  auto& module = static_cast<LatencyModule&>(
+      bed.monitor().add_module(std::make_unique<LatencyModule>()));
+  module.track("L->S1", fast);
+  module.track("L->N1", slow);
+  fast.start();
+  slow.start();
+  bed.run_until(seconds(20));
+
+  const auto& targets = module.targets();
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0].label, "L->S1");
+  EXPECT_EQ(targets[1].label, "L->N1");
+  ASSERT_GT(targets[0].rtt.count(), 0u);
+  ASSERT_GT(targets[1].rtt.count(), 0u);
+  // The N1 path crosses the 10 Mbps hub; its serialization dominates.
+  EXPECT_GT(targets[1].rtt.mean(), targets[0].rtt.mean() * 2);
+  // Aggregates agree with the probes' own statistics.
+  EXPECT_DOUBLE_EQ(targets[0].rtt.mean(), fast.rtt_stats().mean());
+  EXPECT_EQ(targets[0].rtt.count(), fast.rtt_stats().count());
+
+  // Probe echoes count as module samples even though they bypass the
+  // host's dispatch.
+  for (const ModuleStatus& status : bed.monitor().modules().statuses()) {
+    if (status.name != "latency") continue;
+    EXPECT_EQ(status.samples,
+              targets[0].rtt.count() + targets[1].rtt.count());
+  }
+
+  const auto notes = module.notes();
+  ASSERT_GE(notes.size(), 3u);
+  EXPECT_EQ(notes[0].key, "targets");
+  EXPECT_EQ(notes[0].value, "2");
+  EXPECT_EQ(notes[1].key, "L->S1");
+  EXPECT_NE(notes[1].value.find("probes"), std::string::npos);
+  EXPECT_NE(notes[1].value.find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netqos::mon

@@ -1,0 +1,114 @@
+// Modules under the sharded DistributedMonitor: coordinator modules see
+// every shard's interface stream, and the stream survives an ownership
+// handoff when a station goes dark.
+#include "monitor/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "experiments/lirtss.h"
+#include "monitor/modules/ewma_anomaly.h"
+#include "monitor/modules/top_talkers.h"
+
+namespace netqos::mon {
+namespace {
+
+double bytes_for_node(const TopTalkersModule& module,
+                      const std::string& node) {
+  double total = 0.0;
+  for (const TalkerEntry& entry : module.top_interfaces(1000)) {
+    if (entry.label.rfind(node + "/", 0) == 0) total += entry.bytes;
+  }
+  return total;
+}
+
+TEST(DistributedModules, CoordinatorModuleSeesEveryShard) {
+  exp::LirtssTestbed bed;
+  std::vector<sim::Host*> stations = {&bed.host("L"), &bed.host("S2")};
+  DistributedMonitor dist(bed.simulator(), bed.topology(), stations);
+  dist.add_path("S1", "N1");
+  auto& talkers = static_cast<TopTalkersModule&>(
+      dist.add_module(std::make_unique<TopTalkersModule>()));
+
+  bed.background().start();
+  dist.start();
+  bed.simulator().run_until(seconds(20));
+
+  // Every polled agent shows up in the coordinator module's tally — no
+  // matter which shard owns it.
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    for (const std::string& node : dist.shard_agents(shard)) {
+      EXPECT_GT(bytes_for_node(talkers, node), 0.0)
+          << "agent " << node << " of shard " << shard;
+    }
+  }
+  // Only the coordinator ranks; worker shards run just the forwarder.
+  EXPECT_NE(dist.modules().find("top-talkers"), nullptr);
+  EXPECT_NE(dist.workers()[1]->modules().find("shard-forwarder"), nullptr);
+  EXPECT_EQ(dist.workers()[1]->modules().find("top-talkers"), nullptr);
+}
+
+TEST(DistributedModules, StreamSurvivesOwnershipHandoff) {
+  exp::LirtssTestbed bed;
+  std::vector<sim::Host*> stations = {&bed.host("L"), &bed.host("S2")};
+  DistributedConfig config;
+  config.ownership_handoff = true;
+  DistributedMonitor dist(bed.simulator(), bed.topology(), stations,
+                          config);
+  dist.add_path("S1", "N1");
+  auto& talkers = static_cast<TopTalkersModule&>(
+      dist.add_module(std::make_unique<TopTalkersModule>()));
+  auto& anomaly = static_cast<EwmaAnomalyModule&>(
+      dist.add_module(std::make_unique<EwmaAnomalyModule>()));
+  (void)anomaly;
+
+  bed.add_load("S1", "N1",
+               load::RateProfile::pulse(seconds(2), seconds(170),
+                                        kilobytes_per_second(200)));
+  bed.background().start();
+  dist.start();
+  bed.simulator().run_until(seconds(20));
+
+  // The agents about to be orphaned (minus the dying station itself,
+  // which stops answering polls entirely).
+  const auto orphaned = dist.shard_agents(1);
+  ASSERT_FALSE(orphaned.empty());
+
+  bed.host("S2").find_interface("hme0")->link()->set_up(false);
+  bed.simulator().run_until(seconds(60));
+  ASSERT_TRUE(dist.shard_dark(1));
+
+  std::map<std::string, double> before;
+  for (const std::string& node : orphaned) {
+    before[node] = bytes_for_node(talkers, node);
+  }
+  std::uint64_t samples_before = 0;
+  for (const ModuleStatus& status : dist.modules().statuses()) {
+    if (status.name == "top-talkers") samples_before = status.samples;
+  }
+
+  bed.simulator().run_until(seconds(120));
+
+  // After the handoff, shard 0 polls the orphaned agents and the
+  // coordinator's module keeps integrating their bytes.
+  for (const std::string& node : orphaned) {
+    if (node == "S2") continue;
+    EXPECT_GT(bytes_for_node(talkers, node), before[node])
+        << "agent " << node << " stalled across the handoff";
+  }
+  std::uint64_t samples_after = 0;
+  for (const ModuleStatus& status : dist.modules().statuses()) {
+    if (status.name == "top-talkers") samples_after = status.samples;
+  }
+  EXPECT_GT(samples_after, samples_before);
+  EXPECT_EQ(dist.modules().total_errors(), 0u);
+
+  // The watched path kept producing samples for path-level modules too.
+  EXPECT_EQ(dist.coordinator().current_usage("S1", "N1").freshness,
+            Freshness::kFresh);
+}
+
+}  // namespace
+}  // namespace netqos::mon

@@ -1,0 +1,112 @@
+// Bit-identical conformance harness for the monitor pipeline.
+//
+// Each paper scenario (fig4 staircase, fig5 hub contention, fig6 switch
+// isolation) is rendered to one deterministic transcript — CSV rows, QoS
+// events, window report structs, final usage/history/stats dumps, doubles
+// at 17 significant digits — and diffed against a golden committed from
+// the seed pipeline. Any observable change in the poll -> bandwidth ->
+// detection -> report path fails here with the first differing line; the
+// full actual transcript is written next to the test binary as
+// conformance_<scenario>.actual.txt so CI can upload it as an artifact.
+//
+// Regenerate after an *intentional* observable change with:
+//   NETQOS_UPDATE_GOLDENS=1 ./netqos_tests --gtest_filter='Conformance*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiments/conformance.h"
+
+namespace netqos::exp {
+namespace {
+
+std::string golden_path(const std::string& scenario) {
+  return std::string(NETQOS_SOURCE_DIR) + "/tests/monitor/goldens/conformance_" +
+         scenario + ".txt";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Line number (1-based) and text of the first difference, for a failure
+/// message that points at the change instead of dumping both transcripts.
+std::string first_diff(const std::string& expected, const std::string& actual) {
+  std::istringstream e(expected), a(actual);
+  std::string eline, aline;
+  int line = 0;
+  while (true) {
+    const bool have_e = static_cast<bool>(std::getline(e, eline));
+    const bool have_a = static_cast<bool>(std::getline(a, aline));
+    ++line;
+    if (!have_e && !have_a) return "transcripts identical";
+    if (eline != aline || have_e != have_a) {
+      std::ostringstream out;
+      out << "first difference at line " << line << "\n  golden: "
+          << (have_e ? eline : "<end of file>") << "\n  actual: "
+          << (have_a ? aline : "<end of file>");
+      return out.str();
+    }
+  }
+}
+
+class Conformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Conformance, BitIdenticalToSeedGolden) {
+  const std::string scenario = GetParam();
+  const std::string actual = run_conformance_scenario(scenario);
+
+  if (std::getenv("NETQOS_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path(scenario), std::ios::binary);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden_path(scenario);
+    GTEST_SKIP() << "golden regenerated: " << golden_path(scenario);
+  }
+
+  const std::string expected = read_file(golden_path(scenario));
+  ASSERT_FALSE(expected.empty())
+      << "missing golden " << golden_path(scenario)
+      << " — regenerate with NETQOS_UPDATE_GOLDENS=1";
+  if (actual != expected) {
+    const std::string dump = "conformance_" + scenario + ".actual.txt";
+    std::ofstream(dump, std::ios::binary) << actual;
+    FAIL() << "transcript diverged from seed golden for " << scenario
+           << " (actual written to " << dump << ")\n"
+           << first_diff(expected, actual);
+  }
+}
+
+/// The same scenarios with every observer module (EWMA anomaly, top
+/// talkers) attached: observers consume the sample stream but must not
+/// perturb the paper pipeline, so the transcript is required to be
+/// bit-identical to the plain run's golden.
+TEST_P(Conformance, ObserverModulesDoNotPerturbPipeline) {
+  const std::string scenario = GetParam();
+  if (std::getenv("NETQOS_UPDATE_GOLDENS") != nullptr) {
+    GTEST_SKIP() << "goldens regenerate from the plain run";
+  }
+  const std::string actual =
+      run_conformance_scenario(scenario, /*enable_observer_modules=*/true);
+  const std::string expected = read_file(golden_path(scenario));
+  ASSERT_FALSE(expected.empty()) << "missing golden " << golden_path(scenario);
+  if (actual != expected) {
+    const std::string dump = "conformance_" + scenario + ".observers.actual.txt";
+    std::ofstream(dump, std::ios::binary) << actual;
+    FAIL() << "observer modules perturbed the pipeline for " << scenario
+           << " (actual written to " << dump << ")\n"
+           << first_diff(expected, actual);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, Conformance,
+                         ::testing::ValuesIn(conformance_scenarios()),
+                         [](const auto& p) { return p.param; });
+
+}  // namespace
+}  // namespace netqos::exp

@@ -1,0 +1,201 @@
+// Module dispatch properties:
+//  - a module's output is a function of the sample stream alone —
+//    registration order relative to other modules never changes it;
+//  - a throwing module is isolated: the core keeps polling, the error
+//    counter increments, and every other module's output is unaffected.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../modules/fake_core.h"
+#include "experiments/lirtss.h"
+#include "monitor/modules/ewma_anomaly.h"
+#include "monitor/modules/top_talkers.h"
+
+namespace netqos::mon {
+namespace {
+
+/// Renders a module's observable output for equality comparison.
+std::string snapshot(const Module& module) {
+  std::ostringstream out;
+  out << module.name() << " footprint=" << module.footprint_bytes() << "\n";
+  for (const ModuleNote& note : module.notes()) {
+    out << note.key << "=" << note.value << "\n";
+  }
+  return out.str();
+}
+
+/// One randomized sample stream, replayed identically to every host.
+struct Stream {
+  struct InterfaceEvent {
+    InterfaceKey key;
+    SimTime time;
+    RateSample rate;
+  };
+  struct PathEvent {
+    PathKey key;
+    SimTime time;
+    PathUsage usage;
+  };
+  std::vector<InterfaceEvent> interfaces;
+  std::vector<PathEvent> paths;
+
+  static Stream random(std::uint32_t seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> rate(0.0, 1'000'000.0);
+    std::uniform_int_distribution<int> node(0, 4);
+    Stream s;
+    for (int i = 0; i < 200; ++i) {
+      const SimTime t = from_seconds(2.0 * (i / 5 + 1));
+      InterfaceEvent ev;
+      ev.key = {"H" + std::to_string(node(rng)), "eth0"};
+      ev.time = t;
+      ev.rate.interval_seconds = 2.0;
+      ev.rate.in_rate = rate(rng);
+      ev.rate.out_rate = rate(rng);
+      s.interfaces.push_back(ev);
+
+      PathEvent pe;
+      pe.key = {"H" + std::to_string(node(rng)), "N"};
+      pe.time = t;
+      pe.usage.complete = true;
+      pe.usage.used_at_bottleneck = rate(rng);
+      pe.usage.available = rate(rng);
+      s.paths.push_back(pe);
+    }
+    return s;
+  }
+
+  void replay(ModuleHost& host) const {
+    for (std::size_t i = 0; i < interfaces.size(); ++i) {
+      host.dispatch_interface_sample(interfaces[i].key, interfaces[i].time,
+                                     interfaces[i].rate);
+      host.dispatch_path_sample(paths[i].key, paths[i].time,
+                                paths[i].usage);
+      if (i % 5 == 4) host.run_round(interfaces[i].time);
+    }
+    host.flush();
+  }
+};
+
+class Fixture {
+ public:
+  FakeCore core;
+  obs::MetricsRegistry metrics;
+  ModuleHost host{core, metrics, "L"};
+};
+
+TEST(ModuleDispatchProperty, RegistrationOrderDoesNotChangeOutput) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    const Stream stream = Stream::random(seed);
+
+    std::vector<std::string> forward, reverse;
+    {
+      Fixture f;
+      auto& anomaly =
+          f.host.add(std::make_unique<EwmaAnomalyModule>());
+      auto& talkers = f.host.add(std::make_unique<TopTalkersModule>());
+      stream.replay(f.host);
+      forward = {snapshot(anomaly), snapshot(talkers)};
+    }
+    {
+      Fixture f;
+      auto& talkers = f.host.add(std::make_unique<TopTalkersModule>());
+      auto& anomaly =
+          f.host.add(std::make_unique<EwmaAnomalyModule>());
+      stream.replay(f.host);
+      reverse = {snapshot(anomaly), snapshot(talkers)};
+    }
+    EXPECT_EQ(forward[0], reverse[0]) << "seed " << seed;
+    EXPECT_EQ(forward[1], reverse[1]) << "seed " << seed;
+  }
+}
+
+/// Throws on every delivery and round hook.
+class FaultyModule final : public Module {
+ public:
+  FaultyModule() : Module("faulty") {}
+  bool wants_interface_samples() const override { return true; }
+  void on_interface_sample(const InterfaceKey&, SimTime,
+                           const RateSample&) override {
+    throw std::runtime_error("interface boom");
+  }
+  void on_path_sample(const PathKey&, SimTime, const PathUsage&) override {
+    throw std::runtime_error("path boom");
+  }
+  void on_round_end(SimTime) override {
+    throw std::runtime_error("round boom");
+  }
+  void flush() override { throw std::runtime_error("flush boom"); }
+};
+
+TEST(ModuleDispatchProperty, ThrowingModuleIsIsolated) {
+  const Stream stream = Stream::random(42);
+
+  std::string clean;
+  {
+    Fixture f;
+    auto& talkers = f.host.add(std::make_unique<TopTalkersModule>());
+    stream.replay(f.host);
+    clean = snapshot(talkers);
+  }
+
+  Fixture f;
+  f.host.add(std::make_unique<FaultyModule>());
+  auto& talkers = f.host.add(std::make_unique<TopTalkersModule>());
+  auto& anomaly = f.host.add(std::make_unique<EwmaAnomalyModule>());
+  stream.replay(f.host);
+
+  // The healthy modules saw the whole stream, bit for bit.
+  EXPECT_EQ(snapshot(talkers), clean);
+  EXPECT_GT(anomaly.notes().size(), 1u);
+
+  // Every delivery the faulty module lost is on its error counter, and
+  // only on its counter.
+  const auto statuses = f.host.statuses();
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0].name, "faulty");
+  EXPECT_GT(statuses[0].errors, 0u);
+  EXPECT_EQ(statuses[0].errors, f.host.total_errors());
+  EXPECT_EQ(statuses[0].errors, statuses[0].samples + /*round+flush*/ 41u);
+  EXPECT_EQ(statuses[1].errors, 0u);
+  EXPECT_EQ(statuses[2].errors, 0u);
+}
+
+// End to end: a module throwing on every sample must not cost the core a
+// single poll round or perturb the measured series.
+TEST(ModuleDispatchProperty, CoreKeepsPollingPastAFaultyModule) {
+  const auto profile = load::RateProfile::pulse(
+      seconds(5), seconds(55), kilobytes_per_second(300));
+
+  exp::LirtssTestbed clean_bed;
+  clean_bed.watch("S1", "N1");
+  clean_bed.add_load("L", "N1", profile);
+  clean_bed.run_until(seconds(60));
+
+  exp::LirtssTestbed bed;
+  bed.watch("S1", "N1");
+  bed.monitor().add_module(std::make_unique<FaultyModule>());
+  bed.add_load("L", "N1", profile);
+  bed.run_until(seconds(60));
+
+  EXPECT_EQ(bed.monitor().stats().rounds_completed,
+            clean_bed.monitor().stats().rounds_completed);
+  EXPECT_GT(bed.monitor().modules().total_errors(), 0u);
+  // Identical simulations, identical measurements: the faulty module
+  // could not perturb the pipeline around it.
+  const auto& noisy = bed.monitor().used_series("S1", "N1").points();
+  const auto& quiet = clean_bed.monitor().used_series("S1", "N1").points();
+  ASSERT_EQ(noisy.size(), quiet.size());
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    EXPECT_EQ(noisy[i].time, quiet[i].time);
+    EXPECT_EQ(noisy[i].value, quiet[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace netqos::mon

@@ -97,6 +97,39 @@ TEST(QueryProto, HealthResponseRoundTrip) {
   EXPECT_FALSE(out.health_response.paths[0].warning);
 }
 
+TEST(QueryProto, ModulesResponseRoundTrip) {
+  Message m;
+  m.header.type = MessageType::kModulesResponse;
+  m.header.request_id = 3;
+  m.modules_response.server_now = 90 * kSecond;
+  ModuleStatusRow row;
+  row.name = "top-talkers";
+  row.samples = 12'345;
+  row.errors = 2;
+  row.footprint_bytes = 4096;
+  row.notes.emplace_back("interfaces", "18");
+  row.notes.emplace_back("top1", "N1/le0 12.6 MB");
+  m.modules_response.modules.push_back(row);
+  ModuleStatusRow bare;
+  bare.name = "ewma-anomaly";
+  m.modules_response.modules.push_back(bare);
+
+  const Message out = round_trip(m);
+  EXPECT_EQ(out.header.type, MessageType::kModulesResponse);
+  EXPECT_EQ(out.modules_response.server_now, 90 * kSecond);
+  ASSERT_EQ(out.modules_response.modules.size(), 2u);
+  const ModuleStatusRow& r = out.modules_response.modules[0];
+  EXPECT_EQ(r.name, "top-talkers");
+  EXPECT_EQ(r.samples, 12'345u);
+  EXPECT_EQ(r.errors, 2u);
+  EXPECT_EQ(r.footprint_bytes, 4096u);
+  ASSERT_EQ(r.notes.size(), 2u);
+  EXPECT_EQ(r.notes[0].first, "interfaces");
+  EXPECT_EQ(r.notes[1].second, "N1/le0 12.6 MB");
+  EXPECT_EQ(out.modules_response.modules[1].name, "ewma-anomaly");
+  EXPECT_TRUE(out.modules_response.modules[1].notes.empty());
+}
+
 TEST(QueryProto, EventAndHeaderOnlyRoundTrip) {
   Message event;
   event.header.type = MessageType::kEvent;
@@ -113,7 +146,8 @@ TEST(QueryProto, EventAndHeaderOnlyRoundTrip) {
 
   for (MessageType type :
        {MessageType::kHealthRequest, MessageType::kSubscribe,
-        MessageType::kSubscribeAck, MessageType::kUnsubscribe}) {
+        MessageType::kSubscribeAck, MessageType::kUnsubscribe,
+        MessageType::kModulesRequest}) {
     Message m;
     m.header.type = type;
     m.header.request_id = 9;

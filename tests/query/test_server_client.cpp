@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "experiments/lirtss.h"
+#include "monitor/modules/registry.h"
 #include "monitor/qos.h"
 #include "query/client.h"
 #include "query/engine.h"
@@ -82,6 +84,45 @@ TEST_F(QueryServiceTest, HealthQueryReportsAgentsAndServerCounts) {
             bed_.monitor().scheduler().agents().size());
   ASSERT_EQ(health.paths.size(), 1u);
   EXPECT_EQ(server_->stats().health_requests, 1u);
+}
+
+TEST_F(QueryServiceTest, ModulesQueryReportsRegisteredModuleTelemetry) {
+  // Register every registry module, drive traffic so they see samples,
+  // then fetch their telemetry over the wire.
+  for (const mon::ModuleSpec& spec : mon::available_modules()) {
+    bed_.monitor().add_module(mon::make_module(spec.name));
+  }
+  bed_.add_load("L", "N1",
+                load::RateProfile::pulse(seconds(2), seconds(18),
+                                         kilobytes_per_second(150)));
+  QueryClient client(bed_.simulator(), bed_.host("S2"),
+                     bed_.host("L").ip());
+  std::vector<QueryResult> results;
+  bed_.simulator().schedule_at(seconds(20), [&] {
+    client.modules([&](QueryResult r) { results.push_back(r); });
+  });
+  bed_.run_until(seconds(22));
+
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok());
+  const ModulesResponse& modules = results[0].message.modules_response;
+  // Rows cover the built-in modules plus every registry module we added.
+  ASSERT_GE(modules.modules.size(), mon::available_modules().size());
+  for (const mon::ModuleSpec& spec : mon::available_modules()) {
+    const auto it = std::find_if(
+        modules.modules.begin(), modules.modules.end(),
+        [&](const ModuleStatusRow& row) { return row.name == spec.name; });
+    ASSERT_NE(it, modules.modules.end()) << spec.name;
+    // Registry modules carry state, so they report a live footprint and
+    // self-describing notes alongside their delivery counters.
+    EXPECT_GT(it->footprint_bytes, 0u) << spec.name;
+    EXPECT_FALSE(it->notes.empty()) << spec.name;
+  }
+  for (const ModuleStatusRow& row : modules.modules) {
+    EXPECT_GT(row.samples, 0u) << row.name;
+    EXPECT_EQ(row.errors, 0u) << row.name;
+  }
+  EXPECT_EQ(server_->stats().modules_requests, 1u);
 }
 
 TEST_F(QueryServiceTest, SubscriberReceivesViolationAndRecoveryEvents) {

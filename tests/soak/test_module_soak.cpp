@@ -1,0 +1,109 @@
+// Tier-2 soak: every registry measurement module over the generated
+// 10k-interface fabric.
+//
+// The module system's scale promise is that observer modules ride the
+// sharded poll train without unbounded state: once a couple of rounds
+// have shown every interface to the stream, each module's footprint
+// gauge must go flat — more rounds mean more samples, never more
+// memory. This drives the full fabric through a DistributedMonitor
+// with all registry modules attached to the coordinator (interface
+// samples cross shard forwarders), snapshots the per-module
+// netqos_module_footprint_bytes gauge after warmup, and asserts the
+// remainder of the run adds samples but no state.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "monitor/distributed.h"
+#include "monitor/modules/registry.h"
+#include "netsim/services.h"
+#include "obs/metrics.h"
+#include "snmp/deploy.h"
+#include "topology/generator.h"
+
+namespace netqos::mon {
+namespace {
+
+TEST(SoakModules, FootprintsGoFlatOverTheTenThousandInterfaceFabric) {
+  topo::FabricConfig fabric;
+  fabric.target_interfaces = 10'000;
+  const topo::NetworkTopology topo = topo::generate_fabric(fabric);
+
+  sim::Simulator sim;
+  auto net = sim::build_network(sim, topo);
+  snmp::DeployOptions deploy;
+  deploy.agent.hiccup_probability = 0.0;
+  auto agents = snmp::deploy_agents(sim, *net, topo, deploy);
+
+  obs::MetricsRegistry registry;
+  DistributedConfig config;
+  config.partition = PartitionStrategy::kInterfaceWeighted;
+  config.base.metrics = &registry;
+  config.base.scheduler.stagger = microseconds(200);
+
+  const std::size_t leaves = topo::fabric_leaf_count(fabric);
+  std::vector<sim::Host*> stations;
+  for (int s = 0; s < 4; ++s) {
+    stations.push_back(net->find_host("leaf" + std::to_string(s) + "h0"));
+  }
+  DistributedMonitor dist(sim, topo, stations, config);
+  dist.add_path("leaf0h2", "leaf" + std::to_string(leaves - 1) + "h2");
+  for (const ModuleSpec& spec : available_modules()) {
+    dist.add_module(make_module(spec.name));
+  }
+  dist.start();
+
+  // Ten rounds of 2 s polls sees every interface in the fabric; by then
+  // every module has allocated whatever per-interface/per-path state it
+  // will ever need.
+  sim.run_until(seconds(20));
+  std::map<std::string, ModuleStatus> warm;
+  for (const ModuleStatus& status : dist.modules().statuses()) {
+    warm[status.name] = status;
+  }
+  for (const ModuleSpec& spec : available_modules()) {
+    ASSERT_TRUE(warm.count(spec.name)) << spec.name;
+    EXPECT_GT(warm[spec.name].samples, 0u) << spec.name;
+    EXPECT_GT(warm[spec.name].footprint_bytes, 0u) << spec.name;
+  }
+
+  // Twice as many rounds again: samples keep flowing, state stays put.
+  // Fabric-scaled state (top-talkers' per-interface tallies) must be
+  // exactly flat; modules with a bounded journal (ewma-anomaly's event
+  // ring) may grow by at most that fixed cap, never with round count.
+  sim.run_until(seconds(60));
+  constexpr std::size_t kJournalSlack = 64 * 1024;
+  for (const ModuleStatus& status : dist.modules().statuses()) {
+    if (!warm.count(status.name)) continue;  // shard forwarders et al.
+    const ModuleStatus& before = warm[status.name];
+    EXPECT_GT(status.samples, before.samples) << status.name;
+    EXPECT_EQ(status.errors, 0u) << status.name;
+    if (status.name == "top-talkers") {
+      EXPECT_EQ(status.footprint_bytes, before.footprint_bytes)
+          << "per-interface state grew after full fabric coverage";
+    } else {
+      EXPECT_LE(status.footprint_bytes, before.footprint_bytes + kJournalSlack)
+          << status.name << ": module state grew past its bounded journal";
+    }
+  }
+
+  // The registry gauge tells the same story — per-module footprint is
+  // queryable without touching the host, labelled by module + station.
+  for (const ModuleSpec& spec : available_modules()) {
+    const obs::Gauge* gauge = registry.find_gauge(
+        "netqos_module_footprint_bytes",
+        {{"module", spec.name}, {"station", stations[0]->name()}});
+    ASSERT_NE(gauge, nullptr) << spec.name;
+    EXPECT_GE(gauge->value(),
+              static_cast<double>(warm[spec.name].footprint_bytes))
+        << spec.name;
+    EXPECT_LE(gauge->value(),
+              static_cast<double>(warm[spec.name].footprint_bytes +
+                                  kJournalSlack))
+        << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace netqos::mon

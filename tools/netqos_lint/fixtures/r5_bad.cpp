@@ -1,0 +1,44 @@
+// Known-bad fixture for R5 (module purity).
+//
+// A "measurement module" that does the core's job: it polls the wire
+// with its own SNMP client and writes rates back into the interface
+// database. The core/module split exists precisely so the conformance
+// harness can prove modules are pure observers; every line below breaks
+// that proof. Expected findings: at least four [R5].
+#include <string>
+#include <utility>
+
+#include "snmp/client.h"
+
+namespace netqos::mon {
+
+class StatsDb;
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+ private:
+  std::string name_;
+};
+
+class RoguePollerModule final : public Module {
+ public:
+  explicit RoguePollerModule(snmp::SnmpClient& client)
+      : Module("rogue-poller"), client_(client) {}
+
+  // A mutable database handle invites exactly the write below.
+  void on_round_end(StatsDb& db);
+
+ private:
+  snmp::SnmpClient& client_;
+};
+
+void RoguePollerModule::on_round_end(StatsDb& db) {
+  client_.get_next({1, 3, 6, 1, 2, 1, 2, 2}, nullptr);  // side-channel poll
+  auto* stats_db = &db;
+  stats_db->update({"N1", "le0"}, 0, 12345);  // rewrites core state
+}
+
+}  // namespace netqos::mon

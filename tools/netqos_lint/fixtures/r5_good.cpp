@@ -1,0 +1,46 @@
+// Known-good fixture for R5 (module purity).
+//
+// A measurement module that does everything a module is allowed to do:
+// accumulate state from the delivered sample stream and read core state
+// through the const surface. No SNMP, no StatsDb mutation. Expected
+// findings: none.
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace netqos::mon {
+
+class StatsDb;
+class ModuleCore;
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+ private:
+  std::string name_;
+};
+
+class MeanRateModule final : public Module {
+ public:
+  MeanRateModule() : Module("mean-rate") {}
+
+  void on_interface_sample(double rate) {
+    ++samples_;
+    total_ += rate;
+  }
+
+  // Reading through the const surface is the sanctioned path.
+  const StatsDb& peek(const ModuleCore& core) const;
+
+  double mean() const {
+    return samples_ == 0 ? 0.0 : total_ / static_cast<double>(samples_);
+  }
+
+ private:
+  std::uint64_t samples_ = 0;
+  double total_ = 0.0;
+};
+
+}  // namespace netqos::mon

@@ -37,6 +37,16 @@ express, each born from a real bug class (see DESIGN.md "Static analysis"):
                          outside common/sim_time and common/rng so every
                          run is deterministic and resumable.
 
+  R5  module purity      Measurement modules (src/monitor/modules/ and
+                         any other Module subclass outside the core)
+                         consume the per-poll sample stream; the core
+                         moves data. A module must not reach the SNMP
+                         layer (snmp:: / SnmpClient) or hold a mutable
+                         StatsDb handle — ModuleCore::samples() is const
+                         for a reason. The conformance harness proves
+                         modules are pure observers; this rule keeps the
+                         type system from being casted around it.
+
 Suppression:
   * Inline: `// netqos-lint: allow(R3): reason` on the offending line or
     the line directly above it. The rule list may name several rules,
@@ -64,6 +74,8 @@ RULES = {
           "counter differencing only in monitor/counter_math",
     "R4": "sim-time purity: no wall clocks or ambient randomness outside "
           "common/sim_time / common/rng",
+    "R5": "module purity: measurement modules may not reach the SNMP layer "
+          "or mutate the StatsDb",
 }
 
 # Files that ARE the sanctioned implementation of a rule's subject matter.
@@ -77,6 +89,13 @@ R3_UNITS_FILES = ("common/units.h", "common/sim_time.h")
 R3_COUNTER_FILES = ("monitor/counter_math.h", "monitor/counter_math.cpp")
 R4_CLOCK_FILES = ("common/sim_time.h", "common/sim_time.cpp",
                   "common/rng.h", "common/rng.cpp")
+# The module framework itself plus the in-core Module subclasses (the qos
+# detectors predate the split and read monitor state; the distributed
+# shard forwarder IS core plumbing) are exempt from R5 — they are the
+# sanctioned boundary, not stream consumers.
+R5_CORE_FILES = ("monitor/module.h", "monitor/module.cpp",
+                 "monitor/qos.h", "monitor/qos.cpp",
+                 "monitor/distributed.h", "monitor/distributed.cpp")
 
 # Enclosing-function name prefixes that mark R1 decoder internals: they
 # propagate BerError/BufferUnderflow to the packet-handler boundary.
@@ -124,6 +143,21 @@ R4_PATTERNS = (
     (re.compile(r"\bstd::(?:mt19937(?:_64)?|default_random_engine)\b"),
      "implicit std RNG (use common/rng Xoshiro256)"),
 )
+
+# R5 subject detection: the file lives in the module directory, or it
+# defines a Module subclass (base-clause or constructor-initialiser).
+R5_MODULE_CLASS_RE = re.compile(
+    r"\bclass\s+\w+(?:\s+final)?\s*:\s*(?:public|private|protected)?\s*"
+    r"(?:mon\s*::\s*)?Module\b"
+    r"|\)\s*:\s*(?:mon\s*::\s*)?Module\s*\(")
+R5_SNMP_RE = re.compile(r"\bsnmp\s*::|\bSnmpClient\b")
+R5_SNMP_INCLUDE_RE = re.compile(r'\s*#\s*include\s*"snmp/')
+R5_DB_REF_RE = re.compile(r"\bStatsDb\s*[&*]")
+R5_DB_CONST_REF_RE = re.compile(r"\bconst\s+StatsDb\s*[&*]")
+R5_DB_CAST_RE = re.compile(r"\bconst_cast\s*<\s*(?:mon\s*::\s*)?StatsDb\b")
+R5_DB_MUTATE_RE = re.compile(
+    r"\b(?:samples\s*\(\s*\)|\w*stats_db\w*|\w*_db)\s*(?:\.|->)\s*"
+    r"(?:update|attach_metrics)\s*\(")
 
 ALLOW_RE = re.compile(r"netqos-lint:\s*allow\(([^)]*)\)")
 
@@ -550,11 +584,51 @@ class FileCheck:
                     "common/sim_time and common/rng may provide time and "
                     "randomness")
 
+    # --- R5 -------------------------------------------------------------
+    def check_r5(self):
+        if self.in_file(R5_CORE_FILES):
+            return
+        is_subject = ("monitor/modules/" in self.relpath or
+                      R5_MODULE_CLASS_RE.search(self.masked))
+        if not is_subject:
+            return
+        for i, line in enumerate(self.lines):
+            if R5_SNMP_INCLUDE_RE.match(line):
+                self.report(
+                    "R5", i + 1,
+                    "measurement module includes an SNMP header; modules "
+                    "consume the sample stream, polling belongs to the core")
+        for i, mline in enumerate(self.masked_lines):
+            lineno = i + 1
+            if R5_SNMP_RE.search(mline):
+                self.report(
+                    "R5", lineno,
+                    "measurement module reaches the SNMP layer; modules "
+                    "consume the sample stream, polling belongs to the core")
+            if (R5_DB_REF_RE.search(mline) and
+                    not R5_DB_CONST_REF_RE.search(mline)):
+                self.report(
+                    "R5", lineno,
+                    "measurement module holds a mutable StatsDb handle; "
+                    "modules read rates via the const "
+                    "ModuleCore::samples() surface only")
+            if R5_DB_CAST_RE.search(mline):
+                self.report(
+                    "R5", lineno,
+                    "const_cast around the StatsDb; the core ingests "
+                    "counters, modules never write them back")
+            if R5_DB_MUTATE_RE.search(mline):
+                self.report(
+                    "R5", lineno,
+                    "measurement module calls a StatsDb mutator; sample "
+                    "ingestion is the core's job")
+
     def run(self):
         self.check_r1()
         self.check_r2()
         self.check_r3()
         self.check_r4()
+        self.check_r5()
         return self.findings
 
 
