@@ -34,6 +34,20 @@ SimTime read_time(ByteReader& in) {
   return static_cast<SimTime>(in.get_u64());
 }
 
+/// Element counts are attacker-controlled wire data. Every encoded
+/// element occupies at least one payload byte, so a count larger than
+/// the bytes left is malformed — reject it before sizing containers
+/// from it (netqos-analyze R6).
+std::uint16_t read_count(ByteReader& in) {
+  const std::uint16_t count = in.get_u16();
+  if (count > in.remaining()) {
+    throw ProtocolError("element count " + std::to_string(count) +
+                        " exceeds remaining payload " +
+                        std::to_string(in.remaining()));
+  }
+  return count;
+}
+
 void encode_body(ByteWriter& out, const Message& m) {
   switch (m.header.type) {
     case MessageType::kWindowRequest: {
@@ -150,7 +164,7 @@ void decode_body(ByteReader& in, Message& m) {
       r.server_now = read_time(in);
       r.begin = read_time(in);
       r.end = read_time(in);
-      const std::uint16_t rows = in.get_u16();
+      const std::uint16_t rows = read_count(in);
       r.rows.reserve(rows);
       for (std::uint16_t i = 0; i < rows; ++i) {
         WindowRow row;
@@ -169,7 +183,7 @@ void decode_body(ByteReader& in, Message& m) {
     case MessageType::kHealthResponse: {
       HealthResponse& r = m.health_response;
       r.server_now = read_time(in);
-      const std::uint16_t agents = in.get_u16();
+      const std::uint16_t agents = read_count(in);
       r.agents.reserve(agents);
       for (std::uint16_t i = 0; i < agents; ++i) {
         AgentHealthRow a;
@@ -182,7 +196,7 @@ void decode_body(ByteReader& in, Message& m) {
         a.next_due = read_time(in);
         r.agents.push_back(std::move(a));
       }
-      const std::uint16_t paths = in.get_u16();
+      const std::uint16_t paths = read_count(in);
       r.paths.reserve(paths);
       for (std::uint16_t i = 0; i < paths; ++i) {
         PathHealthRow p;
@@ -217,7 +231,7 @@ void decode_body(ByteReader& in, Message& m) {
     case MessageType::kModulesResponse: {
       ModulesResponse& r = m.modules_response;
       r.server_now = read_time(in);
-      const std::uint16_t modules = in.get_u16();
+      const std::uint16_t modules = read_count(in);
       r.modules.reserve(modules);
       for (std::uint16_t i = 0; i < modules; ++i) {
         ModuleStatusRow row;
@@ -225,7 +239,7 @@ void decode_body(ByteReader& in, Message& m) {
         row.samples = in.get_u64();
         row.errors = in.get_u64();
         row.footprint_bytes = in.get_u64();
-        const std::uint16_t notes = in.get_u16();
+        const std::uint16_t notes = read_count(in);
         row.notes.reserve(notes);
         for (std::uint16_t j = 0; j < notes; ++j) {
           std::string key = read_str(in);

@@ -5,6 +5,15 @@
 
 namespace netqos::snmp {
 
+namespace {
+
+/// ifNumber arrives off the wire; a hostile or corrupted agent can claim
+/// any 32-bit row count. Cap it well above any real fabric (the 10k
+/// reference fabric included) before sizing the result table from it.
+constexpr std::int64_t kMaxTableRows = 1 << 20;
+
+}  // namespace
+
 TablePoller::TablePoller(SnmpClient& client, sim::Ipv4Address agent,
                          std::string community, std::vector<Oid> columns,
                          std::size_t varbind_budget)
@@ -83,9 +92,9 @@ void TablePoller::on_response(SnmpResult response) {
     }
     result_.uptime_ticks = ticks->value;
     const auto* count = std::get_if<std::int64_t>(&response.varbinds[1].value);
-    if (count == nullptr || *count < 0 ||
+    if (count == nullptr || *count < 0 || *count > kMaxTableRows ||
         !response.varbinds[1].oid.starts_with(mib2::kIfNumber)) {
-      fail("agent did not report ifNumber");
+      fail("agent did not report a sane ifNumber");
       return;
     }
     result_.if_number = static_cast<std::uint32_t>(*count);

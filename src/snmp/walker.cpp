@@ -4,6 +4,14 @@
 
 namespace netqos::snmp {
 
+namespace {
+
+/// The prefetched ifNumber is wire data — only a hint for reserve().
+/// Never let a hostile agent make us pre-allocate gigabytes.
+constexpr std::int64_t kMaxPrefetchRows = 1 << 20;
+
+}  // namespace
+
 SubtreeWalker::SubtreeWalker(SnmpClient& client, std::size_t bulk_size)
     : client_(client), bulk_size_(bulk_size == 0 ? 1 : bulk_size) {}
 
@@ -32,7 +40,8 @@ void SubtreeWalker::prefetch() {
                 if (result.ok() && result.varbinds.size() == 1) {
                   if (const auto* rows = std::get_if<std::int64_t>(
                           &result.varbinds[0].value);
-                      rows != nullptr && *rows > 0) {
+                      rows != nullptr && *rows > 0 &&
+                      *rows <= kMaxPrefetchRows) {
                     collected_.varbinds.reserve(
                         static_cast<std::size_t>(*rows));
                   }

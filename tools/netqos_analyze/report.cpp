@@ -1,0 +1,267 @@
+// Report layer: baseline files keyed by finding content hash, the
+// per-file result cache behind warm incremental runs, and SARIF 2.1.0
+// output for CI code scanning.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analyze.h"
+
+namespace netqos::analyze {
+
+namespace {
+
+/// Splits on single-character delimiter, keeping empty fields.
+std::vector<std::string> split(const std::string& line, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(delim, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string escape_field(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out.push_back(text[i]);
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case '\\': out.push_back('\\'); break;
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      default: out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+Baseline Baseline::load(const std::string& path) {
+  Baseline baseline;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Entry: "RULE hash-hex [path normalized-source...]" — only the
+    // first two fields key the finding; the rest is for humans.
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos) continue;
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    const std::string key =
+        sp2 == std::string::npos ? line : line.substr(0, sp2);
+    baseline.keys.insert(key);
+  }
+  return baseline;
+}
+
+void Baseline::save(const std::string& path,
+                    const std::vector<Finding>& findings) {
+  std::vector<std::string> entries;
+  entries.reserve(findings.size());
+  for (const Finding& f : findings) {
+    entries.push_back(f.rule + " " + f.hash_hex() + " " + f.path + " " +
+                      normalize(f.source));
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  std::ofstream out(path);
+  out << "# netqos-analyze baseline\n"
+      << "# One finding per line: RULE content-hash path normalized-source.\n"
+      << "# Keys are content hashes, so entries survive unrelated line "
+         "shifts.\n"
+      << "# Regenerate with: netqos_analyze --baseline THIS "
+         "--update-baseline\n";
+  for (const std::string& entry : entries) out << entry << "\n";
+}
+
+bool Baseline::contains(const Finding& finding) const {
+  return keys.count(finding.rule + " " + finding.hash_hex()) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+//
+// Text format, one record per file:
+//   file <tab> rel_path <tab> file_hash <tab> registry_hash <tab> rules_hash
+//   find <tab> rule <tab> line <tab> message <tab> source   (0..n times)
+
+ResultCache ResultCache::load(const std::string& path) {
+  ResultCache cache;
+  std::ifstream in(path);
+  std::string line;
+  std::string current;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> fields = split(line, '\t');
+    if (fields[0] == "file" && fields.size() == 5) {
+      current = unescape_field(fields[1]);
+      Entry& entry = cache.entries_[current];
+      entry.file_hash = std::strtoull(fields[2].c_str(), nullptr, 16);
+      entry.registry_hash = std::strtoull(fields[3].c_str(), nullptr, 16);
+      entry.rules_hash = std::strtoull(fields[4].c_str(), nullptr, 16);
+    } else if (fields[0] == "find" && fields.size() == 5 && !current.empty()) {
+      Finding f;
+      f.rule = fields[1];
+      f.path = current;
+      f.line = std::atoi(fields[2].c_str());
+      f.message = unescape_field(fields[3]);
+      f.source = unescape_field(fields[4]);
+      cache.entries_[current].findings.push_back(std::move(f));
+    }
+  }
+  return cache;
+}
+
+bool ResultCache::lookup(const std::string& rel_path, std::uint64_t file_hash,
+                         std::uint64_t registry_hash, std::uint64_t rules_hash,
+                         std::vector<Finding>& out) const {
+  const auto it = entries_.find(rel_path);
+  if (it == entries_.end() || it->second.file_hash != file_hash ||
+      it->second.registry_hash != registry_hash ||
+      it->second.rules_hash != rules_hash) {
+    ++misses_;
+    return false;
+  }
+  out = it->second.findings;
+  ++hits_;
+  return true;
+}
+
+void ResultCache::store(const std::string& rel_path, std::uint64_t file_hash,
+                        std::uint64_t registry_hash, std::uint64_t rules_hash,
+                        const std::vector<Finding>& findings) {
+  Entry& entry = entries_[rel_path];
+  entry.file_hash = file_hash;
+  entry.registry_hash = registry_hash;
+  entry.rules_hash = rules_hash;
+  entry.findings = findings;
+}
+
+void ResultCache::save(const std::string& path) const {
+  std::ofstream out(path);
+  char hex[17];
+  for (const auto& [rel_path, entry] : entries_) {
+    out << "file\t" << escape_field(rel_path);
+    for (const std::uint64_t h :
+         {entry.file_hash, entry.registry_hash, entry.rules_hash}) {
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(h));
+      out << "\t" << hex;
+    }
+    out << "\n";
+    for (const Finding& f : entry.findings) {
+      out << "find\t" << f.rule << "\t" << f.line << "\t"
+          << escape_field(f.message) << "\t" << escape_field(f.source)
+          << "\n";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SARIF
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"netqos-analyze\",\n"
+      << "          \"version\": \"1.0.0\",\n"
+      << "          \"informationUri\": "
+         "\"tools/netqos_analyze/README-pointer: see repo DESIGN.md\",\n"
+      << "          \"rules\": [\n";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out << "            {\"id\": \"" << json_escape(catalog[i].first)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(catalog[i].second) << "\"}}"
+        << (i + 1 < catalog.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": \""
+        << json_escape(f.path) << "\"}, \"region\": {\"startLine\": "
+        << f.line << "}}}\n"
+        << "          ],\n"
+        << "          \"partialFingerprints\": {\"netqosFindingHash/v1\": \""
+        << f.hash_hex() << "\"}\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace netqos::analyze

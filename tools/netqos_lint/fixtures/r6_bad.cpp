@@ -1,0 +1,33 @@
+// Fixture: R6 taint/bounds violations. Wire-derived counts flow into
+// container sizing and indexing without ever meeting an upper-bound
+// check. The functions follow the R1 propagator convention (decode_*),
+// so only the flow-sensitive rule can catch this.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::size_t remaining() const;
+};
+
+struct Body {
+  std::vector<int> rows;
+};
+
+void decode_rows(Reader& in, Body& body) {
+  const std::uint16_t count = in.get_u16();
+  body.rows.reserve(count);  // BAD: unchecked wire count sizes the heap
+  for (std::uint16_t i = 0; i < count; ++i) {
+    body.rows.push_back(0);
+  }
+}
+
+void decode_lookup(Reader& in, std::vector<int>& table) {
+  const std::uint32_t index = in.get_u32();
+  table[index] = 1;  // BAD: unchecked wire index
+}
+
+}  // namespace fixture

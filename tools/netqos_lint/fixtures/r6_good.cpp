@@ -1,0 +1,45 @@
+// Fixture: R6-clean. Every wire-derived count passes an upper-bound
+// check (or is clamped) before it shapes memory.
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::size_t remaining() const;
+};
+
+struct Body {
+  std::vector<int> rows;
+};
+
+void decode_rows(Reader& in, Body& body) {
+  const std::uint16_t count = in.get_u16();
+  if (count > in.remaining()) {
+    throw std::runtime_error("element count exceeds payload");
+  }
+  body.rows.reserve(count);  // OK: bounded against remaining bytes
+  for (std::uint16_t i = 0; i < count; ++i) {
+    body.rows.push_back(0);
+  }
+}
+
+void decode_lookup(Reader& in, std::vector<int>& table) {
+  const std::uint32_t index = in.get_u32();
+  if (index >= table.size()) {
+    return;
+  }
+  table[index] = 1;  // OK: checked against the container size
+}
+
+void decode_hint(Reader& in, Body& body) {
+  const std::uint16_t hint = in.get_u16();
+  const std::size_t capped = std::min<std::size_t>(hint, 1024);
+  body.rows.reserve(capped);  // OK: clamped to a sane limit
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: the PR 3 trap-listener crash, reduced to its flow-sensitive
+// essence. The listener trusted the varbind count parsed from the trap
+// PDU and sized its scratch table from it; a truncated packet carried a
+// garbage count and the decode path ran the heap (and an index) off the
+// rails. The R1 fixture (regression_pr3_underflow.cpp) captures the
+// missing-handler half of the bug; this one captures the missing
+// bounds-check half, which only the taint-tracking rule sees — the
+// enclosing function is a decode_* propagator, so R1 stays silent.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct BerReader {
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::size_t remaining() const;
+};
+
+struct TrapScratch {
+  std::vector<std::uint32_t> if_index;
+};
+
+class TrapListener {
+ public:
+  void decode_trap(BerReader& reader);
+
+ private:
+  TrapScratch scratch_;
+};
+
+void TrapListener::decode_trap(BerReader& reader) {
+  const std::uint32_t varbind_count = reader.get_u32();
+  scratch_.if_index.resize(varbind_count);  // BAD: wire count sizes the table
+  const std::uint32_t slot = reader.get_u32();
+  scratch_.if_index[slot] = reader.get_u8();  // BAD: wire value indexes it
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Fixture: R7 wire-exhaustiveness violations. A peer controls every
+// byte that lands in these switches; silent fall-through swallows
+// hostile or future values.
+#include <cstdint>
+
+namespace fixture {
+
+inline constexpr std::uint8_t kTagInteger = 0x02;
+inline constexpr std::uint8_t kTagOctetString = 0x04;
+
+enum class MessageKind : std::uint8_t {
+  kHello = 0,
+  kData = 1,
+  kBye = 2,
+};
+
+// BAD: kBye uncovered and the default silently ignores unknown bytes.
+int dispatch(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kHello:
+      return 1;
+    case MessageKind::kData:
+      return 2;
+    default:
+      break;
+  }
+  return 0;
+}
+
+// BAD: a BER tag switch can never be exhaustive — it needs an
+// error-returning default, not a silent one.
+int classify(std::uint8_t tag) {
+  switch (tag) {
+    case kTagInteger:
+      return 1;
+    case kTagOctetString:
+      return 2;
+    default:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace fixture

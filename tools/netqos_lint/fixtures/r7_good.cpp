@@ -1,0 +1,52 @@
+// Fixture: R7-clean. Wire-enum switches either cover every enumerator
+// or reject unknown values explicitly; BER tag switches always reject.
+#include <cstdint>
+#include <stdexcept>
+
+namespace fixture {
+
+inline constexpr std::uint8_t kTagInteger = 0x02;
+inline constexpr std::uint8_t kTagOctetString = 0x04;
+
+enum class MessageKind : std::uint8_t {
+  kHello = 0,
+  kData = 1,
+  kBye = 2,
+};
+
+// OK: exhaustive — every enumerator covered, no default needed.
+int dispatch(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kHello:
+      return 1;
+    case MessageKind::kData:
+      return 2;
+    case MessageKind::kBye:
+      return 3;
+  }
+  return 0;
+}
+
+// OK: not exhaustive, but unknown bytes are rejected loudly.
+int dispatch_checked(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kHello:
+      return 1;
+    default:
+      throw std::runtime_error("unknown message kind");
+  }
+}
+
+// OK: BER tag switch with an error-returning default.
+int classify(std::uint8_t tag) {
+  switch (tag) {
+    case kTagInteger:
+      return 1;
+    case kTagOctetString:
+      return 2;
+    default:
+      throw std::runtime_error("unexpected tag");
+  }
+}
+
+}  // namespace fixture

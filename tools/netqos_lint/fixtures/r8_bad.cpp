@@ -1,0 +1,42 @@
+// Fixture: R8 hot-path isolation violations. Raw module hook
+// deliveries let a throwing module kill the poll round, and the
+// zero-copy reader allocates off its throw paths.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct InterfaceSample {};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual void on_interface_sample(const InterfaceSample& sample) = 0;
+  virtual void flush() = 0;
+};
+
+struct Entry {
+  Module* module = nullptr;
+};
+
+void deliver_round(std::vector<Entry>& entries, const InterfaceSample& s) {
+  for (Entry& entry : entries) {
+    entry.module->on_interface_sample(s);  // BAD: unguarded delivery
+    entry.module->flush();                 // BAD: unguarded delivery
+  }
+}
+
+class BerReader {
+ public:
+  std::uint64_t read_tag();
+
+ private:
+  std::vector<std::uint64_t> history_;
+};
+
+std::uint64_t BerReader::read_tag() {
+  history_.push_back(1);  // BAD: allocation on the zero-copy path
+  return history_.size();
+}
+
+}  // namespace fixture

@@ -1,0 +1,63 @@
+// Fixture: R8-clean. Hook deliveries go through guarded() or a
+// catch-all try block; the zero-copy reader allocates only while
+// throwing, and materialization happens in the sanctioned to_value
+// bridge.
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+namespace fixture {
+
+struct InterfaceSample {};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual void on_interface_sample(const InterfaceSample& sample) = 0;
+  virtual void flush() = 0;
+};
+
+struct Entry {
+  Module* module = nullptr;
+};
+
+template <typename Fn>
+void guarded(Entry& entry, const char* hook, Fn&& fn);
+
+void deliver_round(std::vector<Entry>& entries, const InterfaceSample& s) {
+  for (Entry& entry : entries) {
+    guarded(entry, "on_interface_sample",
+            [&] { entry.module->on_interface_sample(s); });  // OK: guarded
+    try {
+      entry.module->flush();  // OK: isolated by the catch-all below
+    } catch (const std::exception&) {
+      // A throwing module cannot kill the round.
+    }
+  }
+}
+
+class BerReader {
+ public:
+  std::uint64_t read_tag();
+  std::vector<std::uint64_t> to_value();
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::uint64_t count_ = 0;
+};
+
+std::uint64_t BerReader::read_tag() {
+  if (data_ == nullptr) {
+    throw std::length_error("empty reader");  // OK: allocating while failing
+  }
+  return count_;
+}
+
+// OK: the sanctioned materializing bridge may allocate.
+std::vector<std::uint64_t> BerReader::to_value() {
+  std::vector<std::uint64_t> out;
+  out.push_back(count_);
+  return out;
+}
+
+}  // namespace fixture
