@@ -1,0 +1,46 @@
+// Active-probing shootout: every estimator (and the passive monitor)
+// against the scenario matrix, scored against link-level ground truth.
+// See src/experiments/shootout.h for metric definitions and
+// EXPERIMENTS.md for the reproduction recipe.
+//
+// Usage: probe_shootout [out.jsonl]
+//   With a path, writes the JSONL artifact there (the tier-2 CI job's
+//   upload, gated by scripts/perf_check.py against
+//   bench/baselines/probe_shootout.jsonl). The human-readable table
+//   always goes to stdout.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "experiments/shootout.h"
+
+using namespace netqos;
+
+int main(int argc, char** argv) {
+  exp::ShootoutOptions options;
+  const std::vector<exp::ShootoutRow> rows = exp::run_shootout(options);
+
+  std::printf("=== SNMP-vs-probe shootout ===\n");
+  std::printf("%-17s %-9s %10s %14s %12s %10s %12s\n", "scenario",
+              "estimator", "mae", "intrusiveness", "converge_s", "estimates",
+              "poll_p95_ms");
+  for (const auto& row : rows) {
+    std::printf("%-17s %-9s %10.4f %14.6f %12.2f %10llu %12.2f\n",
+                row.scenario.c_str(), row.estimator.c_str(),
+                row.mean_abs_error, row.intrusiveness,
+                row.convergence_seconds,
+                static_cast<unsigned long long>(row.estimates),
+                row.poll_round_p95_seconds * 1000.0);
+  }
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    exp::write_shootout_jsonl(rows, out);
+    std::printf("\nwrote %zu rows to %s\n", rows.size(), argv[1]);
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 //   netqosctl health [--seconds N]
 //   netqosctl watch  [--seconds N]
 //   netqosctl modules [--modules LIST] [--seconds N]
+//   netqosctl probes [--probe LIST] [--seconds N]
 //
 // Stands up the LIRTSS testbed with the monitor (and its query server) on
 // host L, issues the command from host S3 over the simulated network, and
@@ -22,6 +23,10 @@
 //   modules enables measurement modules on the monitor (default: every
 //           registry module) and prints each module's telemetry and
 //           self-description as reported over the wire.
+//   probes  runs active estimators (default: all of them) on every qos
+//           path and prints their convergence state and latest estimate
+//           as carried in the health snapshot.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,9 +37,14 @@
 #include "experiments/lirtss.h"
 #include "monitor/modules/registry.h"
 #include "monitor/qos.h"
+#include "probe/estimator.h"
+#include "probe/registry.h"
+#include "probe/sink.h"
 #include "query/client.h"
 #include "query/engine.h"
 #include "query/server.h"
+#include "topology/model.h"
+#include "topology/path.h"
 
 using namespace netqos;
 
@@ -47,6 +57,7 @@ struct Options {
   double last_s = 30;     // trailing window for `query`
   double seconds = 40;    // simulated run length
   std::string modules;    // `modules` command: names to enable, ""=all
+  std::string probe = "all";  // `probes` command: estimator names
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -55,8 +66,9 @@ struct Options {
                "[--last SECS] [--seconds N]\n"
                "       %s health [--seconds N]\n"
                "       %s watch [--seconds N]\n"
-               "       %s modules [--modules LIST] [--seconds N]\n",
-               argv0, argv0, argv0, argv0);
+               "       %s modules [--modules LIST] [--seconds N]\n"
+               "       %s probes [--probe LIST] [--seconds N]\n",
+               argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -65,7 +77,8 @@ Options parse_args(int argc, char** argv) {
   Options options;
   options.command = argv[1];
   if (options.command != "query" && options.command != "health" &&
-      options.command != "watch" && options.command != "modules") {
+      options.command != "watch" && options.command != "modules" &&
+      options.command != "probes") {
     usage(argv[0]);
   }
   for (int i = 2; i < argc; ++i) {
@@ -95,6 +108,8 @@ Options parse_args(int argc, char** argv) {
       options.last_s = std::atof(next("--last").c_str());
     } else if (arg == "--modules") {
       options.modules = next("--modules");
+    } else if (arg == "--probe") {
+      options.probe = next("--probe");
     } else if (arg == "--seconds") {
       options.seconds = std::atof(next("--seconds").c_str());
     } else {
@@ -171,6 +186,30 @@ void print_health(const query::HealthResponse& response) {
   std::printf("(rates in KB/s)\n");
 }
 
+void print_probes(const query::HealthResponse& response) {
+  std::printf("probes at t=%.1fs: %zu estimators\n",
+              to_seconds(response.server_now), response.probes.size());
+  std::printf("%-10s %-12s %-10s %10s %9s %10s\n", "estimator", "path",
+              "state", "est", "samples", "injected");
+  for (const query::ProbeStatusRow& row : response.probes) {
+    const char* state = probe::convergence_name(
+        static_cast<probe::Convergence>(row.convergence));
+    std::string estimate = "-";
+    if (row.has_estimate) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.1f",
+                    to_kilobytes_per_second(row.available));
+      estimate = buffer;
+    }
+    std::printf("%-10s %-12s %-10s %10s %9llu %9llu B\n",
+                row.estimator.c_str(), (row.from + "->" + row.to).c_str(),
+                row.running ? state : "stopped", estimate.c_str(),
+                static_cast<unsigned long long>(row.estimates),
+                static_cast<unsigned long long>(row.wire_bytes));
+  }
+  std::printf("(estimates in KB/s of available bandwidth)\n");
+}
+
 void print_modules(const query::ModulesResponse& response) {
   std::printf("modules at t=%.1fs: %zu registered\n",
               to_seconds(response.server_now), response.modules.size());
@@ -227,7 +266,86 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The `probes` command runs active estimators next to the passive
+  // monitor — their traffic crosses the same simulated links — and
+  // exposes their status through the query engine's provider hook.
+  std::vector<std::unique_ptr<probe::ProbeSink>> probe_sinks;
+  std::vector<std::unique_ptr<probe::Estimator>> estimators;
+  if (options.command == "probes") {
+    std::vector<std::string> probe_names;
+    if (options.probe == "all") {
+      probe_names = probe::available_estimators();
+    } else {
+      std::string item;
+      for (const char c : options.probe + ",") {
+        if (c == ',') {
+          if (!item.empty()) probe_names.push_back(item);
+          item.clear();
+        } else {
+          item += c;
+        }
+      }
+    }
+    const topo::NetworkTopology& topology = testbed.specfile().topology;
+    std::vector<std::string> sink_hosts;
+    for (const auto& req : testbed.specfile().qos) {
+      const auto topo_path =
+          topo::traverse_recursive(topology, req.from, req.to);
+      if (!topo_path.has_value()) {
+        std::fprintf(stderr, "error: cannot probe %s -> %s\n",
+                     req.from.c_str(), req.to.c_str());
+        return 1;
+      }
+      BitsPerSecond capacity = 0;
+      for (const std::size_t index : *topo_path) {
+        const BitsPerSecond speed =
+            topo::connection_speed(topology, topology.connections()[index]);
+        capacity = capacity == 0 ? speed : std::min(capacity, speed);
+      }
+      sim::Host& src = testbed.host(req.from);
+      sim::Host& dst = testbed.host(req.to);
+      if (std::find(sink_hosts.begin(), sink_hosts.end(), req.to) ==
+          sink_hosts.end()) {
+        probe_sinks.push_back(std::make_unique<probe::ProbeSink>(dst));
+        sink_hosts.push_back(req.to);
+      }
+      for (const std::string& name : probe_names) {
+        std::unique_ptr<probe::Estimator> estimator;
+        try {
+          estimator = probe::make_estimator(name, src, dst.ip(),
+                                            {req.from, req.to, capacity});
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "error: %s\n", e.what());
+          return 1;
+        }
+        estimator->start();
+        estimators.push_back(std::move(estimator));
+      }
+    }
+  }
+
   query::QueryEngine engine(testbed.monitor());
+  if (!estimators.empty()) {
+    engine.set_probe_status_provider([&estimators] {
+      std::vector<query::ProbeStatusRow> rows;
+      for (const auto& estimator : estimators) {
+        query::ProbeStatusRow row;
+        row.estimator = estimator->name();
+        row.from = estimator->path().from;
+        row.to = estimator->path().to;
+        row.convergence = static_cast<std::uint8_t>(estimator->convergence());
+        row.running = estimator->running();
+        const auto latest = estimator->latest();
+        row.has_estimate = latest.has_value();
+        row.available = latest.value_or(0.0);
+        row.estimates = estimator->estimates().size();
+        row.wire_bytes = estimator->stats().probe_wire_bytes +
+                         estimator->stats().report_wire_bytes;
+        rows.push_back(std::move(row));
+      }
+      return rows;
+    });
+  }
   query::QueryServer server(simulator, testbed.host("L"), engine);
   server.attach(detector);
   server.attach(predictive);
@@ -317,6 +435,12 @@ int main(int argc, char** argv) {
       client.modules([&, print_result](query::QueryResult result) {
         print_result(result, [](const query::Message& message) {
           print_modules(message.modules_response);
+        });
+      });
+    } else if (options.command == "probes") {
+      client.health([&, print_result](query::QueryResult result) {
+        print_result(result, [](const query::Message& message) {
+          print_probes(message.health_response);
         });
       });
     } else {

@@ -7,7 +7,7 @@
 //             [--metrics-out FILE] [--trace-out FILE]
 //             [--metrics-jsonl FILE] [--trace-jsonl FILE]
 //             [--history-retention SECS] [--forecast-horizon SECS]
-//             [--serve] [--modules LIST]
+//             [--serve] [--modules LIST] [--probe LIST]
 //
 // Reads a specification file (default: the built-in LIRTSS testbed),
 // builds the simulated network, deploys agents per the spec, registers
@@ -34,9 +34,13 @@
 #include "monitor/report.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "probe/hybrid.h"
+#include "probe/registry.h"
+#include "probe/sink.h"
 #include "query/engine.h"
 #include "query/server.h"
 #include "spec/testbed.h"
+#include "topology/path.h"
 
 using namespace netqos;
 
@@ -70,6 +74,10 @@ struct Options {
   /// registry module). Empty leaves the default pipeline untouched, so
   /// output stays bit-identical to runs predating the module layer.
   std::string modules;
+  /// Comma-separated active estimators ("pair,train,periodic" or "all")
+  /// probing every monitored pair. Empty = no probe traffic, keeping
+  /// plain runs bit-identical to builds predating the probe subsystem.
+  std::string probe;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -80,7 +88,7 @@ struct Options {
                "[--metrics-out FILE] [--trace-out FILE] "
                "[--metrics-jsonl FILE] [--trace-jsonl FILE] "
                "[--history-retention SECS] [--forecast-horizon SECS] "
-               "[--serve] [--modules LIST]\n",
+               "[--serve] [--modules LIST] [--probe LIST]\n",
                argv0);
   std::exit(2);
 }
@@ -133,6 +141,8 @@ Options parse_args(int argc, char** argv) {
       options.serve = true;
     } else if (arg == "--modules") {
       options.modules = next("--modules");
+    } else if (arg == "--probe") {
+      options.probe = next("--probe");
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -313,6 +323,76 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Active probing: per --probe, every monitored pair gets each listed
+  // estimator injecting real traffic from its source host, plus a hybrid
+  // cross-check module feeding confidence into the predictive detector
+  // (when one is running). Without --probe nothing here executes and no
+  // probe byte exists anywhere in the simulation.
+  std::vector<std::unique_ptr<probe::ProbeSink>> probe_sinks;
+  std::vector<std::unique_ptr<probe::Estimator>> estimators;
+  if (!options.probe.empty()) {
+    std::vector<std::string> probe_names;
+    if (options.probe == "all") {
+      probe_names = probe::available_estimators();
+    } else {
+      std::string item;
+      for (const char c : options.probe + ",") {
+        if (c == ',') {
+          if (!item.empty()) probe_names.push_back(item);
+          item.clear();
+        } else {
+          item += c;
+        }
+      }
+    }
+    std::vector<std::string> sink_hosts;
+    for (const auto& [from, to] : pairs) {
+      sim::Host* src = network->find_host(from);
+      sim::Host* dst = network->find_host(to);
+      const auto topo_path =
+          topo::traverse_recursive(specfile.topology, from, to);
+      if (src == nullptr || dst == nullptr || !topo_path.has_value()) {
+        std::fprintf(stderr, "error: cannot probe %s -> %s\n", from.c_str(),
+                     to.c_str());
+        return 1;
+      }
+      BitsPerSecond capacity = 0;
+      for (const std::size_t index : *topo_path) {
+        const BitsPerSecond speed = connection_speed(
+            specfile.topology, specfile.topology.connections()[index]);
+        capacity = capacity == 0 ? speed : std::min(capacity, speed);
+      }
+      if (std::find(sink_hosts.begin(), sink_hosts.end(), to) ==
+          sink_hosts.end()) {
+        probe_sinks.push_back(std::make_unique<probe::ProbeSink>(*dst));
+        sink_hosts.push_back(to);
+      }
+      bool first_on_pair = true;
+      for (const std::string& name : probe_names) {
+        std::unique_ptr<probe::Estimator> estimator;
+        try {
+          estimator = probe::make_estimator(name, *src, dst->ip(),
+                                            {from, to, capacity});
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "error: %s\n", e.what());
+          return 1;
+        }
+        estimator->attach_metrics(registry);
+        estimator->start();
+        if (first_on_pair && predictive != nullptr) {
+          auto hybrid = std::make_unique<probe::HybridEstimator>();
+          hybrid->set_estimator(*estimator);
+          hybrid->set_detector(*predictive);
+          monitor.add_module(std::move(hybrid));
+        }
+        first_on_pair = false;
+        estimators.push_back(std::move(estimator));
+      }
+    }
+    std::printf("# probing %zu paths with %zu estimators\n", pairs.size(),
+                estimators.size());
+  }
+
   // Query service: binds the well-known port on the station so external
   // tooling (netqosctl) can interrogate the monitor over the simulated
   // network. Without clients it generates no traffic, so results are
@@ -326,6 +406,28 @@ int main(int argc, char** argv) {
     server->attach(detector);
     if (predictive != nullptr) server->attach(*predictive);
     server->attach_agent_events(monitor);
+    if (!estimators.empty()) {
+      engine->set_probe_status_provider([&estimators] {
+        std::vector<query::ProbeStatusRow> rows;
+        for (const auto& estimator : estimators) {
+          query::ProbeStatusRow row;
+          row.estimator = estimator->name();
+          row.from = estimator->path().from;
+          row.to = estimator->path().to;
+          row.convergence =
+              static_cast<std::uint8_t>(estimator->convergence());
+          row.running = estimator->running();
+          const auto latest = estimator->latest();
+          row.has_estimate = latest.has_value();
+          row.available = latest.value_or(0.0);
+          row.estimates = estimator->estimates().size();
+          row.wire_bytes = estimator->stats().probe_wire_bytes +
+                           estimator->stats().report_wire_bytes;
+          rows.push_back(std::move(row));
+        }
+        return rows;
+      });
+    }
     std::printf("# query server: %s udp/%u\n", station->name().c_str(),
                 server->port());
   }
@@ -475,6 +577,28 @@ int main(int argc, char** argv) {
   if (predictive != nullptr) {
     std::printf("# predictive: %zu early warnings, %zu events total\n",
                 predictive->warning_count(), predictive->events().size());
+  }
+
+  // End-of-run probe summary — printed only under --probe, so a plain
+  // run's stdout stays bit-identical.
+  for (const auto& estimator : estimators) {
+    estimator->stop();
+    const auto& pstats = estimator->stats();
+    const auto latest = estimator->latest();
+    const std::string est_kb =
+        latest.has_value()
+            ? std::to_string(static_cast<long long>(
+                  to_kilobytes_per_second(*latest)))
+            : std::string("-");
+    std::printf("# probe %s %s->%s: %s, est %s KB/s, %zu estimates, "
+                "%llu B injected (intrusiveness %.4f)\n",
+                estimator->name().c_str(), estimator->path().from.c_str(),
+                estimator->path().to.c_str(),
+                probe::convergence_name(estimator->convergence()),
+                est_kb.c_str(), estimator->estimates().size(),
+                static_cast<unsigned long long>(pstats.probe_wire_bytes +
+                                                pstats.report_wire_bytes),
+                estimator->intrusiveness(run_end > 0 ? run_end : 1));
   }
 
   // End-of-run module summary — printed only when --modules enabled

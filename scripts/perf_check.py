@@ -1,26 +1,38 @@
 #!/usr/bin/env python3
-"""Gate scale_monitor results against a committed baseline.
+"""Gate bench JSONL results against a committed baseline.
 
-Both files are scale_monitor JSONL artifacts (one object per line with
-interfaces / shards / poll_round_p95 / rss_per_interface). Rows are
-matched by (interfaces, shards). The metrics are *simulated* quantities
-from a deterministic discrete-event run, so they are machine-independent;
-the tolerance only absorbs intentional-but-small behaviour drift. A
-current value more than --tolerance above baseline fails; improvements
-are reported and always pass.
+Two modes, selected by flag:
+
+  --current FILE    scale_monitor artifacts: rows matched by
+                    (interfaces, shards), metrics poll_round_p95 and
+                    rss_per_interface, default tolerance 10%.
+  --shootout FILE   probe_shootout artifacts: rows matched by
+                    (scenario, estimator), metric
+                    poll_round_p95_seconds — the monitor's poll-round
+                    p95 while that estimator injects probe traffic —
+                    default tolerance 5%.
+
+The metrics are *simulated* quantities from a deterministic
+discrete-event run, so they are machine-independent; the tolerance only
+absorbs intentional-but-small behaviour drift. A current value more
+than --tolerance above baseline fails; improvements are reported and
+always pass.
 
 Usage:
   scripts/perf_check.py --baseline bench/baselines/scale_monitor_1k.jsonl \
       --current artifacts/scale_monitor.jsonl [--tolerance 0.10]
+  scripts/perf_check.py --baseline bench/baselines/probe_shootout.jsonl \
+      --shootout artifacts/probe_shootout.jsonl [--tolerance 0.05]
 """
 import argparse
 import json
 import sys
 
-METRICS = ("poll_round_p95", "rss_per_interface")
+SCALE_METRICS = ("poll_round_p95", "rss_per_interface")
+SHOOTOUT_METRICS = ("poll_round_p95_seconds",)
 
 
-def load(path):
+def load(path, key_of):
     rows = {}
     with open(path, encoding="utf-8") as f:
         for line in f:
@@ -28,24 +40,49 @@ def load(path):
             if not line:
                 continue
             row = json.loads(line)
-            if row.get("bench") != "scale_monitor":
+            key = key_of(row)
+            if key is None:
                 continue
-            rows[(row["interfaces"], row["shards"])] = row
+            rows[key] = row
     if not rows:
-        sys.exit(f"error: no scale_monitor rows in {path}")
+        sys.exit(f"error: no matching rows in {path}")
     return rows
+
+
+def scale_key(row):
+    if row.get("bench") != "scale_monitor":
+        return None
+    return (row["interfaces"], row["shards"])
+
+
+def shootout_key(row):
+    if "scenario" not in row or "estimator" not in row:
+        return None
+    return (row["scenario"], row["estimator"])
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
-    parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="allowed relative regression (default 0.10)")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--current", help="scale_monitor JSONL to gate")
+    source.add_argument("--shootout", help="probe_shootout JSONL to gate")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed relative regression "
+                             "(default 0.10, or 0.05 for --shootout)")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    if args.shootout:
+        key_of, metrics = shootout_key, SHOOTOUT_METRICS
+        current_path = args.shootout
+        tolerance = 0.05 if args.tolerance is None else args.tolerance
+    else:
+        key_of, metrics = scale_key, SCALE_METRICS
+        current_path = args.current
+        tolerance = 0.10 if args.tolerance is None else args.tolerance
+
+    baseline = load(args.baseline, key_of)
+    current = load(current_path, key_of)
 
     failures = []
     for key, base_row in sorted(baseline.items()):
@@ -53,17 +90,17 @@ def main():
         if cur_row is None:
             failures.append(f"{key}: missing from current results")
             continue
-        for metric in METRICS:
+        for metric in metrics:
             base, cur = base_row[metric], cur_row[metric]
             if base <= 0:
                 continue
             delta = (cur - base) / base
-            status = "FAIL" if delta > args.tolerance else "ok"
+            status = "FAIL" if delta > tolerance else "ok"
             print(f"{key} {metric}: baseline {base:.6g} current {cur:.6g} "
                   f"({delta:+.1%}) {status}")
             if status == "FAIL":
                 failures.append(f"{key} {metric} regressed {delta:+.1%} "
-                                f"(tolerance {args.tolerance:.0%})")
+                                f"(tolerance {tolerance:.0%})")
 
     if failures:
         print("\nperf_check FAILED:", file=sys.stderr)

@@ -1,6 +1,7 @@
 #include "experiments/conformance.h"
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,6 +9,7 @@
 #include "monitor/modules/registry.h"
 #include "monitor/qos.h"
 #include "monitor/report.h"
+#include "probe/hybrid.h"
 
 namespace netqos::exp {
 namespace {
@@ -144,6 +146,11 @@ struct Scenario {
       for (const mon::ModuleSpec& spec : mon::available_modules()) {
         bed.monitor().add_module(mon::make_module(spec.name));
       }
+      // The probe cross-check module rides along too: with no estimator
+      // feeding it, it must stay inert even with the detector wired up.
+      auto hybrid = std::make_unique<probe::HybridEstimator>();
+      if (predictive != nullptr) hybrid->set_detector(*predictive);
+      bed.monitor().add_module(std::move(hybrid));
     }
   }
 };

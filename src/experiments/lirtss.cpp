@@ -5,7 +5,9 @@
 namespace netqos::exp {
 
 LirtssTestbed::LirtssTestbed(TestbedOptions options)
-    : specfile_(spec::lirtss_testbed()) {
+    : specfile_(options.spec_text.empty()
+                    ? spec::lirtss_testbed()
+                    : spec::parse_spec(options.spec_text)) {
   network_ = sim::build_network(simulator_, specfile_.topology);
 
   snmp::DeployOptions deploy;

@@ -43,6 +43,10 @@ struct TestbedOptions {
   /// poll rounds are traced. Both must outlive the testbed.
   obs::MetricsRegistry* metrics = nullptr;
   obs::SpanRecorder* spans = nullptr;
+  /// Alternative network specification (spec-file text). Empty = the
+  /// built-in §4.1 testbed. The shootout's hidden-cross scenario uses
+  /// this to graft agentless hosts onto the hub segment.
+  std::string spec_text;
 };
 
 class LirtssTestbed {

@@ -1,0 +1,421 @@
+#include "experiments/shootout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+
+#include "experiments/lirtss.h"
+#include "loadgen/profile.h"
+#include "obs/metrics.h"
+#include "probe/registry.h"
+#include "probe/sink.h"
+#include "topology/model.h"
+#include "topology/path.h"
+
+namespace netqos::exp {
+
+namespace {
+
+/// Every scenario probes (and passively watches) the same pair: S1 on
+/// the switch to N1 on the hub, bottlenecked by the 10 Mbps hub segment.
+constexpr const char* kProbeFrom = "S1";
+constexpr const char* kProbeTo = "N1";
+
+/// Estimates within this fraction of capacity of truth count as
+/// converged for the convergence_seconds column.
+constexpr double kConvergenceBand = 0.1;
+
+struct TruthPoint {
+  SimTime time = 0;
+  double available = 0.0;  ///< bytes/s
+};
+
+/// Samples ground truth along the probed path straight from the links:
+/// available_i = C_i - (carried rate - the estimator's own share), truth
+/// is the min over the path's connections. The estimator's probe and
+/// report bytes are subtracted because truth means "what the path offers
+/// everyone else" — an estimator must not count its own load as cross
+/// traffic.
+class TruthSampler {
+ public:
+  TruthSampler(LirtssTestbed& testbed, topo::Path path,
+               SimDuration interval, const probe::Estimator* estimator)
+      : testbed_(testbed),
+        path_(std::move(path)),
+        interval_(interval),
+        estimator_(estimator) {
+    for (const std::size_t index : path_) {
+      capacities_.push_back(to_bytes_per_second(connection_speed(
+          testbed_.topology(), testbed_.topology().connections()[index])));
+      prev_octets_.push_back(
+          testbed_.network().links()[index]->octets_carried());
+    }
+  }
+
+  void start() { schedule(); }
+
+  const std::vector<TruthPoint>& series() const { return series_; }
+
+  /// Last truth sample at or before `t` (bytes/s); the first sample when
+  /// `t` precedes the series.
+  double at(SimTime t) const {
+    double value = series_.empty() ? 0.0 : series_.front().available;
+    for (const TruthPoint& point : series_) {
+      if (point.time > t) break;
+      value = point.available;
+    }
+    return value;
+  }
+
+ private:
+  void schedule() {
+    testbed_.simulator().schedule_after(interval_, [this] {
+      sample();
+      schedule();
+    });
+  }
+
+  void sample() {
+    const SimTime now = testbed_.simulator().now();
+    const double dt = to_seconds(interval_);
+    double probe_rate = 0.0;
+    if (estimator_ != nullptr) {
+      const auto& stats = estimator_->stats();
+      const std::uint64_t wire =
+          stats.probe_wire_bytes + stats.report_wire_bytes;
+      probe_rate =
+          static_cast<double>(wire - prev_probe_bytes_) / dt;
+      prev_probe_bytes_ = wire;
+    }
+    double truth = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < path_.size(); ++i) {
+      const std::uint64_t octets =
+          testbed_.network().links()[path_[i]]->octets_carried();
+      const double used =
+          static_cast<double>(octets - prev_octets_[i]) / dt;
+      prev_octets_[i] = octets;
+      const double cross = std::max(0.0, used - probe_rate);
+      truth = std::min(truth,
+                       std::max(0.0, capacities_[i] - cross));
+    }
+    series_.push_back({now, truth});
+  }
+
+  LirtssTestbed& testbed_;
+  topo::Path path_;
+  SimDuration interval_;
+  const probe::Estimator* estimator_;
+  std::vector<double> capacities_;
+  std::vector<std::uint64_t> prev_octets_;
+  std::uint64_t prev_probe_bytes_ = 0;
+  std::vector<TruthPoint> series_;
+};
+
+struct Scenario {
+  std::string name;
+  bool hidden_cross = false;
+  std::string spec_text;  ///< empty = the stock §4.1 testbed
+  void (*add_loads)(LirtssTestbed&, SimTime end);
+};
+
+void staircase_loads(LirtssTestbed& testbed, SimTime end) {
+  // Fig-4-shaped ramp on the probed path itself: fully SNMP-visible,
+  // the case passive monitoring is built for.
+  testbed.add_load(kProbeFrom, kProbeTo,
+                   load::RateProfile::staircase(
+                       100'000.0, 30 * kSecond, 150'000.0, 20 * kSecond, 4,
+                       end - 10 * kSecond));
+}
+
+void hub_contention_loads(LirtssTestbed& testbed, SimTime end) {
+  // Fig-5-shaped pulses from the monitoring station to both hub hosts:
+  // the N2 stream never touches the probed pair's endpoints but floods
+  // the shared hub segment, so it contends all the same.
+  (void)end;
+  testbed.add_load("L", "N1",
+                   load::RateProfile::pulse(20 * kSecond, 70 * kSecond,
+                                            300'000.0));
+  testbed.add_load("L", "N2",
+                   load::RateProfile::pulse(50 * kSecond, 110 * kSecond,
+                                            300'000.0));
+}
+
+void switch_isolation_loads(LirtssTestbed& testbed, SimTime end) {
+  // Heavy switched traffic between two 100 Mbps hosts: isolated from the
+  // hub by the switch, so truth on the probed path barely moves. The
+  // control case — every estimator should hold a flat, accurate line.
+  testbed.add_load("S4", "S5",
+                   load::RateProfile::pulse(10 * kSecond, end - 10 * kSecond,
+                                            6'000'000.0));
+}
+
+void hidden_cross_loads(LirtssTestbed& testbed, SimTime end) {
+  // Seeded on/off bursts between the agentless hub hosts: invisible to
+  // every polled counter, fully felt by probes (and by N1's users).
+  testbed.add_load("X1", "X2",
+                   load::RateProfile::random_bursts(
+                       10 * kSecond, end - 10 * kSecond, 500'000.0,
+                       5 * kSecond, 4 * kSecond, 0x5eedc805));
+}
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"staircase", false, "", &staircase_loads},
+      {"hub-contention", false, "", &hub_contention_loads},
+      {"switch-isolation", false, "", &switch_isolation_loads},
+      {"hidden-cross", true, hidden_cross_spec_text(), &hidden_cross_loads},
+  };
+  return kScenarios;
+}
+
+/// Accuracy + convergence over an estimate series vs the truth series.
+struct Score {
+  double mean_abs_error = 0.0;
+  double convergence_seconds = -1.0;
+  std::uint64_t scored = 0;
+};
+
+template <typename Series, typename TimeOf, typename ValueOf>
+Score score_series(const Series& series, TimeOf time_of, ValueOf value_of,
+                   const TruthSampler& truth, double capacity_bytes,
+                   SimDuration warmup) {
+  Score score;
+  double error_sum = 0.0;
+  std::uint64_t errors = 0;
+  for (const auto& sample : series) {
+    const SimTime t = time_of(sample);
+    const double estimate = value_of(sample);
+    const double error =
+        std::abs(estimate - truth.at(t)) / capacity_bytes;
+    if (score.convergence_seconds < 0.0 && error <= kConvergenceBand) {
+      score.convergence_seconds = to_seconds(t);
+    }
+    if (t >= warmup) {
+      error_sum += error;
+      ++errors;
+    }
+  }
+  if (errors > 0) score.mean_abs_error = error_sum / errors;
+  score.scored = errors;
+  return score;
+}
+
+ShootoutRow run_cell(const Scenario& scenario,
+                     const std::string& estimator_name,
+                     const ShootoutOptions& options) {
+  obs::MetricsRegistry metrics;
+  TestbedOptions testbed_options;
+  testbed_options.metrics = &metrics;
+  testbed_options.spec_text = scenario.spec_text;
+  LirtssTestbed testbed(testbed_options);
+  testbed.watch(kProbeFrom, kProbeTo);
+
+  const auto topo_path = topo::traverse_recursive(testbed.topology(),
+                                                  kProbeFrom, kProbeTo);
+  if (!topo_path.has_value()) {
+    throw std::logic_error("shootout: probed hosts are not connected");
+  }
+  double capacity_bits = std::numeric_limits<double>::infinity();
+  for (const std::size_t index : *topo_path) {
+    capacity_bits = std::min(
+        capacity_bits,
+        static_cast<double>(connection_speed(
+            testbed.topology(), testbed.topology().connections()[index])));
+  }
+  const double capacity_bytes =
+      to_bytes_per_second(static_cast<BitsPerSecond>(capacity_bits));
+
+  const bool passive = estimator_name == "passive";
+  std::unique_ptr<probe::ProbeSink> sink;
+  std::unique_ptr<probe::Estimator> estimator;
+  if (!passive) {
+    sink = std::make_unique<probe::ProbeSink>(testbed.host(kProbeTo));
+    estimator = probe::make_estimator(
+        estimator_name, testbed.host(kProbeFrom),
+        testbed.host(kProbeTo).ip(),
+        {kProbeFrom, kProbeTo,
+         static_cast<BitsPerSecond>(capacity_bits)});
+    estimator->attach_metrics(metrics);
+  }
+
+  // The passive contestant's estimate series: the monitor's own per-round
+  // path availability samples.
+  std::vector<TruthPoint> passive_series;
+  testbed.monitor().add_sample_callback(
+      [&passive_series](const mon::PathKey& key, SimTime time,
+                        const mon::PathUsage& usage) {
+        const bool match = (key.first == kProbeFrom &&
+                            key.second == kProbeTo) ||
+                           (key.first == kProbeTo &&
+                            key.second == kProbeFrom);
+        if (match) passive_series.push_back({time, usage.available});
+      });
+
+  TruthSampler truth(testbed, *topo_path, options.truth_interval,
+                     estimator.get());
+  scenario.add_loads(testbed, options.duration);
+  truth.start();
+  if (estimator != nullptr) estimator->start();
+  testbed.run_until(options.duration);
+  if (estimator != nullptr) estimator->stop();
+
+  ShootoutRow row;
+  row.scenario = scenario.name;
+  row.estimator = estimator_name;
+  row.hidden_cross = scenario.hidden_cross;
+  row.capacity_bits_per_second = capacity_bits;
+
+  Score score;
+  if (passive) {
+    score = score_series(
+        passive_series, [](const TruthPoint& p) { return p.time; },
+        [](const TruthPoint& p) { return p.available; }, truth,
+        capacity_bytes, options.warmup);
+    row.estimates = passive_series.size();
+    const auto client = testbed.monitor().client_stats();
+    const std::uint64_t payload =
+        client.payload_bytes_sent + client.payload_bytes_received;
+    row.probe_wire_bytes = payload;
+    row.intrusiveness =
+        to_bits_per_second(static_cast<double>(payload) /
+                           to_seconds(options.duration)) /
+        capacity_bits;
+  } else {
+    score = score_series(
+        estimator->estimates(),
+        [](const probe::EstimateSample& s) { return s.time; },
+        [](const probe::EstimateSample& s) { return s.available; }, truth,
+        capacity_bytes, options.warmup);
+    row.estimates = estimator->estimates().size();
+    row.probe_wire_bytes = estimator->stats().probe_wire_bytes +
+                           estimator->stats().report_wire_bytes;
+    row.intrusiveness = estimator->intrusiveness(options.duration);
+  }
+  row.mean_abs_error = score.mean_abs_error;
+  row.convergence_seconds = score.convergence_seconds;
+
+  const auto* rounds = metrics.find_histogram(
+      "netqos_poll_round_duration_seconds", {{"station", "L"}});
+  if (rounds != nullptr) {
+    row.poll_round_p95_seconds = rounds->data().percentile(0.95);
+  }
+  return row;
+}
+
+}  // namespace
+
+const std::vector<std::string>& shootout_scenarios() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const Scenario& scenario : scenarios()) {
+      names.push_back(scenario.name);
+    }
+    return names;
+  }();
+  return kNames;
+}
+
+std::string hidden_cross_spec_text() {
+  // The stock testbed with two agentless hosts grafted onto the hub:
+  // their traffic shares the 10 Mbps segment with N1/N2 but, with no
+  // SNMP daemon anywhere near it, never reaches a polled counter.
+  std::string text = spec::lirtss_spec_text();
+  const std::string hub_decl = "interface h1; interface h2; interface h3;";
+  auto pos = text.find(hub_decl);
+  if (pos == std::string::npos) {
+    throw std::logic_error("hidden-cross: hub declaration not found");
+  }
+  text.replace(pos, hub_decl.size(),
+               "interface h1; interface h2; interface h3;\n"
+               "    interface h4; interface h5;");
+  const std::string hosts =
+      "  host X1 { os \"Linux\"; interface e0 { speed 10Mbps; "
+      "address 10.0.0.31; } }\n"
+      "  host X2 { os \"Linux\"; interface e0 { speed 10Mbps; "
+      "address 10.0.0.32; } }\n";
+  pos = text.find("  switch sw0 {");
+  if (pos == std::string::npos) {
+    throw std::logic_error("hidden-cross: switch declaration not found");
+  }
+  text.insert(pos, hosts);
+  const std::string connects = "  connect N2.e0   <-> hub0.h3;";
+  pos = text.find(connects);
+  if (pos == std::string::npos) {
+    throw std::logic_error("hidden-cross: hub connections not found");
+  }
+  text.insert(pos + connects.size(),
+              "\n  connect X1.e0   <-> hub0.h4;"
+              "\n  connect X2.e0   <-> hub0.h5;");
+  return text;
+}
+
+std::vector<ShootoutRow> run_shootout(const ShootoutOptions& options) {
+  std::vector<std::string> estimator_names = options.estimators;
+  if (estimator_names.empty()) {
+    estimator_names = probe::available_estimators();
+    estimator_names.push_back("passive");
+  }
+  for (const std::string& name : estimator_names) {
+    if (name != "passive" && !probe::is_estimator_name(name)) {
+      throw std::invalid_argument("unknown estimator: " + name);
+    }
+  }
+  std::vector<const Scenario*> selected;
+  if (options.scenarios.empty()) {
+    for (const Scenario& scenario : scenarios()) {
+      selected.push_back(&scenario);
+    }
+  } else {
+    for (const std::string& name : options.scenarios) {
+      const Scenario* found = nullptr;
+      for (const Scenario& scenario : scenarios()) {
+        if (scenario.name == name) found = &scenario;
+      }
+      if (found == nullptr) {
+        throw std::invalid_argument("unknown scenario: " + name);
+      }
+      selected.push_back(found);
+    }
+  }
+
+  std::vector<ShootoutRow> rows;
+  for (const Scenario* scenario : selected) {
+    for (const std::string& name : estimator_names) {
+      rows.push_back(run_cell(*scenario, name, options));
+    }
+  }
+  return rows;
+}
+
+void write_shootout_jsonl(const std::vector<ShootoutRow>& rows,
+                          std::ostream& out) {
+  char number[64];
+  const auto put = [&](double value) {
+    std::snprintf(number, sizeof(number), "%.10g", value);
+    out << number;
+  };
+  for (const ShootoutRow& row : rows) {
+    out << "{\"scenario\":\"" << row.scenario << "\",\"estimator\":\""
+        << row.estimator << "\",\"hidden_cross\":"
+        << (row.hidden_cross ? "true" : "false")
+        << ",\"capacity_bits_per_second\":";
+    put(row.capacity_bits_per_second);
+    out << ",\"mean_abs_error\":";
+    put(row.mean_abs_error);
+    out << ",\"intrusiveness\":";
+    put(row.intrusiveness);
+    out << ",\"convergence_seconds\":";
+    put(row.convergence_seconds);
+    out << ",\"estimates\":" << row.estimates
+        << ",\"probe_wire_bytes\":" << row.probe_wire_bytes
+        << ",\"poll_round_p95_seconds\":";
+    put(row.poll_round_p95_seconds);
+    out << "}\n";
+  }
+}
+
+}  // namespace netqos::exp

@@ -1,0 +1,86 @@
+// SNMP-vs-probe accuracy shootout.
+//
+// Runs every active estimator (and the passive monitor as its own
+// contestant) against a matrix of load scenarios on the LIRTSS testbed,
+// scoring each against ground truth read directly from the simulated
+// links. Three metrics per (scenario, estimator) cell:
+//
+//   mean_abs_error        mean |estimate - truth| / C after warmup
+//   intrusiveness         probe + report wire bits injected, as a
+//                         fraction of what the bottleneck could carry
+//                         (for the passive row: SNMP payload overhead)
+//   convergence_seconds   first estimate within 0.1 C of truth
+//
+// The scenario matrix deliberately includes one case passive monitoring
+// cannot win: "hidden-cross" grafts two agentless hosts onto the hub
+// segment and drives seeded on/off bursts between them. Their traffic
+// never appears in any polled counter the usage aggregation trusts, so
+// the passive availability figure stays optimistic while probes feel the
+// queueing directly — the quantitative argument for the hybrid
+// confidence feed (src/probe/hybrid.h).
+//
+// Every cell is an isolated simulation run (fresh testbed, one estimator
+// at most), so estimators never perturb each other and each row's
+// poll_round_p95_seconds shows how much that estimator's traffic alone
+// stretches the monitor's poll rounds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace netqos::exp {
+
+struct ShootoutOptions {
+  /// Simulated length of each run.
+  SimDuration duration = 150 * kSecond;
+  /// Estimates before this are cold-start noise and excluded from the
+  /// accuracy mean (convergence is still judged from t=0).
+  SimDuration warmup = 30 * kSecond;
+  /// Ground-truth link sampling cadence.
+  SimDuration truth_interval = 1 * kSecond;
+  /// Scenario subset to run; empty = the full matrix.
+  std::vector<std::string> scenarios;
+  /// Estimator subset ("pair"/"train"/"periodic"/"passive");
+  /// empty = every registered estimator plus the passive row.
+  std::vector<std::string> estimators;
+};
+
+struct ShootoutRow {
+  std::string scenario;
+  std::string estimator;
+  /// Scenario drives cross traffic no SNMP counter reports.
+  bool hidden_cross = false;
+  /// Bottleneck capacity of the probed path (bits/s).
+  double capacity_bits_per_second = 0.0;
+  double mean_abs_error = 0.0;
+  double intrusiveness = 0.0;
+  /// -1 when the estimator never got within 0.1 C of truth.
+  double convergence_seconds = -1.0;
+  std::uint64_t estimates = 0;
+  std::uint64_t probe_wire_bytes = 0;
+  double poll_round_p95_seconds = 0.0;
+};
+
+/// Scenario names in matrix order:
+/// staircase, hub-contention, switch-isolation, hidden-cross.
+const std::vector<std::string>& shootout_scenarios();
+
+/// Spec-file text of the hidden-cross testbed variant (the §4.1 network
+/// plus agentless hosts X1/X2 on the hub). Exposed for tests.
+std::string hidden_cross_spec_text();
+
+/// Runs the matrix; rows come out scenario-major, estimators in registry
+/// order with "passive" last. Throws std::invalid_argument on unknown
+/// scenario or estimator names.
+std::vector<ShootoutRow> run_shootout(const ShootoutOptions& options = {});
+
+/// One JSON object per row per line (bench/probe_shootout's artifact
+/// format, consumed by scripts/perf_check.py).
+void write_shootout_jsonl(const std::vector<ShootoutRow>& rows,
+                          std::ostream& out);
+
+}  // namespace netqos::exp

@@ -1,6 +1,9 @@
 #include "loadgen/profile.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "common/rng.h"
 
 namespace netqos::load {
 
@@ -38,6 +41,37 @@ RateProfile RateProfile::staircase(BytesPerSecond initial,
     t += step_duration;
   }
   p.add_step(off_time, 0.0);
+  return p;
+}
+
+RateProfile RateProfile::random_bursts(SimTime begin, SimTime end,
+                                       BytesPerSecond rate,
+                                       SimDuration mean_burst,
+                                       SimDuration mean_gap,
+                                       std::uint64_t seed) {
+  if (end <= begin || rate <= 0 || mean_burst <= 0 || mean_gap <= 0) {
+    throw std::invalid_argument("random_bursts: degenerate parameters");
+  }
+  RateProfile p;
+  Xoshiro256 rng(seed);
+  SimTime t = begin;
+  while (t < end) {
+    const auto burst = std::max<SimDuration>(
+        kMillisecond, static_cast<SimDuration>(
+                          rng.exponential(to_seconds(mean_burst)) *
+                          static_cast<double>(kSecond)));
+    const BytesPerSecond level = rng.uniform(rate / 2, rate);
+    p.add_step(t, level);
+    t = std::min(end, t + burst);
+    p.add_step(t, 0.0);
+    const auto gap = std::max<SimDuration>(
+        kMillisecond,
+        static_cast<SimDuration>(rng.exponential(to_seconds(mean_gap)) *
+                                 static_cast<double>(kSecond)));
+    t += gap;
+  }
+  // Ensure silence from `end` even when the loop exits mid-gap.
+  if (p.steps_.back().start < end) p.add_step(end, 0.0);
   return p;
 }
 

@@ -5,6 +5,7 @@
 // the "generated load" reference series in the figures.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -36,6 +37,17 @@ class RateProfile {
                                BytesPerSecond increment,
                                SimDuration step_duration, int steps,
                                SimTime off_time);
+
+  /// Seeded on/off bursts on [begin, end): burst lengths are exponential
+  /// with mean `mean_burst`, gaps exponential with mean `mean_gap`, and
+  /// each burst's rate is uniform in [rate/2, rate). Deterministic for a
+  /// given seed — the shootout's SNMP-invisible cross traffic, shaped so
+  /// probes keep finding the bottleneck in different states.
+  static RateProfile random_bursts(SimTime begin, SimTime end,
+                                   BytesPerSecond rate,
+                                   SimDuration mean_burst,
+                                   SimDuration mean_gap,
+                                   std::uint64_t seed);
 
   /// Rate in effect at time t (0 before the first step).
   BytesPerSecond rate_at(SimTime t) const;

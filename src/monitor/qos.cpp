@@ -1,5 +1,7 @@
 #include "monitor/qos.h"
 
+#include <algorithm>
+
 namespace netqos::mon {
 
 ViolationDetector::ViolationDetector(NetworkMonitor& monitor,
@@ -118,6 +120,27 @@ void PredictiveDetector::on_path_sample(const PathKey& key, SimTime time,
   observe(key, time, usage.available);
 }
 
+void PredictiveDetector::set_path_confidence(const std::string& from,
+                                             const std::string& to,
+                                             double confidence,
+                                             SimTime time) {
+  const double clamped =
+      std::clamp(confidence, config_.confidence_floor, 1.0);
+  for (Requirement& req : requirements_) {
+    if (!unordered_pair_equal(req.key, {from, to})) continue;
+    req.confidence = clamped;
+    req.confidence_at = time;
+  }
+}
+
+double PredictiveDetector::path_confidence(const std::string& from,
+                                           const std::string& to) const {
+  for (const Requirement& req : requirements_) {
+    if (unordered_pair_equal(req.key, {from, to})) return req.confidence;
+  }
+  return 1.0;
+}
+
 void PredictiveDetector::observe(const PathKey& key, SimTime time,
                                  BytesPerSecond available) {
   for (Requirement& req : requirements_) {
@@ -170,10 +193,21 @@ void PredictiveDetector::observe(const PathKey& key, SimTime time,
     // crossing after the decline has stopped; the window slope collapses
     // to ~0 as soon as the measurements flatten, so only a sustained
     // decline breaches for confirm_rounds in a row.
+    //
+    // A distrusted passive measurement raises the bar the forecast must
+    // clear: the effective requirement is min_available / confidence
+    // (exactly min_available at full trust — x / 1.0 is an identity in
+    // IEEE arithmetic, keeping the untuned goldens bit-identical). When
+    // confidence has actually been lowered, the measured value itself is
+    // also held against the raised bar: cross traffic the poller cannot
+    // see leaves the passive figure flat, so a trend-gated breach alone
+    // would never fire there.
     const double trend =
         std::max(req.forecaster.trend_per_second(), window_slope);
     const double forecast = available + trend * to_seconds(config_.horizon);
-    const bool breach = forecast < req.min_available && trend < 0.0;
+    const double effective = req.min_available / req.confidence;
+    const bool breach = (forecast < effective && trend < 0.0) ||
+                        (req.confidence < 1.0 && available < effective);
 
     if (!req.warning) {
       req.breach_streak = breach ? req.breach_streak + 1 : 0;
@@ -189,11 +223,12 @@ void PredictiveDetector::observe(const PathKey& key, SimTime time,
         event.required = req.min_available;
         event.predicted_in =
             req.forecaster.time_until_below(req.min_available);
+        event.confidence = req.confidence;
         events_.push_back(event);
         for (const auto& callback : callbacks_) callback(events_.back());
       }
-    } else if (forecast >=
-               req.min_available * (1.0 + config_.clear_margin)) {
+    } else if (forecast >= effective * (1.0 + config_.clear_margin) &&
+               !(req.confidence < 1.0 && available < effective)) {
       req.warning = false;
       PredictiveEvent event;
       event.kind = PredictiveEvent::Kind::kAllClear;
@@ -202,6 +237,7 @@ void PredictiveDetector::observe(const PathKey& key, SimTime time,
       event.available = available;
       event.forecast = forecast;
       event.required = req.min_available;
+      event.confidence = req.confidence;
       events_.push_back(event);
       for (const auto& callback : callbacks_) callback(events_.back());
     }

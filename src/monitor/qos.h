@@ -102,6 +102,10 @@ struct PredictiveConfig {
   int confirm_rounds = 3;
   /// Fractional headroom the forecast must regain before kAllClear.
   double clear_margin = 0.1;
+  /// Lower clamp on per-path measurement confidence (see
+  /// set_path_confidence): even a fully distrusted passive measurement
+  /// only tightens the effective requirement by 1/floor.
+  double confidence_floor = 0.25;
 };
 
 struct PredictiveEvent {
@@ -118,6 +122,9 @@ struct PredictiveEvent {
   /// Predicted time until the requirement is crossed (valid for
   /// warnings; unset when the trend flattened before the crossing).
   std::optional<SimDuration> predicted_in;
+  /// Confidence in the passive measurement this event was judged from
+  /// (1.0 unless an active/passive cross-check lowered it).
+  double confidence = 1.0;
 };
 
 /// Early-warning QoS detector: feeds each path's available-bandwidth
@@ -150,6 +157,20 @@ class PredictiveDetector : public Module {
   /// synthetic step/ramp/steady loads.
   void observe(const PathKey& key, SimTime time, BytesPerSecond available);
 
+  /// Sets how much the detector trusts the passive measurement of a
+  /// path, in (0, 1]. Fed by the hybrid active/passive cross-check
+  /// (src/probe): when occasional probes disagree with the SNMP-derived
+  /// figure, confidence drops and the path must clear a proportionally
+  /// higher forecast bar (required / confidence) before being considered
+  /// safe — cross traffic the poller cannot see then warns earlier
+  /// instead of never. Values are clamped to [confidence_floor, 1];
+  /// 1.0 restores the exact untuned behavior. Unknown paths are ignored.
+  void set_path_confidence(const std::string& from, const std::string& to,
+                           double confidence, SimTime time);
+  /// Current confidence for a path (1.0 when never set or unknown).
+  double path_confidence(const std::string& from,
+                         const std::string& to) const;
+
   const std::vector<PredictiveEvent>& events() const { return events_; }
 
   /// True while an early warning is active (and the requirement has not
@@ -175,6 +196,10 @@ class PredictiveDetector : public Module {
     int breach_streak = 0;
     bool warning = false;
     bool violated = false;  ///< actual violation observed; warning retired
+    /// Passive-measurement trust from the active cross-check; scales the
+    /// effective requirement (min_available / confidence).
+    double confidence = 1.0;
+    SimTime confidence_at = 0;
   };
 
   void on_path_sample(const PathKey& key, SimTime time,

@@ -38,6 +38,9 @@ inline constexpr std::uint16_t kSnmpTrapPort = 162;  // RFC 1157
 /// Monitor query service (src/query): the wire API over the history
 /// store. Unprivileged and project-assigned, like CoMo's query port.
 inline constexpr std::uint16_t kQueryPort = 9161;
+/// Active-probing sink (src/probe): destination hosts timestamp probe
+/// packets here and echo arrival reports back to the sending estimator.
+inline constexpr std::uint16_t kProbePort = 9162;
 
 struct UdpDatagram {
   std::uint16_t src_port = 0;

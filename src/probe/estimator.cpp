@@ -1,0 +1,164 @@
+#include "probe/estimator.h"
+
+#include <algorithm>
+
+namespace netqos::probe {
+namespace {
+
+/// Ethernet + IPv4 + UDP overhead around a probe payload.
+constexpr std::size_t kFrameOverheadBytes = sim::kEthernetOverheadBytes +
+                                            sim::kIpv4HeaderBytes +
+                                            sim::kUdpHeaderBytes;
+
+std::size_t frame_wire_size(std::size_t payload_bytes) {
+  const std::size_t raw = kFrameOverheadBytes + payload_bytes;
+  return std::max(raw, sim::kMinEthernetFrameBytes);
+}
+
+/// Session ids only need to be unique within one simulation; a process
+/// counter is deterministic because construction order is.
+std::uint32_t next_session() {
+  static std::uint32_t counter = 0;
+  return ++counter;
+}
+
+}  // namespace
+
+const char* convergence_name(Convergence state) {
+  switch (state) {
+    case Convergence::kWarmup: return "warmup";
+    case Convergence::kTracking: return "tracking";
+    case Convergence::kConverged: return "converged";
+  }
+  return "unknown";
+}
+
+Estimator::Estimator(std::string name, sim::Host& source,
+                     sim::Ipv4Address target, ProbedPath path)
+    : name_(std::move(name)),
+      source_(source),
+      target_(target),
+      path_(std::move(path)),
+      session_(next_session()) {
+  report_port_ = source_.udp().allocate_ephemeral_port();
+  source_.udp().bind(report_port_, [this](const sim::Ipv4Packet& packet) {
+    on_datagram(packet);
+  });
+}
+
+Estimator::~Estimator() { source_.udp().unbind(report_port_); }
+
+void Estimator::start() {
+  if (running_) return;
+  running_ = true;
+  on_start();
+}
+
+void Estimator::stop() {
+  if (!running_) return;
+  running_ = false;
+  on_stop();
+}
+
+std::optional<BytesPerSecond> Estimator::latest() const {
+  if (estimates_.empty()) return std::nullopt;
+  return estimates_.back().available;
+}
+
+std::optional<SimTime> Estimator::first_estimate_at() const {
+  if (estimates_.empty()) return std::nullopt;
+  return estimates_.front().time;
+}
+
+double Estimator::intrusiveness(SimDuration duration) const {
+  if (duration <= 0 || path_.capacity == 0) return 0.0;
+  const double total_bytes = static_cast<double>(stats_.probe_wire_bytes +
+                                                 stats_.report_wire_bytes);
+  const BytesPerSecond rate = total_bytes / to_seconds(duration);
+  return static_cast<double>(to_bits_per_second(rate)) /
+         static_cast<double>(path_.capacity);
+}
+
+bool Estimator::send_probe(std::uint32_t stream, std::uint32_t seq,
+                           bool last, std::size_t frame_wire_bytes) {
+  ProbeHeader header;
+  header.kind = ProbeKind::kProbe;
+  header.flags = last ? kFlagLast : 0;
+  header.session = session_;
+  header.stream = stream;
+  header.seq = seq;
+  header.sent_at = sim().now();
+
+  const std::size_t base = kFrameOverheadBytes + kProbeHeaderBytes;
+  const std::size_t padding =
+      frame_wire_bytes > base ? frame_wire_bytes - base : 0;
+  if (!source_.udp().send(target_, sim::kProbePort, report_port_,
+                          encode_probe(header), padding)) {
+    ++stats_.probe_send_failures;
+    return false;
+  }
+  ++stats_.probes_sent;
+  stats_.probe_wire_bytes += frame_wire_size(kProbeHeaderBytes + padding);
+  if (probes_counter_ != nullptr) probes_counter_->inc();
+  if (bytes_counter_ != nullptr) {
+    bytes_counter_->inc(frame_wire_size(kProbeHeaderBytes + padding));
+  }
+  return true;
+}
+
+void Estimator::on_datagram(const sim::Ipv4Packet& packet) {
+  ProbeReport report;
+  try {
+    report = decode_report(packet.udp.payload);
+  } catch (const std::exception&) {
+    ++stats_.reports_malformed;
+    return;
+  }
+  if (report.header.session != session_) return;
+  ++stats_.reports_received;
+  stats_.report_wire_bytes += frame_wire_size(packet.udp.payload_size());
+  if (reports_counter_ != nullptr) reports_counter_->inc();
+  if (!running_) return;
+  on_report(report, sim().now());
+}
+
+void Estimator::record_estimate(BytesPerSecond available) {
+  estimates_.push_back({sim().now(), available});
+  if (estimates_counter_ != nullptr) estimates_counter_->inc();
+  if (available_gauge_ != nullptr) available_gauge_->set(available);
+
+  if (estimates_.size() < 3) {
+    convergence_ = Convergence::kTracking;
+    return;
+  }
+  const auto last3 = std::minmax(
+      {estimates_[estimates_.size() - 3].available,
+       estimates_[estimates_.size() - 2].available, available});
+  const BytesPerSecond band =
+      kStabilityBand * to_bytes_per_second(path_.capacity);
+  convergence_ = (last3.second - last3.first) <= band
+                     ? Convergence::kConverged
+                     : Convergence::kTracking;
+}
+
+void Estimator::attach_metrics(obs::MetricsRegistry& registry) {
+  const obs::Labels labels = {{"estimator", name_},
+                              {"path", path_.from + "->" + path_.to}};
+  probes_counter_ =
+      &registry.counter("netqos_probe_packets_total",
+                        "Probe datagrams sent by active estimators", labels);
+  bytes_counter_ = &registry.counter(
+      "netqos_probe_wire_bytes_total",
+      "Wire bytes injected by active estimators (probe frames)", labels);
+  reports_counter_ =
+      &registry.counter("netqos_probe_reports_total",
+                        "Arrival reports received from probe sinks", labels);
+  estimates_counter_ =
+      &registry.counter("netqos_probe_estimates_total",
+                        "Available-bandwidth estimates produced", labels);
+  available_gauge_ = &registry.gauge(
+      "netqos_probe_available_bytes_per_second",
+      "Latest active available-bandwidth estimate", labels);
+}
+
+}  // namespace netqos::probe

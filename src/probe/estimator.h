@@ -1,0 +1,159 @@
+// Active available-bandwidth estimators (PAPERS.md arXiv:0706.4004).
+//
+// The passive monitor infers path bandwidth from SNMP interface counters;
+// an Estimator measures it by injecting probe traffic onto the simulated
+// network and reading how the bottleneck reshapes it. Every estimator
+// speaks the same protocol: probes go to the destination host's ProbeSink
+// (UDP/9162), the sink echoes per-stream arrival reports, and the
+// estimator turns send-schedule-vs-arrival geometry into estimates.
+//
+// The base class owns the shared machinery — session identity, the report
+// socket, probe transmission with wire-byte accounting (the intrusiveness
+// numerator), the estimate series with convergence state, and telemetry
+// registration — so a concrete estimator only implements its probing
+// cadence (on_start) and its arithmetic (on_report).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+#include "netsim/host.h"
+#include "netsim/simulator.h"
+#include "obs/metrics.h"
+#include "probe/wire.h"
+
+namespace netqos::probe {
+
+/// Estimator life-cycle, reported in health snapshots and the shootout.
+enum class Convergence {
+  kWarmup,     ///< probing started, no estimate produced yet
+  kTracking,   ///< estimates flowing, last few still moving
+  kConverged,  ///< recent estimates agree within the stability band
+};
+
+const char* convergence_name(Convergence state);
+
+struct EstimateSample {
+  SimTime time = 0;
+  BytesPerSecond available = 0.0;
+};
+
+/// The probed path as the estimator sees it: endpoints by name plus the
+/// configured bottleneck capacity C the gap arithmetic is anchored to
+/// (known from the specification file, like the paper's ifSpeed).
+struct ProbedPath {
+  std::string from;
+  std::string to;
+  BitsPerSecond capacity = 0;
+};
+
+struct EstimatorStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_send_failures = 0;
+  /// Full Ethernet wire bytes of every probe frame sent (64-byte minimum
+  /// applied) — the numerator of the intrusiveness metric.
+  std::uint64_t probe_wire_bytes = 0;
+  std::uint64_t reports_received = 0;
+  std::uint64_t report_wire_bytes = 0;
+  std::uint64_t reports_malformed = 0;
+};
+
+class Estimator {
+ public:
+  /// `source` is the host probes leave from; `target` must run a
+  /// ProbeSink. The estimator allocates an ephemeral report port on
+  /// construction and frees it on destruction.
+  Estimator(std::string name, sim::Host& source, sim::Ipv4Address target,
+            ProbedPath path);
+  virtual ~Estimator();
+  Estimator(const Estimator&) = delete;
+  Estimator& operator=(const Estimator&) = delete;
+
+  const std::string& name() const { return name_; }
+  const ProbedPath& path() const { return path_; }
+
+  /// Begins probing from the simulator's current time. Idempotent.
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Most recent estimate, if any.
+  std::optional<BytesPerSecond> latest() const;
+  const std::vector<EstimateSample>& estimates() const { return estimates_; }
+  Convergence convergence() const { return convergence_; }
+  /// Time the first estimate was recorded (the estimator's own
+  /// cold-start latency; scenario convergence is judged against ground
+  /// truth by the shootout).
+  std::optional<SimTime> first_estimate_at() const;
+
+  const EstimatorStats& stats() const { return stats_; }
+  /// Probe + report wire bytes as a fraction of what the bottleneck could
+  /// carry over `duration` — the shootout's intrusiveness metric.
+  double intrusiveness(SimDuration duration) const;
+
+  /// Exports probes/bytes/reports/estimates counters and the latest
+  /// estimate gauge, labeled {estimator=name, path="from->to"}. The
+  /// registry must outlive this estimator.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+ protected:
+  sim::Simulator& sim() { return source_.simulator(); }
+  std::uint32_t session() const { return session_; }
+
+  /// Probing begins: schedule the first cycle. `stop()` cancels events
+  /// via the running() flag — hooks must re-check it.
+  virtual void on_start() = 0;
+  virtual void on_stop() {}
+
+  /// A stream's arrival report came back. Arrivals are in arrival order;
+  /// seq gaps mean probe loss.
+  virtual void on_report(const ProbeReport& report, SimTime now) = 0;
+
+  /// Sends one probe datagram sized to `frame_wire_bytes` on the wire
+  /// (minimum frame size applies; the header alone already costs 74
+  /// bytes). Returns false when the source NIC queue rejected it.
+  bool send_probe(std::uint32_t stream, std::uint32_t seq, bool last,
+                  std::size_t frame_wire_bytes);
+
+  /// Appends an estimate at the simulator's current time, updates the
+  /// convergence state, and refreshes the telemetry gauge.
+  void record_estimate(BytesPerSecond available);
+
+  /// Serialization time of a `frame_wire_bytes` frame at rate `rate` —
+  /// the dispersion quantum all three estimators reason in.
+  static SimDuration gap_for(std::size_t frame_wire_bytes,
+                             BitsPerSecond rate) {
+    return transmission_delay(frame_wire_bytes, rate);
+  }
+
+ private:
+  void on_datagram(const sim::Ipv4Packet& packet);
+
+  /// Relative spread of the last three estimates (vs. capacity) below
+  /// which the estimator declares itself converged.
+  static constexpr double kStabilityBand = 0.05;
+
+  std::string name_;
+  sim::Host& source_;
+  sim::Ipv4Address target_;
+  ProbedPath path_;
+  std::uint32_t session_;
+  std::uint16_t report_port_ = 0;
+  bool running_ = false;
+
+  std::vector<EstimateSample> estimates_;
+  Convergence convergence_ = Convergence::kWarmup;
+  EstimatorStats stats_;
+
+  obs::Counter* probes_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* reports_counter_ = nullptr;
+  obs::Counter* estimates_counter_ = nullptr;
+  obs::Gauge* available_gauge_ = nullptr;
+};
+
+}  // namespace netqos::probe

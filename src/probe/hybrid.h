@@ -1,0 +1,84 @@
+// Hybrid active/passive cross-check (the probe subsystem's feed into the
+// monitor pipeline).
+//
+// The passive monitor derives path availability from SNMP counters; an
+// active Estimator measures the same quantity by probing. They disagree
+// exactly when the counters miss something — cross traffic from hosts
+// without agents, shared-segment contention the usage aggregation cannot
+// attribute. This module sits in the monitor's sample stream, compares
+// each passive path sample against the estimator's freshest estimate, and
+// maintains an agreement score (EWMA of 1 - normalized disagreement).
+// When a PredictiveDetector is wired in, that score is pushed as the
+// path's measurement confidence, so distrusted passive figures must clear
+// a proportionally higher forecast bar.
+//
+// Inert by design when no estimator is set: the conformance harness
+// attaches it to the fig4/5/6 scenarios unset, proving the module's mere
+// presence never perturbs the seed pipeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "monitor/module.h"
+#include "monitor/qos.h"
+#include "probe/estimator.h"
+
+namespace netqos::probe {
+
+struct HybridConfig {
+  /// EWMA smoothing of the per-sample agreement score: confidence moves
+  /// this fraction of the way to the newest observation.
+  double smoothing = 0.3;
+  /// Disagreement below this fraction of capacity reads as measurement
+  /// noise and charges nothing (steady/staircase goldens stay at 1.0).
+  double deadband = 0.08;
+  /// Probe estimates older than this are ignored — better no cross-check
+  /// than one against a stale view of the path.
+  SimDuration max_estimate_age = 10 * kSecond;
+};
+
+/// Measurement module "probe.hybrid". Estimator and detector are
+/// referenced, not owned, and both are optional; see file comment.
+class HybridEstimator final : public mon::Module {
+ public:
+  explicit HybridEstimator(HybridConfig config = {});
+
+  /// Wires the active estimator whose path samples are cross-checked.
+  /// The estimator must outlive this module (or be cleared first).
+  void set_estimator(Estimator& estimator) { estimator_ = &estimator; }
+  void clear_estimator() { estimator_ = nullptr; }
+
+  /// Wires the detector that receives the confidence signal.
+  void set_detector(mon::PredictiveDetector& detector) {
+    detector_ = &detector;
+  }
+  void clear_detector() { detector_ = nullptr; }
+
+  const HybridConfig& config() const { return config_; }
+  /// Current smoothed passive-measurement confidence, in (0, 1].
+  double confidence() const { return confidence_; }
+  /// Most recent raw disagreement as a fraction of path capacity.
+  std::optional<double> last_disagreement() const {
+    return last_disagreement_;
+  }
+  /// Path samples actually cross-checked (fresh estimate was available).
+  std::uint64_t cross_checks() const { return cross_checks_; }
+
+  std::size_t footprint_bytes() const override;
+  std::vector<mon::ModuleNote> notes() const override;
+
+ private:
+  void on_path_sample(const mon::PathKey& key, SimTime time,
+                      const mon::PathUsage& usage) override;
+
+  HybridConfig config_;
+  Estimator* estimator_ = nullptr;
+  mon::PredictiveDetector* detector_ = nullptr;
+
+  double confidence_ = 1.0;
+  std::optional<double> last_disagreement_;
+  std::uint64_t cross_checks_ = 0;
+};
+
+}  // namespace netqos::probe

@@ -1,0 +1,52 @@
+#include "probe/packet_pair.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace netqos::probe {
+
+PacketPairEstimator::PacketPairEstimator(sim::Host& source,
+                                         sim::Ipv4Address target,
+                                         ProbedPath path,
+                                         PacketPairConfig config)
+    : Estimator("pair", source, target, std::move(path)), config_(config) {}
+
+void PacketPairEstimator::on_start() { send_pair(); }
+
+void PacketPairEstimator::send_pair() {
+  if (!running()) return;
+  const std::uint32_t stream = next_stream_++;
+  // Back to back: the source NIC serializes them contiguously, the
+  // bottleneck re-spaces them to its own serialization time.
+  send_probe(stream, 0, /*last=*/false, config_.frame_bytes);
+  send_probe(stream, 1, /*last=*/true, config_.frame_bytes);
+  sim().schedule_after(config_.pair_interval, [this] { send_pair(); });
+}
+
+void PacketPairEstimator::on_report(const ProbeReport& report, SimTime now) {
+  (void)now;
+  if (report.arrivals.size() != 2) return;  // one probe lost: discard pair
+  const SimDuration gap_out =
+      report.arrivals[1].received_at - report.arrivals[0].received_at;
+  const SimDuration gap_in = gap_for(config_.frame_bytes, path().capacity);
+  if (gap_out <= 0 || gap_in <= 0) return;
+  ++pairs_completed_;
+
+  const double stretch =
+      static_cast<double>(gap_out - gap_in) / static_cast<double>(gap_in);
+  const double cross_bps =
+      std::max(0.0, stretch * static_cast<double>(path().capacity));
+  batch_.push_back(cross_bps);
+  if (batch_.size() < config_.pairs_per_estimate) return;
+
+  const double mean_cross =
+      std::accumulate(batch_.begin(), batch_.end(), 0.0) /
+      static_cast<double>(batch_.size());
+  batch_.clear();
+  const double avail_bps = std::clamp(
+      static_cast<double>(path().capacity) - mean_cross, 0.0,
+      static_cast<double>(path().capacity));
+  record_estimate(to_bytes_per_second(static_cast<BitsPerSecond>(avail_bps)));
+}
+
+}  // namespace netqos::probe

@@ -1,0 +1,56 @@
+// Packet-pair dispersion estimator (spruce-style gap method).
+//
+// Two back-to-back MTU probes leave the source faster than the bottleneck
+// can serialize them, so they exit the bottleneck spaced by its
+// serialization time gap_in = L/C. Cross traffic queued between them
+// stretches the spacing to gap_out; the stretch is exactly the cross
+// bytes that slipped in (Spruce, PAPERS.md arXiv:0706.4004):
+//
+//   cross = C * (gap_out - gap_in) / gap_in
+//   avail = C - cross, clamped to [0, C]
+//
+// One pair is a noisy sample (it sees the instantaneous queue); the
+// estimator averages a batch of pairs per estimate.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "probe/estimator.h"
+
+namespace netqos::probe {
+
+struct PacketPairConfig {
+  /// Wire size of each probe frame (MTU-sized like spruce, so gap_in is
+  /// as large — and as measurable — as the path allows).
+  std::size_t frame_bytes = 1518;
+  /// Pause between pairs. Pairs are intentionally sparse; the batch mean
+  /// smooths what sparseness costs in variance.
+  SimDuration pair_interval = 100 * kMillisecond;
+  /// Pairs averaged into one estimate.
+  std::size_t pairs_per_estimate = 8;
+};
+
+class PacketPairEstimator final : public Estimator {
+ public:
+  PacketPairEstimator(sim::Host& source, sim::Ipv4Address target,
+                      ProbedPath path, PacketPairConfig config = {});
+
+  const PacketPairConfig& config() const { return config_; }
+  std::uint64_t pairs_completed() const { return pairs_completed_; }
+
+ protected:
+  void on_start() override;
+  void on_report(const ProbeReport& report, SimTime now) override;
+
+ private:
+  void send_pair();
+
+  PacketPairConfig config_;
+  std::uint32_t next_stream_ = 0;
+  std::uint64_t pairs_completed_ = 0;
+  /// Cross-rate samples (bits/s) of the current batch.
+  std::vector<double> batch_;
+};
+
+}  // namespace netqos::probe

@@ -1,0 +1,103 @@
+#include "probe/packet_train.h"
+
+#include <algorithm>
+
+namespace netqos::probe {
+
+PacketTrainEstimator::PacketTrainEstimator(sim::Host& source,
+                                           sim::Ipv4Address target,
+                                           ProbedPath path,
+                                           PacketTrainConfig config)
+    : Estimator("train", source, target, std::move(path)), config_(config) {
+  reset_search();
+}
+
+void PacketTrainEstimator::reset_search() {
+  lo_ = 0;
+  hi_ = path().capacity;
+}
+
+void PacketTrainEstimator::on_start() { send_train(); }
+
+void PacketTrainEstimator::send_train() {
+  if (!running()) return;
+  // Probe the bracket midpoint, floored so the pacing gap stays finite
+  // even when the bracket collapses toward zero available bandwidth.
+  rate_ = std::max((lo_ + hi_) / 2, path().capacity / 64);
+  const std::uint32_t stream = next_stream_++;
+  const SimDuration gap = gap_for(config_.frame_bytes, rate_);
+
+  // Lost reports leave orphaned send schedules; bound them.
+  while (pending_.size() >= 8) pending_.erase(pending_.begin());
+  pending_[stream].reserve(config_.train_length);
+
+  for (std::size_t k = 0; k < config_.train_length; ++k) {
+    const bool last = k + 1 == config_.train_length;
+    sim().schedule_after(
+        static_cast<SimDuration>(k) * gap, [this, stream, k, last] {
+          if (!running()) return;
+          auto it = pending_.find(stream);
+          if (it == pending_.end()) return;
+          if (send_probe(stream, static_cast<std::uint32_t>(k), last,
+                         config_.frame_bytes)) {
+            it->second.push_back(sim().now());
+          } else {
+            // A send failure desynchronizes the schedule; abandon the
+            // train rather than read a bogus trend from it.
+            pending_.erase(it);
+          }
+        });
+  }
+  const SimDuration train_span =
+      static_cast<SimDuration>(config_.train_length - 1) * gap;
+  sim().schedule_after(train_span + config_.train_interval,
+                       [this] { send_train(); });
+}
+
+void PacketTrainEstimator::on_report(const ProbeReport& report,
+                                     SimTime now) {
+  (void)now;
+  auto it = pending_.find(report.header.stream);
+  if (it == pending_.end()) return;
+  const std::vector<SimTime> sends = std::move(it->second);
+  pending_.erase(it);
+
+  // One-way delays against the send schedule, in seq order. Probe loss
+  // leaves gaps; require most of the train for a verdict.
+  std::vector<SimDuration> delays;
+  delays.reserve(report.arrivals.size());
+  std::vector<ReportEntry> arrivals = report.arrivals;
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const ReportEntry& a, const ReportEntry& b) {
+              return a.seq < b.seq;
+            });
+  for (const ReportEntry& entry : arrivals) {
+    if (entry.seq >= sends.size()) continue;
+    delays.push_back(entry.received_at - sends[entry.seq]);
+  }
+  if (delays.size() < config_.train_length / 2 || delays.size() < 4) return;
+  ++trains_completed_;
+
+  // Pairwise comparison test: fraction of consecutive delay increases.
+  std::size_t increases = 0;
+  for (std::size_t k = 0; k + 1 < delays.size(); ++k) {
+    if (delays[k + 1] - delays[k] > config_.trend_epsilon) ++increases;
+  }
+  const double pct = static_cast<double>(increases) /
+                     static_cast<double>(delays.size() - 1);
+  const bool increasing = pct >= config_.pct_threshold;
+
+  if (increasing) {
+    hi_ = rate_;  // self-loading: R above available bandwidth
+  } else {
+    lo_ = rate_;
+  }
+  const auto resolution_bps = static_cast<BitsPerSecond>(
+      config_.resolution * static_cast<double>(path().capacity));
+  if (hi_ - lo_ <= resolution_bps) {
+    record_estimate(to_bytes_per_second((lo_ + hi_) / 2));
+    reset_search();
+  }
+}
+
+}  // namespace netqos::probe

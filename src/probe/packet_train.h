@@ -1,0 +1,75 @@
+// Packet-train one-way-delay trend estimator (pathload-style SLoPS).
+//
+// Self-Loading Periodic Streams: send a train of probes paced at rate R.
+// If R exceeds the path's available bandwidth the bottleneck queue grows
+// for the duration of the train and one-way delays trend upward; if R
+// fits, delays stay flat. That single bit (increasing / not increasing)
+// drives a binary search on R between 0 and the bottleneck capacity;
+// when the bracket narrows to the resolution, its midpoint is the
+// estimate. The search then restarts so the estimate keeps tracking a
+// changing path, at the cost of this being the most intrusive of the
+// three methods — the shootout's intrusiveness column shows it.
+//
+// The trend bit uses pathload's pairwise comparison test: the fraction of
+// consecutive delay increases across the train (PCT). Delays are computed
+// against the sender's own send schedule, so no clock sync is needed —
+// only delay *differences* matter.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "probe/estimator.h"
+
+namespace netqos::probe {
+
+struct PacketTrainConfig {
+  /// Probes per train. Enough for a stable PCT verdict, small enough
+  /// that one train fits a single arrival report.
+  std::size_t train_length = 16;
+  /// Wire size of each train probe.
+  std::size_t frame_bytes = 800;
+  /// Pause between trains (queue drain time between self-loading bursts).
+  SimDuration train_interval = 250 * kMillisecond;
+  /// Search stops when hi - lo falls below capacity * resolution.
+  double resolution = 0.0625;  // 1/16 of C
+  /// PCT at or above this reads as "one-way delays increasing".
+  double pct_threshold = 0.6;
+  /// Delay growth below this is jitter, not trend (one propagation
+  /// quantum of slack).
+  SimDuration trend_epsilon = 2 * kMicrosecond;
+};
+
+class PacketTrainEstimator final : public Estimator {
+ public:
+  PacketTrainEstimator(sim::Host& source, sim::Ipv4Address target,
+                       ProbedPath path, PacketTrainConfig config = {});
+
+  const PacketTrainConfig& config() const { return config_; }
+  std::uint64_t trains_completed() const { return trains_completed_; }
+  /// Current binary-search bracket in bits/s (testing visibility).
+  BitsPerSecond search_lo() const { return lo_; }
+  BitsPerSecond search_hi() const { return hi_; }
+
+ protected:
+  void on_start() override;
+  void on_report(const ProbeReport& report, SimTime now) override;
+
+ private:
+  void send_train();
+  void reset_search();
+
+  PacketTrainConfig config_;
+  std::uint32_t next_stream_ = 0;
+  std::uint64_t trains_completed_ = 0;
+
+  BitsPerSecond lo_ = 0;
+  BitsPerSecond hi_ = 0;
+  BitsPerSecond rate_ = 0;  ///< rate of the train in flight
+  /// Send times of the in-flight trains, keyed by stream id (a report
+  /// can race the next train's launch).
+  std::map<std::uint32_t, std::vector<SimTime>> pending_;
+};
+
+}  // namespace netqos::probe

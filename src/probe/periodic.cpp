@@ -1,0 +1,76 @@
+#include "probe/periodic.h"
+
+#include <algorithm>
+
+namespace netqos::probe {
+
+PeriodicStreamEstimator::PeriodicStreamEstimator(sim::Host& source,
+                                                 sim::Ipv4Address target,
+                                                 ProbedPath path,
+                                                 PeriodicStreamConfig config)
+    : Estimator("periodic", source, target, std::move(path)),
+      config_(config) {}
+
+void PeriodicStreamEstimator::on_start() { send_window(); }
+
+void PeriodicStreamEstimator::send_window() {
+  if (!running()) return;
+  const std::uint32_t stream = next_stream_++;
+  while (pending_.size() >= 8) pending_.erase(pending_.begin());
+  pending_[stream].reserve(config_.window_length);
+
+  for (std::size_t k = 0; k < config_.window_length; ++k) {
+    const bool last = k + 1 == config_.window_length;
+    sim().schedule_after(
+        static_cast<SimDuration>(k) * config_.probe_interval,
+        [this, stream, k, last] {
+          if (!running()) return;
+          auto it = pending_.find(stream);
+          if (it == pending_.end()) return;
+          if (send_probe(stream, static_cast<std::uint32_t>(k), last,
+                         config_.frame_bytes)) {
+            it->second.push_back(sim().now());
+          } else {
+            pending_.erase(it);
+          }
+        });
+  }
+  const SimDuration window_span =
+      static_cast<SimDuration>(config_.window_length - 1) *
+      config_.probe_interval;
+  sim().schedule_after(window_span + config_.window_interval,
+                       [this] { send_window(); });
+}
+
+void PeriodicStreamEstimator::on_report(const ProbeReport& report,
+                                        SimTime now) {
+  (void)now;
+  auto it = pending_.find(report.header.stream);
+  if (it == pending_.end()) return;
+  const std::vector<SimTime> sends = std::move(it->second);
+  pending_.erase(it);
+
+  std::vector<SimDuration> delays;
+  delays.reserve(report.arrivals.size());
+  for (const ReportEntry& entry : report.arrivals) {
+    if (entry.seq >= sends.size()) continue;
+    delays.push_back(entry.received_at - sends[entry.seq]);
+  }
+  if (delays.size() < config_.window_length / 2 || delays.empty()) return;
+  ++windows_completed_;
+
+  // The quietest probe of the window saw an empty queue; everything
+  // slower than it (plus epsilon) queued behind cross traffic.
+  const SimDuration base = *std::min_element(delays.begin(), delays.end());
+  std::size_t busy = 0;
+  for (const SimDuration delay : delays) {
+    if (delay - base > config_.busy_epsilon) ++busy;
+  }
+  const double utilization =
+      static_cast<double>(busy) / static_cast<double>(delays.size());
+  const auto avail_bps = static_cast<BitsPerSecond>(
+      (1.0 - utilization) * static_cast<double>(path().capacity));
+  record_estimate(to_bytes_per_second(avail_bps));
+}
+
+}  // namespace netqos::probe

@@ -1,0 +1,61 @@
+// Periodic-stream utilization sampler — the baseline estimator.
+//
+// The lightest method of the three: a thin stream of minimum-size probes
+// at a fixed low rate. Each probe's one-way delay, measured against the
+// quietest probe of its window, reveals whether it queued behind cross
+// traffic at the bottleneck. By PASTA-style time averaging, the fraction
+// of delayed probes approximates the bottleneck's busy fraction u, and
+//
+//   avail = C * (1 - u)
+//
+// Cheap (no self-loading, tiny frames) but coarse: a window of W probes
+// quantizes u to 1/W, and short cross bursts slip between samples. The
+// shootout's accuracy column is where that shows.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "probe/estimator.h"
+
+namespace netqos::probe {
+
+struct PeriodicStreamConfig {
+  /// Probes per window (one estimate per window); also the u quantum.
+  std::size_t window_length = 50;
+  /// Wire size of each probe (minimum frame: the stream should not
+  /// itself load the path).
+  std::size_t frame_bytes = 74;
+  /// Pause between probes within a window.
+  SimDuration probe_interval = 8 * kMillisecond;
+  /// Pause between windows.
+  SimDuration window_interval = 100 * kMillisecond;
+  /// Queueing delay above the window minimum that counts as "found the
+  /// bottleneck busy".
+  SimDuration busy_epsilon = 20 * kMicrosecond;
+};
+
+class PeriodicStreamEstimator final : public Estimator {
+ public:
+  PeriodicStreamEstimator(sim::Host& source, sim::Ipv4Address target,
+                          ProbedPath path, PeriodicStreamConfig config = {});
+
+  const PeriodicStreamConfig& config() const { return config_; }
+  std::uint64_t windows_completed() const { return windows_completed_; }
+
+ protected:
+  void on_start() override;
+  void on_report(const ProbeReport& report, SimTime now) override;
+
+ private:
+  void send_window();
+
+  PeriodicStreamConfig config_;
+  std::uint32_t next_stream_ = 0;
+  std::uint64_t windows_completed_ = 0;
+  /// Send times of in-flight windows by stream id.
+  std::map<std::uint32_t, std::vector<SimTime>> pending_;
+};
+
+}  // namespace netqos::probe

@@ -1,0 +1,80 @@
+#include "probe/sink.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netsim/simulator.h"
+
+namespace netqos::probe {
+
+ProbeSink::ProbeSink(sim::Host& host) : host_(host) {
+  const bool ok = host_.udp().bind(
+      sim::kProbePort,
+      [this](const sim::Ipv4Packet& packet) { on_datagram(packet); });
+  if (!ok) {
+    throw std::logic_error("probe port already bound on " + host.name());
+  }
+}
+
+ProbeSink::~ProbeSink() { host_.udp().unbind(sim::kProbePort); }
+
+void ProbeSink::on_datagram(const sim::Ipv4Packet& packet) {
+  ProbeHeader header;
+  try {
+    header = decode_probe(packet.udp.payload);
+  } catch (const std::exception&) {
+    ++stats_.malformed;
+    return;
+  }
+  ++stats_.probes_received;
+
+  const StreamKey key{packet.src, packet.udp.src_port, header.session,
+                      header.stream};
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    if (streams_.size() >= kMaxOpenStreams) {
+      // A stream whose last probe was lost must not pin memory forever:
+      // drop the oldest open stream (its report is simply never sent,
+      // which the estimator treats as loss).
+      const StreamKey oldest = open_order_.front();
+      open_order_.erase(open_order_.begin());
+      streams_.erase(oldest);
+      ++stats_.streams_evicted;
+    }
+    it = streams_.emplace(key, std::vector<ReportEntry>{}).first;
+    open_order_.push_back(key);
+  }
+  if (it->second.size() < kMaxReportEntries) {
+    it->second.push_back({header.seq, host_.simulator().now()});
+  }
+
+  if ((header.flags & kFlagLast) != 0) {
+    std::vector<ReportEntry> arrivals = std::move(it->second);
+    streams_.erase(it);
+    open_order_.erase(
+        std::find(open_order_.begin(), open_order_.end(), key));
+    finish_stream(key, std::move(arrivals), header);
+  }
+}
+
+void ProbeSink::finish_stream(const StreamKey& key,
+                              std::vector<ReportEntry> arrivals,
+                              const ProbeHeader& last) {
+  ProbeReport report;
+  report.header.kind = ProbeKind::kReport;
+  report.header.session = last.session;
+  report.header.stream = last.stream;
+  report.header.sent_at = host_.simulator().now();
+  report.arrivals = std::move(arrivals);
+
+  const auto& [src, src_port, session, stream] = key;
+  (void)session, (void)stream;
+  if (host_.udp().send(src, src_port, sim::kProbePort,
+                       encode_report(report))) {
+    ++stats_.reports_sent;
+  } else {
+    ++stats_.report_send_failures;
+  }
+}
+
+}  // namespace netqos::probe

@@ -1,0 +1,63 @@
+// Probe sink: the destination-side half of the active-probing plane.
+//
+// One sink per probed host, bound to UDP/9162 like the inetd-style
+// DISCARD/ECHO services. It timestamps every probe arrival with the
+// simulated clock and, when a stream's last-flagged probe lands, echoes a
+// report of (seq, arrival time) pairs back to the sending estimator. The
+// report travels the reverse path as real traffic, so reporting overhead
+// is part of the intrusiveness the shootout measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "netsim/host.h"
+#include "probe/wire.h"
+
+namespace netqos::probe {
+
+struct SinkStats {
+  std::uint64_t probes_received = 0;
+  std::uint64_t reports_sent = 0;
+  std::uint64_t report_send_failures = 0;
+  std::uint64_t malformed = 0;       ///< undecodable datagrams dropped
+  std::uint64_t streams_evicted = 0; ///< open streams dropped to the cap
+};
+
+/// Binds UDP/9162 on `host`; throws std::logic_error when the port is
+/// already bound (one sink per host).
+class ProbeSink {
+ public:
+  explicit ProbeSink(sim::Host& host);
+  ~ProbeSink();
+  ProbeSink(const ProbeSink&) = delete;
+  ProbeSink& operator=(const ProbeSink&) = delete;
+
+  const SinkStats& stats() const { return stats_; }
+  /// Streams currently open (first probe seen, last not yet).
+  std::size_t open_streams() const { return streams_.size(); }
+
+ private:
+  /// A stream is identified by who sent it and the estimator's ids, so
+  /// concurrent estimators (even from one host) never mix arrivals.
+  using StreamKey = std::tuple<sim::Ipv4Address, std::uint16_t,
+                               std::uint32_t, std::uint32_t>;
+
+  void on_datagram(const sim::Ipv4Packet& packet);
+  void finish_stream(const StreamKey& key, std::vector<ReportEntry> arrivals,
+                     const ProbeHeader& last);
+
+  /// Bound on concurrently open streams; a lost last-probe must not leak
+  /// state forever. Oldest stream is evicted first.
+  static constexpr std::size_t kMaxOpenStreams = 64;
+
+  sim::Host& host_;
+  std::map<StreamKey, std::vector<ReportEntry>> streams_;
+  /// Insertion order of streams_ keys, for eviction.
+  std::vector<StreamKey> open_order_;
+  SinkStats stats_;
+};
+
+}  // namespace netqos::probe

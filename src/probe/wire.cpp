@@ -1,0 +1,105 @@
+#include "probe/wire.h"
+
+namespace netqos::probe {
+namespace {
+
+constexpr std::size_t kEntryBytes = 4 + 8;
+
+void put_header(ByteWriter& out, const ProbeHeader& header) {
+  out.put_u32(kProbeMagic);
+  out.put_u8(kProbeVersion);
+  out.put_u8(static_cast<std::uint8_t>(header.kind));
+  out.put_u8(header.flags);
+  out.put_u8(0);  // reserved
+  out.put_u32(header.session);
+  out.put_u32(header.stream);
+  out.put_u32(header.seq);
+  out.put_u64(static_cast<std::uint64_t>(header.sent_at));
+}
+
+ProbeHeader read_header(ByteReader& in) {
+  if (in.get_u32() != kProbeMagic) throw ProbeWireError("bad magic");
+  const std::uint8_t version = in.get_u8();
+  if (version != kProbeVersion) {
+    throw ProbeWireError("unsupported version " + std::to_string(version));
+  }
+  ProbeHeader header;
+  const std::uint8_t kind = in.get_u8();
+  if (kind != static_cast<std::uint8_t>(ProbeKind::kProbe) &&
+      kind != static_cast<std::uint8_t>(ProbeKind::kReport)) {
+    throw ProbeWireError("unknown kind " + std::to_string(kind));
+  }
+  header.kind = static_cast<ProbeKind>(kind);
+  header.flags = in.get_u8();
+  (void)in.get_u8();  // reserved
+  header.session = in.get_u32();
+  header.stream = in.get_u32();
+  header.seq = in.get_u32();
+  header.sent_at = static_cast<SimTime>(in.get_u64());
+  return header;
+}
+
+}  // namespace
+
+Bytes encode_probe(const ProbeHeader& header) {
+  ByteWriter out;
+  out.reserve(kProbeHeaderBytes);
+  put_header(out, header);
+  return std::move(out).take();
+}
+
+Bytes encode_report(const ProbeReport& report) {
+  if (report.arrivals.size() > kMaxReportEntries) {
+    throw ProbeWireError("report exceeds " +
+                         std::to_string(kMaxReportEntries) + " entries");
+  }
+  ByteWriter out;
+  out.reserve(kProbeHeaderBytes + 2 + report.arrivals.size() * kEntryBytes);
+  ProbeHeader header = report.header;
+  header.kind = ProbeKind::kReport;
+  put_header(out, header);
+  out.put_u16(static_cast<std::uint16_t>(report.arrivals.size()));
+  for (const ReportEntry& entry : report.arrivals) {
+    out.put_u32(entry.seq);
+    out.put_u64(static_cast<std::uint64_t>(entry.received_at));
+  }
+  return std::move(out).take();
+}
+
+ProbeKind peek_kind(std::span<const std::uint8_t> wire) {
+  ByteReader in(wire);
+  return read_header(in).kind;
+}
+
+ProbeHeader decode_probe(std::span<const std::uint8_t> wire) {
+  ByteReader in(wire);
+  const ProbeHeader header = read_header(in);
+  if (header.kind != ProbeKind::kProbe) {
+    throw ProbeWireError("expected a probe frame");
+  }
+  return header;
+}
+
+ProbeReport decode_report(std::span<const std::uint8_t> wire) {
+  ByteReader in(wire);
+  ProbeReport report;
+  report.header = read_header(in);
+  if (report.header.kind != ProbeKind::kReport) {
+    throw ProbeWireError("expected a report frame");
+  }
+  const std::uint16_t count = in.get_u16();
+  if (count > kMaxReportEntries || count * kEntryBytes > in.remaining()) {
+    throw ProbeWireError("report entry count " + std::to_string(count) +
+                         " exceeds frame");
+  }
+  report.arrivals.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    ReportEntry entry;
+    entry.seq = in.get_u32();
+    entry.received_at = static_cast<SimTime>(in.get_u64());
+    report.arrivals.push_back(entry);
+  }
+  return report;
+}
+
+}  // namespace netqos::probe

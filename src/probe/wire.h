@@ -1,0 +1,91 @@
+// Wire format of the active-probing plane (src/probe).
+//
+// Two message kinds travel over UDP/9162 on the simulated network:
+//
+//   probe    estimator -> sink. Carries (session, stream, seq) identity
+//            and the sender's simulated send time; `padding` bytes on the
+//            datagram inflate the frame to the estimator's chosen probe
+//            size without materializing the bulk.
+//   report   sink -> estimator. After the stream's last probe arrives the
+//            sink echoes every (seq, arrival time) it recorded, so the
+//            sender can reconstruct dispersion gaps and one-way delays
+//            against its own send schedule.
+//
+// Integers are big-endian via ByteWriter/ByteReader; a report's entry
+// count is bounds-checked against the remaining bytes before any
+// allocation (netqos-analyze R6 discipline).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/sim_time.h"
+
+namespace netqos::probe {
+
+inline constexpr std::uint32_t kProbeMagic = 0x4E515042;  // "NQPB"
+inline constexpr std::uint8_t kProbeVersion = 1;
+
+/// Thrown on a structurally invalid probe/report frame. Truncation inside
+/// a field surfaces as BufferUnderflow from ByteReader.
+class ProbeWireError : public std::runtime_error {
+ public:
+  explicit ProbeWireError(const std::string& what)
+      : std::runtime_error("probe wire: " + what) {}
+};
+
+enum class ProbeKind : std::uint8_t {
+  kProbe = 1,
+  kReport = 2,
+};
+
+/// Flag on the final probe of a stream: the sink closes the stream and
+/// sends its report when this arrives.
+inline constexpr std::uint8_t kFlagLast = 0x01;
+
+struct ProbeHeader {
+  ProbeKind kind = ProbeKind::kProbe;
+  std::uint8_t flags = 0;
+  /// Estimator instance identity, so several estimators can share one
+  /// sink without mixing streams.
+  std::uint32_t session = 0;
+  /// One measurement unit (a pair, a train, a periodic window).
+  std::uint32_t stream = 0;
+  std::uint32_t seq = 0;
+  SimTime sent_at = 0;
+};
+
+/// Encoded size of a probe datagram's materialized payload (header only;
+/// bulk rides as frame padding): magic, version, kind, flags, reserved,
+/// session, stream, seq, sent_at.
+inline constexpr std::size_t kProbeHeaderBytes = 4 + 1 + 1 + 1 + 1 + 4 + 4 + 4 + 8;
+
+struct ReportEntry {
+  std::uint32_t seq = 0;
+  SimTime received_at = 0;
+};
+
+struct ProbeReport {
+  ProbeHeader header;  ///< kind == kReport; seq unused (0)
+  std::vector<ReportEntry> arrivals;
+};
+
+/// Hard cap on entries per report so a report always fits one MTU
+/// (kProbeHeaderBytes + 2 + 120 * 12 = 1470 <= 1472).
+inline constexpr std::size_t kMaxReportEntries = 120;
+
+Bytes encode_probe(const ProbeHeader& header);
+Bytes encode_report(const ProbeReport& report);
+
+/// Peeks the kind byte without consuming the frame; throws on bad
+/// magic/version.
+ProbeKind peek_kind(std::span<const std::uint8_t> wire);
+
+ProbeHeader decode_probe(std::span<const std::uint8_t> wire);
+ProbeReport decode_report(std::span<const std::uint8_t> wire);
+
+}  // namespace netqos::probe

@@ -173,6 +173,10 @@ HealthResponse QueryEngine::health(SimTime now) const {
     row.warning = predictive_ != nullptr && predictive_->warning_active(from, to);
     response.paths.push_back(std::move(row));
   }
+
+  if (probe_status_) {
+    response.probes = probe_status_();
+  }
   return response;
 }
 

@@ -10,6 +10,7 @@
 // fans in here — cost the poll hot path nothing.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,14 @@ class QueryEngine {
   /// Predictive warning state feeds PathHealthRow::warning when set.
   void set_predictive_detector(const mon::PredictiveDetector* detector) {
     predictive_ = detector;
+  }
+
+  /// Active-probing status source. The engine stays decoupled from
+  /// src/probe: whoever owns estimators (netqosmon) snapshots them into
+  /// rows; health() appends the provider's rows verbatim.
+  using ProbeStatusProvider = std::function<std::vector<ProbeStatusRow>()>;
+  void set_probe_status_provider(ProbeStatusProvider provider) {
+    probe_status_ = std::move(provider);
   }
 
   /// Evaluates a windowed query at server time `now`. end == 0 resolves
@@ -60,6 +69,7 @@ class QueryEngine {
   const mon::NetworkMonitor& monitor_;
   const mon::ViolationDetector* violations_ = nullptr;
   const mon::PredictiveDetector* predictive_ = nullptr;
+  ProbeStatusProvider probe_status_;
 };
 
 }  // namespace netqos::query

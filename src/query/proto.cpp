@@ -102,6 +102,18 @@ void encode_body(ByteWriter& out, const Message& m) {
         out.put_u8(p.violated ? 1 : 0);
         out.put_u8(p.warning ? 1 : 0);
       }
+      out.put_u16(static_cast<std::uint16_t>(r.probes.size()));
+      for (const ProbeStatusRow& probe : r.probes) {
+        put_str(out, probe.estimator);
+        put_str(out, probe.from);
+        put_str(out, probe.to);
+        out.put_u8(probe.convergence);
+        out.put_u8(probe.running ? 1 : 0);
+        out.put_u8(probe.has_estimate ? 1 : 0);
+        put_f64(out, probe.available);
+        out.put_u64(probe.estimates);
+        out.put_u64(probe.wire_bytes);
+      }
       break;
     }
     case MessageType::kEvent: {
@@ -211,6 +223,21 @@ void decode_body(ByteReader& in, Message& m) {
         p.violated = in.get_u8() != 0;
         p.warning = in.get_u8() != 0;
         r.paths.push_back(std::move(p));
+      }
+      const std::uint16_t probes = read_count(in);
+      r.probes.reserve(probes);
+      for (std::uint16_t i = 0; i < probes; ++i) {
+        ProbeStatusRow probe;
+        probe.estimator = read_str(in);
+        probe.from = read_str(in);
+        probe.to = read_str(in);
+        probe.convergence = in.get_u8();
+        probe.running = in.get_u8() != 0;
+        probe.has_estimate = in.get_u8() != 0;
+        probe.available = read_f64(in);
+        probe.estimates = in.get_u64();
+        probe.wire_bytes = in.get_u64();
+        r.probes.push_back(std::move(probe));
       }
       break;
     }

@@ -130,10 +130,27 @@ struct PathHealthRow {
   bool warning = false;   ///< predictive detector state, if attached
 };
 
+/// One active estimator's status (src/probe), carried in health
+/// snapshots when the server has a probe-status provider wired in.
+struct ProbeStatusRow {
+  std::string estimator;
+  std::string from;
+  std::string to;
+  std::uint8_t convergence = 0;  ///< probe::Convergence as an integer
+  bool running = false;
+  bool has_estimate = false;
+  /// Latest available-bandwidth estimate (meaningful iff has_estimate).
+  BytesPerSecond available = 0.0;
+  std::uint64_t estimates = 0;
+  /// Probe + report wire bytes injected so far (intrusiveness numerator).
+  std::uint64_t wire_bytes = 0;
+};
+
 struct HealthResponse {
   SimTime server_now = 0;
   std::vector<AgentHealthRow> agents;
   std::vector<PathHealthRow> paths;
+  std::vector<ProbeStatusRow> probes;
 };
 
 /// One registered measurement module: host-side telemetry plus the

@@ -99,6 +99,11 @@ TEST(NetqosAnalyze, R3UnitsDisciplineMatchesPythonVerdicts) {
   expect_clean("r3_good.cpp");
 }
 
+TEST(NetqosAnalyze, R3ProbeRateMathMatchesPythonVerdicts) {
+  expect_flags("r3_probe_bad.cpp", "R3", 4);
+  expect_clean("r3_probe_good.cpp");
+}
+
 TEST(NetqosAnalyze, R4SimTimePurityMatchesPythonVerdicts) {
   expect_flags("r4_bad.cpp", "R4", 4);
   expect_flags("r4_query_bad.cpp", "R4", 4);

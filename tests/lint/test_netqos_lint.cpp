@@ -107,6 +107,16 @@ TEST(NetqosLint, R3UnitsDisciplineAcceptsGoodFixture) {
   expect_clean("r3_good.cpp");
 }
 
+TEST(NetqosLint, R3ProbeRateMathFlagsBadFixture) {
+  // Raw ns->s power-of-ten, naked *8, and a mixed /8.0*1e6 line that
+  // trips both the factor-8 and decimal-multiplier checks.
+  expect_flags("r3_probe_bad.cpp", "R3", 4);
+}
+
+TEST(NetqosLint, R3ProbeRateMathAcceptsGoodFixture) {
+  expect_clean("r3_probe_good.cpp");
+}
+
 TEST(NetqosLint, R4SimTimePurityFlagsBadFixture) {
   expect_flags("r4_bad.cpp", "R4", 4);
 }

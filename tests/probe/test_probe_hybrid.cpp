@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "experiments/lirtss.h"
+#include "experiments/shootout.h"
+#include "loadgen/profile.h"
+#include "monitor/qos.h"
+#include "probe/hybrid.h"
+#include "probe/registry.h"
+#include "probe/sink.h"
+
+namespace netqos::probe {
+namespace {
+
+/// 10 Mbps hub bottleneck on the probed S1 -> N1 pair, in bits/s.
+constexpr BitsPerSecond kCapacityBits = 10'000'000;
+
+/// Wires the full hybrid pipeline on a testbed: passive watch, predictive
+/// detector with a comfortable requirement, periodic estimator + sink,
+/// and the cross-check module feeding detector confidence.
+struct HybridRig {
+  explicit HybridRig(exp::LirtssTestbed& bed) {
+    bed.watch("S1", "N1");
+    detector = std::make_unique<mon::PredictiveDetector>(bed.monitor());
+    detector->add_requirement("S1", "N1", kilobytes_per_second(200));
+    sink = std::make_unique<ProbeSink>(bed.host("N1"));
+    estimator = make_estimator("periodic", bed.host("S1"),
+                               bed.host("N1").ip(),
+                               {"S1", "N1", kCapacityBits});
+    auto module = std::make_unique<HybridEstimator>();
+    hybrid = module.get();
+    hybrid->set_estimator(*estimator);
+    hybrid->set_detector(*detector);
+    bed.monitor().add_module(std::move(module));
+    estimator->start();
+  }
+
+  std::unique_ptr<mon::PredictiveDetector> detector;
+  std::unique_ptr<ProbeSink> sink;
+  std::unique_ptr<Estimator> estimator;
+  HybridEstimator* hybrid = nullptr;
+};
+
+TEST(HybridEstimatorTest, AgreementOnVisibleSteadyLoadKeepsFullConfidence) {
+  // SNMP-visible steady stream on the hub segment, covering the whole
+  // run (a trailing edge would transiently out-date the probe view and
+  // charge the lag): passive and probe views agree within the deadband,
+  // so confidence stays snapped at 1.0 and the detector behaves exactly
+  // like the probe-less control pipeline — whatever the trend logic
+  // does at the load's onset, the cross-check must not add to it.
+  const auto visible_load = [](exp::LirtssTestbed& bed) {
+    bed.add_load("N2", "N1",
+                 load::RateProfile::pulse(seconds(10), seconds(130),
+                                          kilobytes_per_second(300)));
+  };
+
+  exp::LirtssTestbed control_bed;
+  visible_load(control_bed);
+  control_bed.watch("S1", "N1");
+  mon::PredictiveDetector control(control_bed.monitor());
+  control.add_requirement("S1", "N1", kilobytes_per_second(200));
+  control_bed.run_until(seconds(120));
+
+  exp::LirtssTestbed bed;
+  visible_load(bed);
+  HybridRig rig(bed);
+  bed.run_until(seconds(120));
+
+  EXPECT_GT(rig.hybrid->cross_checks(), 0u);
+  EXPECT_DOUBLE_EQ(rig.hybrid->confidence(), 1.0);
+  EXPECT_DOUBLE_EQ(rig.detector->path_confidence("S1", "N1"), 1.0);
+  EXPECT_EQ(rig.detector->warning_count(), control.warning_count());
+}
+
+TEST(HybridEstimatorTest, HiddenCrossTrafficLowersConfidence) {
+  // The shootout's hidden-cross variant: agentless hosts X1/X2 burst on
+  // the hub, invisible to every polled counter. Probes feel the
+  // contention the passive figure misses, so the cross-check must
+  // charge the disagreement against passive confidence.
+  exp::TestbedOptions options;
+  options.spec_text = exp::hidden_cross_spec_text();
+  exp::LirtssTestbed bed(options);
+  bed.add_load("X1", "X2",
+               load::RateProfile::random_bursts(
+                   seconds(10), seconds(140), kilobytes_per_second(500),
+                   seconds(5), seconds(4), 0x5eedc805));
+  HybridRig rig(bed);
+  bed.run_until(seconds(150));
+
+  EXPECT_GT(rig.hybrid->cross_checks(), 0u);
+  EXPECT_LT(rig.hybrid->confidence(), 0.95);
+  ASSERT_TRUE(rig.hybrid->last_disagreement().has_value());
+  // The detector sees exactly the module's smoothed score (its clamp
+  // floor sits well below what this scenario produces).
+  EXPECT_DOUBLE_EQ(rig.detector->path_confidence("S1", "N1"),
+                   rig.hybrid->confidence());
+}
+
+TEST(HybridEstimatorTest, InertWithoutAnEstimator) {
+  exp::LirtssTestbed bed;
+  bed.watch("S1", "N1");
+  auto detector = std::make_unique<mon::PredictiveDetector>(bed.monitor());
+  detector->add_requirement("S1", "N1", kilobytes_per_second(200));
+  auto module = std::make_unique<HybridEstimator>();
+  HybridEstimator* hybrid = module.get();
+  hybrid->set_detector(*detector);
+  bed.monitor().add_module(std::move(module));
+  bed.add_load("L", "N1",
+               load::RateProfile::pulse(seconds(10), seconds(50),
+                                        kilobytes_per_second(300)));
+  bed.run_until(seconds(60));
+
+  // No estimator wired: samples flow past the module untouched.
+  EXPECT_EQ(hybrid->cross_checks(), 0u);
+  EXPECT_DOUBLE_EQ(hybrid->confidence(), 1.0);
+  EXPECT_FALSE(hybrid->last_disagreement().has_value());
+  EXPECT_DOUBLE_EQ(detector->path_confidence("S1", "N1"), 1.0);
+}
+
+TEST(HybridEstimatorTest, StaleEstimatesAreNotCrossChecked) {
+  exp::LirtssTestbed bed;
+  HybridRig rig(bed);
+  bed.run_until(seconds(30));
+  const std::uint64_t checks_while_fresh = rig.hybrid->cross_checks();
+  EXPECT_GT(checks_while_fresh, 0u);
+
+  // Stop probing; once the last estimate ages past max_estimate_age the
+  // module must stop charging (or crediting) the passive view.
+  rig.estimator->stop();
+  bed.run_until(seconds(60));
+  const std::uint64_t after_stale = rig.hybrid->cross_checks();
+  bed.run_until(seconds(90));
+  EXPECT_EQ(rig.hybrid->cross_checks(), after_stale);
+}
+
+}  // namespace
+}  // namespace netqos::probe

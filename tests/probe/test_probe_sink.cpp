@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "experiments/lirtss.h"
+#include "netsim/packet.h"
+#include "probe/sink.h"
+#include "probe/wire.h"
+
+namespace netqos::probe {
+namespace {
+
+// Drives a ProbeSink on N1 with hand-built probe frames from S1, so the
+// sink's reporting contract is pinned independently of any estimator.
+class ProbeSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sink_.emplace(bed_.host("N1"));
+    sender_port_ = bed_.host("S1").udp().allocate_ephemeral_port();
+    ASSERT_TRUE(bed_.host("S1").udp().bind(
+        sender_port_, [this](const sim::Ipv4Packet& packet) {
+          reports_.push_back(decode_report(packet.udp.payload));
+        }));
+  }
+
+  void send_probe(std::uint32_t stream, std::uint32_t seq, bool last,
+                  std::uint32_t session = 1) {
+    ProbeHeader header;
+    header.session = session;
+    header.stream = stream;
+    header.seq = seq;
+    header.flags = last ? kFlagLast : 0;
+    header.sent_at = bed_.simulator().now();
+    ASSERT_TRUE(bed_.host("S1").udp().send(bed_.host("N1").ip(),
+                                           sim::kProbePort, sender_port_,
+                                           encode_probe(header)));
+  }
+
+  exp::LirtssTestbed bed_;
+  std::optional<ProbeSink> sink_;
+  std::uint16_t sender_port_ = 0;
+  std::vector<ProbeReport> reports_;
+};
+
+TEST_F(ProbeSinkTest, LastFlagClosesStreamAndEchoesArrivalsInOrder) {
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    send_probe(/*stream=*/3, seq, /*last=*/seq == 3);
+  }
+  bed_.run_until(seconds(1));
+
+  EXPECT_EQ(sink_->stats().probes_received, 4u);
+  EXPECT_EQ(sink_->stats().reports_sent, 1u);
+  EXPECT_EQ(sink_->open_streams(), 0u);
+  ASSERT_EQ(reports_.size(), 1u);
+  const ProbeReport& report = reports_[0];
+  EXPECT_EQ(report.header.session, 1u);
+  EXPECT_EQ(report.header.stream, 3u);
+  ASSERT_EQ(report.arrivals.size(), 4u);
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    EXPECT_EQ(report.arrivals[seq].seq, seq);
+    if (seq > 0) {
+      // Arrival order on a quiet path is send order, and the sink's
+      // timestamps must be strictly advancing simulated time.
+      EXPECT_GT(report.arrivals[seq].received_at,
+                report.arrivals[seq - 1].received_at);
+    }
+  }
+}
+
+TEST_F(ProbeSinkTest, ConcurrentStreamsNeverMixArrivals) {
+  // Interleave two streams of the same session; each report must carry
+  // only its own stream's arrivals.
+  send_probe(1, 0, false);
+  send_probe(2, 0, false);
+  send_probe(1, 1, true);
+  send_probe(2, 1, true);
+  bed_.run_until(seconds(1));
+
+  ASSERT_EQ(reports_.size(), 2u);
+  for (const ProbeReport& report : reports_) {
+    ASSERT_EQ(report.arrivals.size(), 2u) << report.header.stream;
+    EXPECT_EQ(report.arrivals[0].seq, 0u);
+    EXPECT_EQ(report.arrivals[1].seq, 1u);
+  }
+  EXPECT_EQ(reports_[0].header.stream + reports_[1].header.stream, 3u);
+}
+
+TEST_F(ProbeSinkTest, MalformedDatagramIsCountedAndDropped) {
+  Bytes junk = {0xDE, 0xAD, 0xBE, 0xEF, 0x00};
+  ASSERT_TRUE(bed_.host("S1").udp().send(bed_.host("N1").ip(),
+                                         sim::kProbePort, sender_port_,
+                                         std::move(junk)));
+  bed_.run_until(seconds(1));
+  EXPECT_EQ(sink_->stats().malformed, 1u);
+  EXPECT_EQ(sink_->stats().probes_received, 0u);
+  EXPECT_TRUE(reports_.empty());
+}
+
+TEST_F(ProbeSinkTest, EvictsOldestOpenStreamAtTheCap) {
+  // 65 streams whose last probe never arrives: the sink must cap open
+  // state at 64 (sink.h kMaxOpenStreams) by dropping the oldest.
+  for (std::uint32_t stream = 0; stream < 65; ++stream) {
+    send_probe(stream, 0, /*last=*/false);
+  }
+  bed_.run_until(seconds(1));
+  EXPECT_EQ(sink_->open_streams(), 64u);
+  EXPECT_EQ(sink_->stats().streams_evicted, 1u);
+
+  // Closing the evicted stream now opens a fresh single-probe stream:
+  // the original seq-0 arrival is gone.
+  send_probe(0, 1, /*last=*/true);
+  bed_.run_until(seconds(2));
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_EQ(reports_[0].arrivals.size(), 1u);
+  EXPECT_EQ(reports_[0].arrivals[0].seq, 1u);
+}
+
+TEST_F(ProbeSinkTest, OneSinkPerHost) {
+  EXPECT_THROW(ProbeSink second(bed_.host("N1")), std::logic_error);
+}
+
+}  // namespace
+}  // namespace netqos::probe

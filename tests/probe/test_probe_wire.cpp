@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "probe/wire.h"
+
+namespace netqos::probe {
+namespace {
+
+ProbeHeader sample_header() {
+  ProbeHeader header;
+  header.kind = ProbeKind::kProbe;
+  header.flags = kFlagLast;
+  header.session = 0xA1B2C3D4;
+  header.stream = 7;
+  header.seq = 42;
+  header.sent_at = 17 * kSecond + 3 * kMicrosecond;
+  return header;
+}
+
+TEST(ProbeWire, ProbeRoundTrip) {
+  const ProbeHeader in = sample_header();
+  const Bytes wire = encode_probe(in);
+  EXPECT_EQ(wire.size(), kProbeHeaderBytes);
+  EXPECT_EQ(peek_kind(wire), ProbeKind::kProbe);
+
+  const ProbeHeader out = decode_probe(wire);
+  EXPECT_EQ(out.kind, ProbeKind::kProbe);
+  EXPECT_EQ(out.flags, kFlagLast);
+  EXPECT_EQ(out.session, 0xA1B2C3D4u);
+  EXPECT_EQ(out.stream, 7u);
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.sent_at, 17 * kSecond + 3 * kMicrosecond);
+}
+
+TEST(ProbeWire, ReportRoundTrip) {
+  ProbeReport in;
+  in.header = sample_header();
+  in.arrivals = {{0, 5 * kMillisecond},
+                 {1, 6 * kMillisecond},
+                 {3, 9 * kMillisecond}};  // seq 2 lost
+  const Bytes wire = encode_report(in);
+  EXPECT_EQ(peek_kind(wire), ProbeKind::kReport);
+
+  const ProbeReport out = decode_report(wire);
+  EXPECT_EQ(out.header.kind, ProbeKind::kReport);
+  EXPECT_EQ(out.header.session, in.header.session);
+  EXPECT_EQ(out.header.stream, in.header.stream);
+  ASSERT_EQ(out.arrivals.size(), 3u);
+  EXPECT_EQ(out.arrivals[2].seq, 3u);
+  EXPECT_EQ(out.arrivals[2].received_at, 9 * kMillisecond);
+}
+
+TEST(ProbeWire, EveryTruncationThrows) {
+  ProbeReport report;
+  report.header = sample_header();
+  report.arrivals = {{0, kMillisecond}, {1, 2 * kMillisecond}};
+  const Bytes wire = encode_report(report);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(wire.data(), len);
+    // Truncation inside the fixed header surfaces as BufferUnderflow,
+    // inside the entry list as the count bounds check — both are
+    // runtime_errors the sink catches as "malformed".
+    EXPECT_THROW(decode_report(prefix), std::runtime_error) << len;
+  }
+  const Bytes probe = encode_probe(sample_header());
+  for (std::size_t len = 0; len < probe.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(probe.data(), len);
+    EXPECT_THROW(decode_probe(prefix), std::runtime_error) << len;
+  }
+}
+
+TEST(ProbeWire, RejectsBadMagicVersionAndKind) {
+  Bytes wire = encode_probe(sample_header());
+  Bytes bad_magic = wire;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(decode_probe(bad_magic), ProbeWireError);
+
+  Bytes bad_version = wire;
+  bad_version[4] = kProbeVersion + 1;
+  EXPECT_THROW(decode_probe(bad_version), ProbeWireError);
+
+  Bytes bad_kind = wire;
+  bad_kind[5] = 9;
+  EXPECT_THROW(decode_probe(bad_kind), ProbeWireError);
+
+  // Kind mismatch: a probe frame is not a report and vice versa.
+  EXPECT_THROW(decode_report(wire), ProbeWireError);
+  ProbeReport report;
+  report.header = sample_header();
+  EXPECT_THROW(decode_probe(encode_report(report)), ProbeWireError);
+}
+
+TEST(ProbeWire, ReportCountIsBoundsCheckedBeforeAllocation) {
+  ProbeReport report;
+  report.header = sample_header();
+  report.arrivals = {{0, kMillisecond}};
+  Bytes wire = encode_report(report);
+  // Inflate the entry count past both the per-frame byte budget and
+  // kMaxReportEntries; decode must reject it up front (R6 discipline)
+  // instead of reserving 0xFFFF entries.
+  wire[kProbeHeaderBytes] = 0xFF;
+  wire[kProbeHeaderBytes + 1] = 0xFF;
+  EXPECT_THROW(decode_report(wire), ProbeWireError);
+
+  // Claiming one more entry than the frame carries is also rejected.
+  wire[kProbeHeaderBytes] = 0;
+  wire[kProbeHeaderBytes + 1] = 2;
+  EXPECT_THROW(decode_report(wire), ProbeWireError);
+}
+
+TEST(ProbeWire, EncodeReportEnforcesEntryCap) {
+  ProbeReport report;
+  report.header = sample_header();
+  report.arrivals.resize(kMaxReportEntries + 1);
+  EXPECT_THROW(encode_report(report), ProbeWireError);
+  report.arrivals.resize(kMaxReportEntries);
+  // A full report still fits a single MTU-sized frame.
+  EXPECT_LE(encode_report(report).size(), 1472u);
+}
+
+}  // namespace
+}  // namespace netqos::probe

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "experiments/lirtss.h"
 #include "history/store.h"
@@ -138,6 +139,33 @@ TEST_F(QueryEngineTest, HealthSnapshotCoversAgentsAndPaths) {
     EXPECT_FALSE(path.violated);  // 200 KB/s load leaves > 500 KB/s
     EXPECT_FALSE(path.warning);   // no predictive detector attached
   }
+}
+
+TEST_F(QueryEngineTest, HealthAppendsProviderProbeRows) {
+  QueryEngine engine(bed_.monitor());
+  // No provider wired: probe rows stay absent.
+  EXPECT_TRUE(engine.health(bed_.simulator().now()).probes.empty());
+
+  engine.set_probe_status_provider([] {
+    ProbeStatusRow row;
+    row.estimator = "periodic";
+    row.from = "S1";
+    row.to = "N1";
+    row.convergence = 1;
+    row.running = true;
+    row.has_estimate = true;
+    row.available = 950'000.0;
+    row.estimates = 12;
+    row.wire_bytes = 4'096;
+    return std::vector<ProbeStatusRow>{row};
+  });
+  const HealthResponse health = engine.health(bed_.simulator().now());
+  ASSERT_EQ(health.probes.size(), 1u);
+  EXPECT_EQ(health.probes[0].estimator, "periodic");
+  EXPECT_TRUE(health.probes[0].running);
+  EXPECT_DOUBLE_EQ(health.probes[0].available, 950'000.0);
+  // The provider rows ride along without perturbing the passive rows.
+  EXPECT_EQ(health.paths.size(), 2u);
 }
 
 TEST(QueryEngine, EmptyMonitorYieldsEmptyRows) {

@@ -97,6 +97,51 @@ TEST(QueryProto, HealthResponseRoundTrip) {
   EXPECT_FALSE(out.health_response.paths[0].warning);
 }
 
+TEST(QueryProto, HealthProbeStatusRoundTrip) {
+  Message m;
+  m.header.type = MessageType::kHealthResponse;
+  m.health_response.server_now = 45 * kSecond;
+  ProbeStatusRow probe;
+  probe.estimator = "pair";
+  probe.from = "S1";
+  probe.to = "N1";
+  probe.convergence = 2;
+  probe.running = true;
+  probe.has_estimate = true;
+  probe.available = 1'210'000.0;
+  probe.estimates = 37;
+  probe.wire_bytes = 123'456;
+  m.health_response.probes.push_back(probe);
+  ProbeStatusRow stopped;
+  stopped.estimator = "train";
+  stopped.from = "S1";
+  stopped.to = "S2";
+  m.health_response.probes.push_back(stopped);
+
+  const Message out = round_trip(m);
+  ASSERT_EQ(out.health_response.probes.size(), 2u);
+  const ProbeStatusRow& r = out.health_response.probes[0];
+  EXPECT_EQ(r.estimator, "pair");
+  EXPECT_EQ(r.from, "S1");
+  EXPECT_EQ(r.to, "N1");
+  EXPECT_EQ(r.convergence, 2);
+  EXPECT_TRUE(r.running);
+  EXPECT_TRUE(r.has_estimate);
+  EXPECT_DOUBLE_EQ(r.available, 1'210'000.0);
+  EXPECT_EQ(r.estimates, 37u);
+  EXPECT_EQ(r.wire_bytes, 123'456u);
+  const ProbeStatusRow& s = out.health_response.probes[1];
+  EXPECT_EQ(s.estimator, "train");
+  EXPECT_FALSE(s.running);
+  EXPECT_FALSE(s.has_estimate);
+
+  // A probe-less health response (no provider wired server-side) still
+  // round-trips as before.
+  Message bare;
+  bare.header.type = MessageType::kHealthResponse;
+  EXPECT_TRUE(round_trip(bare).health_response.probes.empty());
+}
+
 TEST(QueryProto, ModulesResponseRoundTrip) {
   Message m;
   m.header.type = MessageType::kModulesResponse;

@@ -443,10 +443,14 @@ void check_r2(RuleContext& ctx) {
 namespace {
 
 // R3_CONTEXT_RE: bps|bandwidth|octet|[kmg]bps|byte|\bbits?\b|speed|ifspeed
+//              |gap|dispersion|probe|spacing
 // (case-insensitive; [kmg]bps and ifspeed are subsumed by bps/speed).
+// Probe rate vocabulary counts as bandwidth context: packet-pair and
+// train estimators turn inter-probe gaps into rates.
 bool bandwidth_words(std::string_view text) {
   const std::string lower = to_lower(text);
-  for (const char* needle : {"bps", "bandwidth", "octet", "byte", "speed"}) {
+  for (const char* needle : {"bps", "bandwidth", "octet", "byte", "speed",
+                             "gap", "dispersion", "probe", "spacing"}) {
     if (lower.find(needle) != std::string::npos) return true;
   }
   for (std::size_t pos = lower.find("bit"); pos != std::string::npos;
@@ -497,12 +501,43 @@ bool factor8(std::string_view line) {
   return false;
 }
 
+// R3_DURATION_RE: \bk(Nano|Micro|Milli)second\b|\bkSecond\b
+//               |\b(nano|micro|milli)?seconds\s*\(
+// Duration arithmetic like `8 * kMillisecond` or `seconds(8)` is time
+// math, not a unit conversion — such lines are exempt from R3(a).
+bool duration_math(std::string_view line) {
+  for (const char* name :
+       {"kNanosecond", "kMicrosecond", "kMillisecond", "kSecond"}) {
+    const std::string_view needle(name);
+    for (std::size_t pos = line.find(needle); pos != std::string_view::npos;
+         pos = line.find(needle, pos + 1)) {
+      const bool before_ok = pos == 0 || !is_word(line[pos - 1]);
+      const std::size_t end = pos + needle.size();
+      const bool after_ok = end >= line.size() || !is_word(line[end]);
+      if (before_ok && after_ok) return true;
+    }
+  }
+  for (const char* name :
+       {"nanoseconds", "microseconds", "milliseconds", "seconds"}) {
+    const std::string_view needle(name);
+    for (std::size_t pos = line.find(needle); pos != std::string_view::npos;
+         pos = line.find(needle, pos + 1)) {
+      if (pos > 0 && is_word(line[pos - 1])) continue;
+      const std::size_t after = skip_ws(line, pos + needle.size());
+      if (after < line.size() && line[after] == '(') return true;
+    }
+  }
+  return false;
+}
+
 // R3_DECIMAL_RE candidates (longest-first), boundaries (?<![\w.'])
 // and (?![\w.']).
 bool decimal_multiplier(std::string_view line) {
   static const char* kLiterals[] = {
       "1'000'000'000", "1000000000", "10'000'000", "1'000'000", "1000000",
-      "1'000", "1000.0", "8.0", "1e3", "1e6", "1e9", "8e3", "8e6", "8e9"};
+      "1'000", "1000.0", "8.0", "1e3", "1e6", "1e9", "8e3", "8e6", "8e9",
+      // Negative exponents scale raw nanosecond gaps in probe rate math.
+      "1e-3", "1e-6", "1e-9", "8e-3", "8e-6", "8e-9"};
   for (const char* lit : kLiterals) {
     const std::string_view needle(lit);
     for (std::size_t pos = line.find(needle); pos != std::string_view::npos;
@@ -585,7 +620,7 @@ void check_r3(RuleContext& ctx) {
             std::string_view(ctx.file.masked).substr(start, func->body_end - start));
       }
       if (in_context && mline.find(">>") == std::string::npos &&
-          factor8(mline)) {
+          !duration_math(mline) && factor8(mline)) {
         ctx.report("R3", lineno,
                    "raw factor-of-8 bit/byte conversion; use "
                    "to_bits_per_second/to_bytes_per_second/kBitsPerByte from "
@@ -595,7 +630,8 @@ void check_r3(RuleContext& ctx) {
       if (in_context && decimal_multiplier(mline)) {
         ctx.report("R3", lineno,
                    "raw decimal bandwidth multiplier; use kKbps/kMbps/kGbps "
-                   "or the conversion helpers in common/units.h");
+                   "or the conversion helpers in common/units.h (gap-to-rate "
+                   "math converts via to_seconds/from_seconds)");
       }
     }
     if (!counters_ok && counter_subtraction(mline)) {

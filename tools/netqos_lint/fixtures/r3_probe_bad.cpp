@@ -1,0 +1,23 @@
+// Known-bad fixture for R3 probe rate math.
+//
+// Gap-to-rate traps: scaling a raw nanosecond dispersion by a
+// power-of-ten, flipping bits/bytes with a naked factor of 8, and mixing
+// both in one train-spacing expression. Expected findings: at least
+// four [R3].
+#include <cstdint>
+
+namespace netqos {
+
+double dispersion_rate(double probe_bytes, std::int64_t gap_ns) {
+  return probe_bytes / (static_cast<double>(gap_ns) * 1e-9);  // raw ns->s
+}
+
+double pair_estimate_bits(double probe_bytes, std::int64_t gap_ns) {
+  return dispersion_rate(probe_bytes, gap_ns) * 8;  // raw bit/byte flip
+}
+
+double train_rate_bytes(double bits_per_gap, double gap_us) {
+  return bits_per_gap / 8.0 * 1e6 / gap_us;  // raw factor-8 + us scale
+}
+
+}  // namespace netqos

@@ -1,0 +1,28 @@
+// Known-good fixture for R3 probe rate math (gap-to-rate discipline).
+//
+// Packet-pair dispersion and train spacing conversions routed through
+// common/units.h and common/sim_time.h: gaps become seconds via
+// to_seconds, target gaps come from from_seconds, and bit/byte flips use
+// the sanctioned helpers. Expected findings: none.
+#include "common/sim_time.h"
+#include "common/units.h"
+
+namespace netqos {
+
+BytesPerSecond dispersion_rate(std::size_t probe_bytes, SimDuration gap) {
+  return static_cast<double>(probe_bytes) / to_seconds(gap);
+}
+
+BitsPerSecond pair_estimate_bits(std::size_t probe_bytes, SimDuration gap) {
+  return to_bits_per_second(dispersion_rate(probe_bytes, gap));
+}
+
+SimDuration gap_for_rate(std::size_t probe_bytes, BytesPerSecond rate) {
+  return from_seconds(static_cast<double>(probe_bytes) / rate);
+}
+
+SimDuration train_spacing(std::size_t probe_bytes, BitsPerSecond rate) {
+  return transmission_delay(probe_bytes, rate);
+}
+
+}  // namespace netqos

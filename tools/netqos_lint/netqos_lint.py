@@ -30,6 +30,10 @@ express, each born from a real bug class (see DESIGN.md "Static analysis"):
                          common/units.h, and cumulative MIB counters may
                          only be differenced inside monitor/counter_math
                          (Counter32 wrap arithmetic, paper section 3.1).
+                         Probe rate math (packet-pair dispersion, train
+                         spacing) is in scope too: gap-to-rate conversions
+                         go through to_seconds/from_seconds, never raw
+                         powers-of-ten nanosecond scaling.
 
   R4  sim-time purity    Wall-clock and ambient randomness
                          (std::chrono::system_clock, time(), gettimeofday,
@@ -116,14 +120,23 @@ RELOP_RE = re.compile(r"<=|>=|(?<![<>\-])<(?![<>=])|(?<![<>\-])>(?![<>=])")
 
 # R3(a): a factor-of-8 bit<->byte conversion.
 R3_FACTOR8_RE = re.compile(r"[*/]\s*8(?:\.0+)?(?![\w.'])|(?<![\w.'])8(?:\.0+)?\s*\*")
-# R3(b): power-of-ten bandwidth multipliers.
+# Duration arithmetic like `8 * kMillisecond` is time math, not a unit
+# conversion — the sim-time constants exempt the line from R3(a).
+R3_DURATION_RE = re.compile(
+    r"\bk(?:Nano|Micro|Milli)second\b|\bkSecond\b"
+    r"|\b(?:nano|micro|milli)?seconds\s*\(")
+# R3(b): power-of-ten bandwidth multipliers, including the negative
+# exponents that scale raw nanosecond gaps in probe rate math.
 R3_DECIMAL_RE = re.compile(
-    r"(?<![\w.'])(?:[18]e[369]|1000000(?:000)?|1000\.0|8\.0"
+    r"(?<![\w.'])(?:[18]e-?[369]|1000000(?:000)?|1000\.0|8\.0"
     r"|1'000(?:'000){0,2}|10'000'000)(?![\w.'])")
 # Identifier must look bandwidth-flavoured for (a)/(b) to fire; this keeps
-# shift-free arithmetic like `8 * poll_interval` out of scope.
+# shift-free arithmetic like `8 * poll_interval` out of scope. Probe rate
+# vocabulary (gap/dispersion/probe/spacing) is bandwidth-flavoured too —
+# packet-pair and train estimators turn gaps into rates.
 R3_CONTEXT_RE = re.compile(
-    r"bps|bandwidth|octet|[kmg]bps|byte|\bbits?\b|speed|ifspeed", re.IGNORECASE)
+    r"bps|bandwidth|octet|[kmg]bps|byte|\bbits?\b|speed|ifspeed"
+    r"|gap|dispersion|probe|spacing", re.IGNORECASE)
 # R3(c): naked subtraction of cumulative MIB counters.
 R3_COUNTER_ID = r"\w*(?:in|out)_(?:octets|packets|discards)\w*|\bsys_uptime\w*|\bif(?:HC)?(?:In|Out)Octets\w*"
 R3_COUNTER_SUB_RE = re.compile(
@@ -535,7 +548,9 @@ class FileCheck:
             lineno = i + 1
             if not units_ok:
                 in_context = self._bandwidth_context(offset)
-                if in_context and ">>" not in mline and R3_FACTOR8_RE.search(mline):
+                if (in_context and ">>" not in mline and
+                        not R3_DURATION_RE.search(mline) and
+                        R3_FACTOR8_RE.search(mline)):
                     self.report(
                         "R3", lineno,
                         "raw factor-of-8 bit/byte conversion; use "
@@ -546,7 +561,9 @@ class FileCheck:
                     self.report(
                         "R3", lineno,
                         "raw decimal bandwidth multiplier; use kKbps/kMbps/"
-                        "kGbps or the conversion helpers in common/units.h")
+                        "kGbps or the conversion helpers in common/units.h "
+                        "(gap-to-rate math converts via to_seconds/"
+                        "from_seconds)")
             if not counters_ok and R3_COUNTER_SUB_RE.search(mline):
                 self.report(
                     "R3", lineno,
